@@ -1,0 +1,99 @@
+"""Experiment E4 — Algorithm A_tuple runs in O(k·n) (Theorem 4.13).
+
+Theorem 4.13 bounds the work *after* the Edge-model subroutine: labelling
+the support edges and cutting the cyclic k-windows (steps 2–5 of Figure 1).
+This experiment precomputes step 1 once, times the post-subroutine stage
+over an (n, k) sweep, and regenerates the scaling table of time / (k·n).
+Per-unit cost must not grow with instance size — small instances carry
+fixed Python call overhead, so the check is one-sided: the largest
+instances may not be costlier per unit of k·n than the smallest.
+
+Benchmarks: A_tuple end-to-end and the cyclic construction alone.
+"""
+
+import time
+from math import gcd
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import TupleGame
+from repro.equilibria.atuple import algorithm_a_tuple, cyclic_tuples
+from repro.equilibria.matching_ne import algorithm_a
+from repro.graphs.generators import complete_bipartite_graph
+from repro.matching.covers import minimum_edge_cover_size
+from repro.matching.partition import bipartite_partition
+
+
+def _instance(b_side):
+    """K_{2,b}: rho = b, so the mixed regime is wide and n grows with b."""
+    graph = complete_bipartite_graph(2, b_side)
+    independent, cover_side = bipartite_partition(graph)
+    return graph, independent, cover_side
+
+
+def _post_subroutine(game, independent, labelled_edges):
+    """Steps 2-5 of Figure 1, given step 1's matching NE support."""
+    tuples = cyclic_tuples(labelled_edges, game.k)
+    return MixedConfiguration.uniform(game, independent, tuples)
+
+
+def _time_post_subroutine(game, independent, labelled_edges, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _post_subroutine(game, independent, labelled_edges)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_e4_table():
+    table = Table(["n", "k", "delta (tuples)", "time (ms)",
+                   "time/(k*n) (µs)"], precision=3)
+    per_size = {}
+    for b in (16, 32, 64, 128, 256):
+        graph, independent, cover_side = _instance(b)
+        rho = minimum_edge_cover_size(graph)
+        edge_config = algorithm_a(TupleGame(graph, 1, nu=2),
+                                  independent, cover_side)
+        labelled = sorted(edge_config.tp_support_edges())
+        normalized = []
+        for k in sorted({2, rho // 4, rho // 2, rho - 1}):
+            k = max(2, k)
+            game = TupleGame(graph, k, nu=2)
+            elapsed = _time_post_subroutine(game, independent, labelled)
+            per_unit = elapsed / (k * graph.n) * 1e6
+            normalized.append(per_unit)
+            table.add_row([graph.n, k, rho // gcd(rho, k),
+                           elapsed * 1e3, per_unit])
+        per_size[graph.n] = sum(normalized) / len(normalized)
+    sizes = sorted(per_size)
+    # One-sided O(k·n) check: per-unit cost at the largest size must not
+    # exceed the small-instance cost (which includes all the fixed
+    # overhead) by more than a small factor.
+    assert per_size[sizes[-1]] <= per_size[sizes[0]] * 3.0, per_size
+    record_table("E4_atuple_scaling", table,
+                 title="E4: A_tuple post-subroutine cost, bounded in "
+                       "time/(k*n) (Theorem 4.13)")
+
+
+def test_e4_scaling_table(benchmark):
+    benchmark.pedantic(_build_e4_table, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("b", [32, 128])
+def test_e4_bench_atuple(benchmark, b):
+    graph, independent, cover_side = _instance(b)
+    k = minimum_edge_cover_size(graph) // 2
+    game = TupleGame(graph, k, nu=2)
+    config = benchmark(algorithm_a_tuple, game, independent, cover_side)
+    assert config.game is game
+
+
+@pytest.mark.parametrize("e_num,k", [(128, 3), (128, 64), (1024, 31)])
+def test_e4_bench_cyclic_construction(benchmark, e_num, k):
+    edges = [(2 * i, 2 * i + 1) for i in range(e_num)]
+    tuples = benchmark(cyclic_tuples, edges, k)
+    assert len(tuples) >= 1

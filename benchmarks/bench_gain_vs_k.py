@@ -1,0 +1,102 @@
+"""Experiment E6 — the headline figure: defender gain is linear in k.
+
+Section 1.2's "power of the defender" claim, quantified by Corollaries
+4.7/4.10: at the structural equilibria the defender's expected catch count
+is (ν/ρ(G))·k.  This experiment regenerates the gain-vs-k series on several
+topologies, fits the through-origin slope, checks the residual is zero, and
+cross-validates every point against the exact LP minimax value where the
+defender's strategy set is enumerable.
+
+It also records the boundary findings outside the structural class:
+Petersen (no k-matching NE) still follows k/ρ because it has a perfect
+matching, while C5 departs from it (value 2k/5 > k/3) — the linearity in k
+survives, but the slope is no longer ν/ρ.
+
+Benchmarks: the full sweep on the largest instance.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.gain import (
+    fit_slope_through_origin,
+    gain_curve,
+    max_linearity_residual,
+)
+from repro.analysis.tables import Table
+from repro.core.game import TupleGame
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    petersen_graph,
+    random_bipartite_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.lp import solve_minimax
+
+NU = 6
+
+INSTANCES = [
+    ("K_{2,6}", complete_bipartite_graph(2, 6)),
+    ("grid3x4", grid_graph(3, 4)),
+    ("rand-bip-5x8", random_bipartite_graph(5, 8, 0.3, seed=9)),
+]
+
+
+def _build_e6_series():
+    table = Table(["graph", "k", "kind", "gain", "lp gain", "slope*k"])
+    slope_table = Table(["graph", "rho(G)", "fitted slope", "nu/rho",
+                         "max residual"], precision=6)
+    for name, graph in INSTANCES:
+        rho = minimum_edge_cover_size(graph)
+        points = gain_curve(graph, NU, include_lp=True, lp_tuple_limit=30_000)
+        mixed_points = [p for p in points if p.kind == "k-matching"]
+        slope = fit_slope_through_origin(mixed_points)
+        residual = max_linearity_residual(mixed_points, slope)
+        assert abs(slope - NU / rho) < 1e-9
+        assert residual < 1e-9
+        for p in points:
+            if p.lp_gain is not None and p.kind == "k-matching":
+                assert abs(p.lp_gain - p.gain) < 1e-6
+            table.add_row([
+                name, p.k, p.kind, p.gain,
+                "-" if p.lp_gain is None else p.lp_gain, slope * p.k,
+            ])
+        slope_table.add_row([name, rho, slope, NU / rho, residual])
+    record_table("E6_gain_vs_k_series", table,
+                 title="E6: defender gain vs k (figure data; slope = nu/rho)")
+    record_table("E6_gain_slopes", slope_table,
+                 title="E6: fitted slopes vs theory")
+
+
+def _build_e6_boundary():
+    table = Table(["graph", "k", "LP value", "k/rho", "k * 2/n",
+                   "matches k/rho"], precision=6)
+    for name, graph, ks in [
+        ("petersen", petersen_graph(), (1, 2, 3)),
+        ("C5", cycle_graph(5), (1, 2)),
+    ]:
+        rho = minimum_edge_cover_size(graph)
+        for k in ks:
+            value = solve_minimax(TupleGame(graph, k, nu=1)).value
+            table.add_row([
+                name, k, value, k / rho, k * 2 / graph.n,
+                abs(value - k / rho) < 1e-7,
+            ])
+    record_table("E6_boundary_non_structural", table,
+                 title="E6 addendum: LP values outside the k-matching class")
+
+
+def test_e6_gain_series(benchmark):
+    benchmark.pedantic(_build_e6_series, rounds=1, iterations=1)
+
+
+def test_e6_boundary_table(benchmark):
+    benchmark.pedantic(_build_e6_boundary, rounds=1, iterations=1)
+
+
+def test_e6_bench_full_sweep(benchmark):
+    graph = random_bipartite_graph(12, 18, 0.2, seed=21)
+    points = benchmark(gain_curve, graph, NU)
+    assert len(points) >= 2

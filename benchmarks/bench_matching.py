@@ -1,0 +1,95 @@
+"""Experiment E8 — substrate microbenchmarks.
+
+The paper's complexity bounds (Corollary 3.2, Theorems 4.13 and 5.1)
+bottom out in matching computations; this module regenerates a timing
+table for Hopcroft–Karp, the blossom algorithm, König covers and Gallai
+edge covers across instance sizes, and benchmarks each kernel with
+pytest-benchmark.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.graphs.generators import gnp_random_graph, random_bipartite_graph
+from repro.graphs.properties import bipartition
+from repro.matching.blossom import maximum_matching
+from repro.matching.covers import minimum_edge_cover
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.konig import konig_vertex_cover
+
+
+def _bipartite_instance(side):
+    graph = random_bipartite_graph(side, side, min(0.9, 8.0 / side), seed=side)
+    left, _ = bipartition(graph)
+    order = sorted(left, key=repr)
+    adjacency = {v: sorted(graph.neighbors(v), key=repr) for v in order}
+    return graph, order, adjacency
+
+
+def _general_instance(n):
+    return gnp_random_graph(n, min(0.9, 8.0 / n), seed=n)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _build_e8_table():
+    table = Table(["kernel", "n", "m", "output size", "time (ms)"], precision=3)
+    for side in (50, 100, 200, 400):
+        graph, order, adjacency = _bipartite_instance(side)
+        elapsed, matching = _best_of(lambda: hopcroft_karp(order, adjacency))
+        table.add_row(["hopcroft-karp", graph.n, graph.m, matching.size,
+                       elapsed * 1e3])
+        elapsed, result = _best_of(lambda: konig_vertex_cover(graph))
+        table.add_row(["konig-cover", graph.n, graph.m, len(result.cover),
+                       elapsed * 1e3])
+    for n in (50, 100, 200):
+        graph = _general_instance(n)
+        elapsed, matching = _best_of(lambda: maximum_matching(graph))
+        table.add_row(["blossom", graph.n, graph.m, len(matching),
+                       elapsed * 1e3])
+        elapsed, cover = _best_of(lambda: minimum_edge_cover(graph))
+        table.add_row(["gallai-edge-cover", graph.n, graph.m, len(cover),
+                       elapsed * 1e3])
+    record_table("E8_matching_kernels", table,
+                 title="E8: matching-substrate kernel timings")
+
+
+def test_e8_kernel_table(benchmark):
+    benchmark.pedantic(_build_e8_table, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("side", [100, 400])
+def test_e8_bench_hopcroft_karp(benchmark, side):
+    _, order, adjacency = _bipartite_instance(side)
+    result = benchmark(hopcroft_karp, order, adjacency)
+    assert result.size > 0
+
+
+@pytest.mark.parametrize("n", [60, 150])
+def test_e8_bench_blossom(benchmark, n):
+    graph = _general_instance(n)
+    result = benchmark(maximum_matching, graph)
+    assert len(result) > 0
+
+
+def test_e8_bench_konig(benchmark):
+    graph, _, _ = _bipartite_instance(200)
+    result = benchmark(konig_vertex_cover, graph)
+    assert result.cover
+
+
+def test_e8_bench_edge_cover(benchmark):
+    graph = _general_instance(150)
+    result = benchmark(minimum_edge_cover, graph)
+    assert result

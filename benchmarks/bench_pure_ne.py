@@ -1,0 +1,85 @@
+"""Experiment E1 — pure Nash equilibria (Theorem 3.1, Corollaries 3.2/3.3).
+
+Regenerates the existence table: for each graph family, the minimum edge
+cover ρ(G) is the exact threshold — no pure NE for k < ρ, pure NE (which we
+construct and verify) for k ≥ ρ — and whenever n ≥ 2k+1 existence is
+impossible, confirming Corollary 3.3.
+
+Benchmarks: the polynomial existence decision + construction of
+Corollary 3.2 on instances of increasing size.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.core.game import TupleGame
+from repro.core.pure import find_pure_nash, is_pure_nash, pure_nash_exists
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    double_star_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    star_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+
+FAMILIES = [
+    ("path16", path_graph(16)),
+    ("cycle12", cycle_graph(12)),
+    ("cycle13", cycle_graph(13)),
+    ("star9", star_graph(9)),
+    ("double-star-4-5", double_star_graph(4, 5)),
+    ("grid4x5", grid_graph(4, 5)),
+    ("K_{3,6}", complete_bipartite_graph(3, 6)),
+    ("petersen", petersen_graph()),
+    ("gnp20", gnp_random_graph(20, 0.2, seed=1)),
+    ("rand-bip-8x10", random_bipartite_graph(8, 10, 0.25, seed=2)),
+]
+
+
+def test_e1_pure_ne_existence_table(benchmark):
+    benchmark.pedantic(_build_e1_table, rounds=1, iterations=1)
+
+
+def _build_e1_table():
+    table = Table(["graph", "n", "m", "rho(G)", "pure NE @ k=rho-1",
+                   "pure NE @ k=rho", "corollary 3.3 bound 2k+1<=n holds"])
+    for name, graph in FAMILIES:
+        rho = minimum_edge_cover_size(graph)
+        below = (
+            pure_nash_exists(TupleGame(graph, rho - 1, nu=1)) if rho > 1 else "-"
+        )
+        game = TupleGame(graph, rho, nu=1)
+        at = pure_nash_exists(game)
+        config = find_pure_nash(game)
+        assert at and config is not None and is_pure_nash(game, config)
+        if rho > 1:
+            assert below is False
+        # Corollary 3.3 sanity: for every k < ceil(n/2), n >= 2k+1 and
+        # indeed no pure NE (equivalent to rho >= n/2).
+        c33 = all(
+            not pure_nash_exists(TupleGame(graph, k, nu=1))
+            for k in range(1, (graph.n - 1) // 2 + 1)
+        )
+        assert c33
+        table.add_row([name, graph.n, graph.m, rho, below, at, c33])
+    record_table("E1_pure_ne_existence", table,
+                 title="E1: pure NE existence threshold = rho(G) (Theorem 3.1)")
+
+
+@pytest.mark.parametrize("size", [20, 50, 100])
+def test_e1_bench_existence_decision(benchmark, size):
+    graph = random_bipartite_graph(size, size, 4.0 / size, seed=size)
+    game = TupleGame(graph, minimum_edge_cover_size(graph), nu=1)
+    result = benchmark(find_pure_nash, game)
+    assert result is not None
+
+
+def test_e1_bench_threshold_on_gnp(benchmark):
+    graph = gnp_random_graph(60, 0.1, seed=3)
+    benchmark(minimum_edge_cover_size, graph)

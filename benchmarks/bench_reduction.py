@@ -1,0 +1,86 @@
+"""Experiment E3 — the Theorem 4.5 reduction and the gain law.
+
+Regenerates the reduction table: for each instance and each k in the mixed
+regime, lifting a matching NE of Π_1(G) yields a k-matching NE of Π_k(G)
+whose defender gain is exactly k times larger (Corollaries 4.7/4.10), and
+flattening it back recovers the original supports.
+
+Benchmarks: both reduction directions, isolated from equilibrium search.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.core.game import TupleGame
+from repro.core.profits import expected_profit_tp
+from repro.equilibria.matching_ne import matching_equilibrium
+from repro.equilibria.reduction import edge_to_tuple, tuple_to_edge
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    grid_graph,
+    random_bipartite_graph,
+    random_tree,
+)
+from repro.matching.covers import minimum_edge_cover_size
+
+INSTANCES = [
+    ("K_{3,5}", complete_bipartite_graph(3, 5)),
+    ("grid3x4", grid_graph(3, 4)),
+    ("tree14", random_tree(14, seed=6)),
+    ("rand-bip-5x8", random_bipartite_graph(5, 8, 0.3, seed=4)),
+]
+
+NU = 4
+
+
+def _build_e3_table():
+    table = Table(["graph", "k", "IP_tp(edge NE)", "IP_tp(k-matching NE)",
+                   "ratio", "ratio == k", "round-trip supports equal"])
+    for name, graph in INSTANCES:
+        edge_game = TupleGame(graph, 1, nu=NU)
+        edge_config = matching_equilibrium(edge_game)
+        base_gain = expected_profit_tp(edge_config)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(2, rho):
+            lifted = edge_to_tuple(edge_game, edge_config, k)
+            lifted_gain = expected_profit_tp(lifted)
+            ratio = lifted_gain / base_gain
+            back = tuple_to_edge(TupleGame(graph, k, nu=NU), lifted)
+            round_trip = (
+                back.tp_support_edges() == edge_config.tp_support_edges()
+                and back.vp_support_union() == edge_config.vp_support_union()
+            )
+            assert abs(ratio - k) < 1e-9
+            assert round_trip
+            table.add_row([name, k, base_gain, lifted_gain, ratio,
+                           abs(ratio - k) < 1e-9, round_trip])
+    record_table("E3_reduction", table,
+                 title="E3: Theorem 4.5 reduction, IP_tp scales by exactly k")
+
+
+def test_e3_reduction_table(benchmark):
+    benchmark.pedantic(_build_e3_table, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def lifted_instance():
+    graph = random_bipartite_graph(20, 30, 0.15, seed=12)
+    edge_game = TupleGame(graph, 1, nu=5)
+    edge_config = matching_equilibrium(edge_game)
+    k = minimum_edge_cover_size(graph) - 1
+    return graph, edge_game, edge_config, k
+
+
+def test_e3_bench_edge_to_tuple(benchmark, lifted_instance):
+    graph, edge_game, edge_config, k = lifted_instance
+    lifted = benchmark(edge_to_tuple, edge_game, edge_config, k)
+    assert lifted.game.k == k
+
+
+def test_e3_bench_tuple_to_edge(benchmark, lifted_instance):
+    graph, edge_game, edge_config, k = lifted_instance
+    game = TupleGame(graph, k, nu=5)
+    lifted = edge_to_tuple(edge_game, edge_config, k)
+    back = benchmark(tuple_to_edge, game, lifted)
+    assert back.game.k == 1

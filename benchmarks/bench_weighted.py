@@ -1,0 +1,73 @@
+"""Experiment E12 — weighted assets (extension).
+
+Unit weights reduce the weighted model exactly to the paper's game; as
+value concentrates on a few "crown jewel" hosts, the equilibrium defender
+reallocates scanning probability toward them and the attacker's escape
+profit is equalized at the LP value.  The table sweeps a concentration
+parameter on one topology and records:
+
+* the per-attacker escape value (weighted LP);
+* the hit probability on the heavy host vs a light host;
+* verification that the paper's (unweighted) uniform equilibrium stops
+  being a best response once weights diverge.
+
+Benchmarks: the weighted LP.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.analysis.tables import Table
+from repro.core.game import TupleGame
+from repro.core.profits import hit_probability
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph
+from repro.weighted import WeightedTupleGame, weighted_lp_equilibrium
+
+GRAPH = complete_bipartite_graph(2, 5)
+HEAVY = 2  # first workstation (right side starts at vertex 2)
+LIGHT = 3
+K = 2
+
+
+def _weights(concentration: float):
+    weights = {v: 1.0 for v in GRAPH.vertices()}
+    weights[HEAVY] = concentration
+    return weights
+
+
+def _build_e12_table():
+    table = Table(["w(heavy)", "escape value", "hit(heavy)", "hit(light)",
+                   "hit ratio", "unweighted NE still best response"],
+                  precision=4)
+    unweighted = solve_game(TupleGame(GRAPH, K, nu=1)).mixed
+    for concentration in (1.0, 2.0, 4.0, 8.0, 16.0):
+        game = WeightedTupleGame(GRAPH, K, _weights(concentration), nu=1)
+        config, solution = weighted_lp_equilibrium(game)
+        heavy_hit = hit_probability(config, HEAVY)
+        light_hit = hit_probability(config, LIGHT)
+        still_ok, _ = game.verify_best_responses(unweighted, tol=1e-9)
+        if concentration == 1.0:
+            assert still_ok
+            assert abs(heavy_hit - light_hit) < 1e-6
+        else:
+            assert not still_ok
+            assert heavy_hit > light_hit
+        table.add_row([
+            concentration, solution.value, heavy_hit, light_hit,
+            heavy_hit / max(light_hit, 1e-12), still_ok,
+        ])
+    record_table("E12_weighted_assets", table,
+                 title="E12 (extension): crown-jewel concentration on "
+                       "K_{2,5}, k=2")
+
+
+def test_e12_weighted_table(benchmark):
+    benchmark.pedantic(_build_e12_table, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("concentration", [1.0, 8.0])
+def test_e12_bench_weighted_lp(benchmark, concentration):
+    game = WeightedTupleGame(GRAPH, K, _weights(concentration), nu=1)
+    config, solution = benchmark(weighted_lp_equilibrium, game)
+    assert solution.value > 0

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every experiment module (E1–E8, see DESIGN.md §5) regenerates its table
+through :func:`record_table`, which both prints it (visible with ``-s``)
+and persists it under ``benchmarks/results/`` so EXPERIMENTS.md can be
+diffed against fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_table(name: str, table: Table, title: str = "") -> str:
+    """Render, print and persist an experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render(title=title)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,56 @@
+"""Red-team drill: can a learning attacker beat the scan schedule?
+
+The equilibria of the paper promise an interception probability against a
+*rational* attacker.  A sharper operational question: what happens when a
+red team probes the network repeatedly, watching which probes get caught,
+and adapts?  We pit a no-regret learner (regret matching) against three
+schedules on the same fabric and budget:
+
+1. the Lemma 4.1 equilibrium rotation,
+2. a tempting-but-wrong skewed rotation ("scan the busy links more"),
+3. a fixed schedule (what an unrandomized cron job would do).
+
+Run:  python examples/adaptive_red_team.py
+"""
+
+from repro import TupleGame, solve_game
+from repro.analysis.tables import Table
+from repro.core.configuration import MixedConfiguration
+from repro.graphs.generators import grid_graph
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.adaptive import exploit_gap, regret_matching_attack
+
+K = 2
+ROUNDS = 10_000
+
+fabric = grid_graph(3, 3)
+rho = minimum_edge_cover_size(fabric)
+game = TupleGame(fabric, K, nu=1)
+value = K / rho
+print(f"fabric: 3x3 grid, rho = {rho}; defender scans k = {K} links")
+print(f"equilibrium guarantee: any attacker escapes at most "
+      f"{1 - value:.0%} of rounds, however it adapts\n")
+
+equilibrium = solve_game(game).mixed
+tuples = sorted(equilibrium.tp_support())
+skewed = MixedConfiguration(
+    game, [{0: 1.0}],
+    {t: (0.6 if i == 0 else 0.4 / (len(tuples) - 1)) for i, t in enumerate(tuples)},
+)
+static = MixedConfiguration(game, [{0: 1.0}], {tuples[0]: 1.0})
+
+table = Table(["schedule", "red-team escape rate", "exploit gap", "verdict"])
+for label, schedule in [
+    ("equilibrium rotation", equilibrium),
+    ("skewed rotation 60/40", skewed),
+    ("fixed schedule", static),
+]:
+    result = regret_matching_attack(game, schedule, rounds=ROUNDS, seed=42)
+    gap = exploit_gap(result, value)
+    verdict = "holds the line" if gap < 0.03 else "EXPLOITED"
+    table.add_row([label, f"{result.escape_rate:.1%}", f"{gap:+.3f}", verdict])
+print(table.render(title=f"{ROUNDS} probing rounds, regret-matching red team"))
+
+print("\ntakeaway: only the equilibrium randomization of Lemma 4.1 keeps the")
+print("adaptive red team at the theoretical escape cap — any skew is found")
+print("and farmed within a few thousand probes.")

@@ -1,0 +1,59 @@
+"""Defending a data-center grid fabric: pure vs mixed regimes.
+
+Scenario: a 4x6 grid of racks (a standard fabric topology, bipartite).
+We walk the full defender-power spectrum: below rho(G) the defender must
+randomize (k-matching NE, Theorem 4.12); at k = rho(G) it can lock the
+whole fabric down deterministically (pure NE, Theorem 3.1).  For one
+operating point we show the actual deployment artifact — the randomized
+scan schedule — and validate it by simulation.
+
+Run:  python examples/datacenter_grid_defense.py
+"""
+
+from repro import TupleGame, solve_game
+from repro.analysis.tables import Table
+from repro.core.profits import hit_probability
+from repro.graphs.generators import grid_graph
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.engine import simulate
+
+ROWS, COLS = 4, 6
+ATTACKERS = 4
+
+fabric = grid_graph(ROWS, COLS)
+rho = minimum_edge_cover_size(fabric)
+print(f"fabric: {ROWS}x{COLS} grid, {fabric.n} racks, {fabric.m} links, "
+      f"rho = {rho}\n")
+
+# --- Regime sweep ------------------------------------------------------
+table = Table(["k", "regime", "expected catches", "attacker escape prob"])
+for k in range(1, rho + 1):
+    result = solve_game(TupleGame(fabric, k, nu=ATTACKERS))
+    escape = 1.0 - result.defender_gain / ATTACKERS
+    table.add_row([k, result.kind, result.defender_gain, escape])
+print(table.render(title=f"regime sweep (nu = {ATTACKERS})"))
+
+# --- Deployment artifact at k = 4 --------------------------------------
+K = 4
+game = TupleGame(fabric, K, nu=ATTACKERS)
+result = solve_game(game)
+config = result.mixed
+
+print(f"\nscan schedule at k = {K} (play one line per round, "
+       "chosen uniformly):")
+for t, prob in sorted(config.tp_distribution().items()):
+    links = ", ".join(f"{u}-{v}" for u, v in t)
+    print(f"  p = {prob:.4f}:  scan links {links}")
+
+support = sorted(config.vp_support_union())
+print(f"\nrational attackers restrict themselves to racks {support}")
+print(f"every one of them is intercepted with probability "
+      f"{hit_probability(config, support[0]):.4f} = k/rho = {K}/{rho}")
+
+# --- Validation by playout ---------------------------------------------
+sim = simulate(game, config, trials=50_000, seed=7)
+low, high = sim.defender_profit.confidence_interval()
+print(f"\n50,000 simulated rounds: {sim.defender_profit.mean:.4f} catches "
+      f"per round (95% CI [{low:.4f}, {high:.4f}], "
+      f"analytic {result.defender_gain:.4f})")
+assert low <= result.defender_gain <= high

@@ -1,0 +1,92 @@
+"""A guided tour of the paper, theorem by theorem, on one running example.
+
+Every main result of *The Power of the Defender* demonstrated on a single
+network (a random bipartite "clients and servers" graph), in the order
+the paper presents them.  Each step prints what the theorem claims and
+what this library measures.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import (
+    TupleGame,
+    check_characterization,
+    expected_profit_tp,
+    find_pure_nash,
+    is_pure_nash,
+    pure_nash_exists,
+    solve_game,
+)
+from repro.equilibria import (
+    edge_to_tuple,
+    is_kmatching_nash,
+    matching_equilibrium,
+    tuple_to_edge,
+)
+from repro.graphs.generators import random_bipartite_graph
+from repro.matching.covers import minimum_edge_cover_size
+from repro.matching.partition import bipartite_partition, is_valid_partition
+from repro.solvers.lp import solve_minimax
+
+NU = 4
+
+graph = random_bipartite_graph(4, 7, 0.35, seed=11)
+rho = minimum_edge_cover_size(graph)
+print(f"running example: bipartite network, n={graph.n}, m={graph.m}, "
+      f"rho(G)={rho}, nu={NU} attackers\n")
+
+# --- Theorem 3.1: pure NE iff an edge cover of size k exists ------------
+print("Theorem 3.1 / Corollaries 3.2-3.3 — pure equilibria")
+for k in (rho - 1, rho):
+    game = TupleGame(graph, k, nu=NU)
+    exists = pure_nash_exists(game)
+    print(f"  k={k}: pure NE exists = {exists} (threshold is rho={rho})")
+    if exists:
+        config = find_pure_nash(game)
+        assert is_pure_nash(game, config)
+        print(f"         constructed and verified; defender catches all {NU}")
+
+# --- Corollary 4.11 / Theorem 2.2: the IS/VC partition -------------------
+print("\nCorollary 4.11 — the IS/VC characterization")
+independent, cover = bipartite_partition(graph)
+assert is_valid_partition(graph, independent)
+print(f"  Koenig partition: |IS|={len(independent)} (= rho, always), "
+      f"|VC|={len(cover)}")
+
+# --- Theorem 4.12/5.1: Algorithm A_tuple ---------------------------------
+K = max(2, rho // 2)
+print(f"\nTheorems 4.12 + 5.1 — Algorithm A_tuple at k={K}")
+game = TupleGame(graph, K, nu=NU)
+result = solve_game(game)
+assert result.kind == "k-matching"
+assert is_kmatching_nash(game, result.mixed)
+report = check_characterization(game, result.mixed)
+assert report.is_nash
+print(f"  k-matching NE computed; all six Theorem 3.4 clauses verified")
+print(f"  defender gain = {result.defender_gain:.4f} = k*nu/rho "
+      f"= {K}*{NU}/{rho}")
+
+# --- Theorem 4.5: the reduction and the gain law --------------------------
+print("\nTheorem 4.5 — reduction to and from the Edge model")
+edge_game = TupleGame(graph, 1, nu=NU)
+edge_ne = matching_equilibrium(edge_game)
+lifted = edge_to_tuple(edge_game, edge_ne, K)
+flattened = tuple_to_edge(game, result.mixed)
+ratio = expected_profit_tp(lifted) / expected_profit_tp(edge_ne)
+print(f"  IP_tp(Pi_k) / IP_tp(Pi_1) = {ratio:.4f} (= k = {K})")
+assert abs(ratio - K) < 1e-9
+print(f"  round trip recovers the Edge-model supports: "
+      f"{flattened.tp_support_edges() == edge_ne.tp_support_edges()}")
+
+# --- The headline: linear gain, cross-checked by LP ----------------------
+print("\nSection 1.2 headline — the power of the defender is linear in k")
+for k in range(1, rho + 1):
+    g = TupleGame(graph, k, nu=NU)
+    structural = solve_game(g).defender_gain
+    lp = (NU * solve_minimax(g).value
+          if g.tuple_strategy_count() <= 30_000 else None)
+    lp_text = f"  LP agrees: {lp:.4f}" if lp is not None else ""
+    print(f"  k={k}: gain = {structural:.4f}{lp_text}")
+print(f"\nslope: {NU}/{rho} = {NU / rho:.4f} extra expected catches per "
+      "unit of defender power — every link the scanner can watch buys "
+      "the same protection.")

@@ -1,0 +1,54 @@
+"""Topology mitigation: subdividing links makes any network defensible.
+
+Some topologies resist the paper's constructive machinery entirely —
+the "house" network below (a 5-ring with one chord) has no IS/VC
+partition, no perfect matching, and no usable symmetry, so none of the
+library's structural constructions produce an equilibrium.
+
+An architectural fix: put a relay (a bastion or inline monitor) on every
+link.  Subdivision makes any graph bipartite, and bipartite networks
+always admit k-matching equilibria computable in polynomial time
+(Theorem 5.1).  This script shows the before/after, including what the
+defender's guarantee becomes on the relayed network.
+
+Run:  python examples/topology_mitigation.py
+"""
+
+from repro import NoEquilibriumFoundError, TupleGame, solve_game
+from repro.analysis.tables import Table
+from repro.graphs.core import Graph
+from repro.graphs.properties import is_bipartite
+from repro.graphs.transform import subdivide
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.lp import solve_minimax
+
+house = Graph([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+print(f"original network: n={house.n}, m={house.m}, "
+      f"bipartite={is_bipartite(house)}")
+
+# --- Before: the structural machinery declines --------------------------
+for k in (1, 2):
+    try:
+        solve_game(TupleGame(house, k, nu=1))
+        print(f"  k={k}: solved (unexpected)")
+    except NoEquilibriumFoundError:
+        value = solve_minimax(TupleGame(house, k, nu=1)).value
+        print(f"  k={k}: no structural equilibrium; LP-only value = {value:.4f}")
+
+# --- After: relay every link --------------------------------------------
+relayed = subdivide(house)
+rho = minimum_edge_cover_size(relayed)
+print(f"\nrelayed network: n={relayed.n}, m={relayed.m}, "
+      f"bipartite={is_bipartite(relayed)}, rho={rho}")
+
+table = Table(["k", "equilibrium", "interception per attacker"])
+for k in range(1, rho + 1):
+    result = solve_game(TupleGame(relayed, k, nu=1), allow_extensions=False)
+    table.add_row([k, result.kind, result.defender_gain])
+print(table.render(title="defense profile of the relayed network "
+                         "(paper machinery only)"))
+
+print("\ntakeaway: adding relays trades a larger attack surface "
+      f"(rho grows to {rho})")
+print("for *constructive, polynomial-time* defense schedules on every")
+print("budget k — Theorem 5.1 applies to any subdivided topology.")

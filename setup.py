@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments whose setuptools predates bundled bdist_wheel support
+(legacy ``pip install -e . --no-build-isolation`` / ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

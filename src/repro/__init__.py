@@ -1,0 +1,84 @@
+"""repro — a full reproduction of *The Power of the Defender* (ICDCS 2006).
+
+The package implements the Tuple-model network security game ``Π_k(G)``:
+``ν`` attackers each pick a vertex of a graph, one defender picks a tuple
+of ``k`` distinct edges and catches every attacker standing on an endpoint.
+It provides, from scratch:
+
+* the game, its configurations and profit functionals
+  (:mod:`repro.core`);
+* the complete Nash-equilibrium theory of the paper — pure equilibria
+  (Theorem 3.1), the mixed characterization (Theorem 3.4), k-matching
+  equilibria, Algorithm ``A_tuple`` and the Theorem 4.5 reduction
+  (:mod:`repro.equilibria`);
+* the graph/matching substrate that makes it all polynomial
+  (:mod:`repro.graphs`, :mod:`repro.matching`);
+* unstructured baselines (exact LP minimax, fictitious play,
+  coverage best response — :mod:`repro.solvers`);
+* a Monte-Carlo playout engine (:mod:`repro.simulation`) and analysis
+  helpers (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import TupleGame, solve_game
+>>> from repro.graphs.generators import complete_bipartite_graph
+>>> game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=5)
+>>> result = solve_game(game)
+>>> result.kind
+'k-matching'
+>>> round(result.defender_gain, 6)   # k * nu / rho(G) = 2*5/4
+2.5
+"""
+
+from repro.core import (
+    MixedConfiguration,
+    PureConfiguration,
+    GameError,
+    TupleGame,
+    check_characterization,
+    expected_profit_tp,
+    expected_profit_vp,
+    find_pure_nash,
+    is_mixed_nash,
+    is_pure_nash,
+    pure_nash_exists,
+    verify_best_responses,
+)
+from repro.equilibria import (
+    NoEquilibriumFoundError,
+    SolveResult,
+    algorithm_a,
+    algorithm_a_tuple,
+    edge_to_tuple,
+    matching_equilibrium,
+    solve_game,
+    tuple_to_edge,
+)
+from repro.graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MixedConfiguration",
+    "PureConfiguration",
+    "GameError",
+    "TupleGame",
+    "check_characterization",
+    "expected_profit_tp",
+    "expected_profit_vp",
+    "find_pure_nash",
+    "is_mixed_nash",
+    "is_pure_nash",
+    "pure_nash_exists",
+    "verify_best_responses",
+    "NoEquilibriumFoundError",
+    "SolveResult",
+    "algorithm_a",
+    "algorithm_a_tuple",
+    "edge_to_tuple",
+    "matching_equilibrium",
+    "solve_game",
+    "tuple_to_edge",
+    "Graph",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Price of Defense: how far an equilibrium sits from full protection.
+
+A natural quality measure for the equilibria of the paper (studied for
+this game family in the authors' follow-up literature): the **Price of
+Defense** of an equilibrium is ``ν / IP_tp`` — how many attackers roam per
+attacker caught.  Smaller is better; ``1`` means total interception (the
+pure regime).  At the structural equilibria of Section 4 it has the clean
+closed form ``ρ(G) / k``, independent of ``ν`` — the dual reading of the
+paper's linear gain law: doubling the defender's power halves the price.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.game import TupleGame
+from repro.equilibria.solve import SolveResult, solve_game
+from repro.graphs.core import Graph
+from repro.matching.covers import minimum_edge_cover_size
+
+__all__ = ["price_of_defense", "predicted_price_of_defense", "defense_profile", "DefensePoint"]
+
+
+def price_of_defense(game: TupleGame, result: SolveResult) -> float:
+    """``ν / IP_tp`` at a solved equilibrium."""
+    if result.defender_gain <= 0:
+        raise ValueError("price of defense undefined for zero defender gain")
+    return game.nu / result.defender_gain
+
+
+def predicted_price_of_defense(graph: Graph, k: int) -> float:
+    """The closed form ``max(1, ρ(G)/k)`` for the structural equilibria."""
+    return max(1.0, minimum_edge_cover_size(graph) / k)
+
+
+class DefensePoint:
+    """One row of a defense profile: k vs price."""
+
+    __slots__ = ("k", "kind", "price", "predicted")
+
+    def __init__(self, k: int, kind: str, price: float, predicted: float) -> None:
+        self.k = k
+        self.kind = kind
+        self.price = price
+        self.predicted = predicted
+
+    def __repr__(self) -> str:
+        return f"DefensePoint(k={self.k}, price={self.price:.4f})"
+
+
+def defense_profile(
+    graph: Graph, nu: int, ks: Iterable[int] = None, seed: int = 0
+) -> List[DefensePoint]:
+    """Sweep ``k`` and report the price of defense at each equilibrium.
+
+    Uses the full solver (paper machinery plus extension families); the
+    ``predicted`` column is the ``ρ/k`` closed form, which matches
+    whenever the equilibrium kind preserves the gain law.
+    """
+    rho = minimum_edge_cover_size(graph)
+    if ks is None:
+        ks = range(1, min(rho + 1, graph.m + 1))
+    points: List[DefensePoint] = []
+    for k in ks:
+        game = TupleGame(graph, k, nu)
+        result = solve_game(game, seed=seed)
+        points.append(
+            DefensePoint(
+                k,
+                result.kind,
+                price_of_defense(game, result),
+                predicted_price_of_defense(graph, k),
+            )
+        )
+    return points

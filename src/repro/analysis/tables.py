@@ -1,0 +1,72 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every experiment in EXPERIMENTS.md regenerates its rows through this tiny
+formatter, so the printed output of ``pytest benchmarks/`` is uniform and
+diff-able against the recorded tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "format_number"]
+
+Cell = Union[str, int, float]
+
+
+def format_number(value: Cell, precision: int = 4) -> str:
+    """Render a cell: floats to fixed precision, ints verbatim."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    Examples
+    --------
+    >>> t = Table(["k", "gain"])
+    >>> t.add_row([1, 0.5])
+    >>> print(t.render())
+    k | gain
+    --+-------
+    1 | 0.5000
+    """
+
+    def __init__(self, headers: Sequence[str], precision: int = 4) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+        self.precision = precision
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; must match the header arity."""
+        rendered = [format_number(c, self.precision) for c in cells]
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self, title: str = "") -> str:
+        """The formatted table (optionally preceded by a title line)."""
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in self.rows
+        ]
+        lines = ([title] if title else []) + [header, rule] + body
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

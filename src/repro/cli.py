@@ -1,0 +1,342 @@
+"""Command-line interface: solve defender games on graphs from disk.
+
+Usage examples (after ``pip install -e .``)::
+
+    repro-defender info network.edges
+    repro-defender solve network.edges -k 3 --nu 5
+    repro-defender pure network.edges -k 8
+    repro-defender gain network.edges --nu 4 --lp
+    repro-defender simulate network.edges -k 2 --nu 3 --trials 20000
+
+Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
+documents — see :mod:`repro.graphs.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.gain import fit_slope_through_origin, gain_curve
+from repro.analysis.tables import Table
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp, hit_probability
+from repro.core.pure import find_pure_nash, pure_nash_exists
+from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
+from repro.graphs.core import Graph, vertex_sort_key
+from repro.graphs.io import load_graph
+from repro.graphs.properties import is_bipartite
+from repro.matching.blossom import matching_number
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.engine import simulate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-defender",
+        description=(
+            "Nash equilibria of the Tuple-model network security game "
+            "('The Power of the Defender', ICDCS 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help="edge-list or .json graph file")
+
+    p_info = sub.add_parser("info", help="structural summary of a graph")
+    add_graph(p_info)
+
+    p_pure = sub.add_parser("pure", help="pure NE existence and construction")
+    add_graph(p_pure)
+    p_pure.add_argument("-k", type=int, required=True, help="defender power")
+    p_pure.add_argument("--nu", type=int, default=1, help="number of attackers")
+
+    p_solve = sub.add_parser("solve", help="compute an equilibrium")
+    add_graph(p_solve)
+    p_solve.add_argument("-k", type=int, required=True)
+    p_solve.add_argument("--nu", type=int, default=1)
+    p_solve.add_argument("--seed", type=int, default=0)
+
+    p_gain = sub.add_parser("gain", help="defender gain vs k sweep")
+    add_graph(p_gain)
+    p_gain.add_argument("--nu", type=int, default=1)
+    p_gain.add_argument("--lp", action="store_true", help="cross-check with exact LP")
+    p_gain.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="Monte-Carlo validation of an equilibrium")
+    add_graph(p_sim)
+    p_sim.add_argument("-k", type=int, required=True)
+    p_sim.add_argument("--nu", type=int, default=1)
+    p_sim.add_argument("--trials", type=int, default=10_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_report = sub.add_parser("report", help="full security report for a network")
+    add_graph(p_report)
+    p_report.add_argument("-k", type=int, required=True)
+    p_report.add_argument("--nu", type=int, default=1)
+    p_report.add_argument("--trials", type=int, default=20_000)
+    p_report.add_argument("--seed", type=int, default=0)
+
+    p_export = sub.add_parser(
+        "export", help="solve and write the scan schedule as a JSON document"
+    )
+    add_graph(p_export)
+    p_export.add_argument("-k", type=int, required=True)
+    p_export.add_argument("--nu", type=int, default=1)
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.add_argument("-o", "--output", required=True,
+                          help="path for the JSON schedule document")
+
+    p_shapes = sub.add_parser(
+        "shapes", help="compare defender shapes (tuple vs path vs star)"
+    )
+    add_graph(p_shapes)
+    p_shapes.add_argument("-k", type=int, required=True)
+
+    p_ranges = sub.add_parser(
+        "ranges",
+        help="probe the optimal polytopes: usable attack hosts, "
+             "mandatory scan links",
+    )
+    add_graph(p_ranges)
+    p_ranges.add_argument("-k", type=int, required=True)
+
+    p_adaptive = sub.add_parser(
+        "redteam", help="run a no-regret red-team drill against the "
+                        "equilibrium schedule"
+    )
+    add_graph(p_adaptive)
+    p_adaptive.add_argument("-k", type=int, required=True)
+    p_adaptive.add_argument("--rounds", type=int, default=8_000)
+    p_adaptive.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_info(graph: Graph) -> int:
+    rho = minimum_edge_cover_size(graph)
+    table = Table(["property", "value"])
+    table.add_row(["vertices (n)", graph.n])
+    table.add_row(["edges (m)", graph.m])
+    table.add_row(["bipartite", is_bipartite(graph)])
+    table.add_row(["maximum matching ν(G)", matching_number(graph)])
+    table.add_row(["minimum edge cover ρ(G)", rho])
+    table.add_row(["pure NE exists iff k ≥", rho])
+    print(table.render())
+    return 0
+
+
+def _cmd_pure(graph: Graph, k: int, nu: int) -> int:
+    game = TupleGame(graph, k, nu)
+    if not pure_nash_exists(game):
+        rho = minimum_edge_cover_size(graph)
+        print(
+            f"no pure NE: k={k} < minimum edge cover ρ(G)={rho} (Theorem 3.1)"
+        )
+        return 1
+    pure = find_pure_nash(game)
+    assert pure is not None
+    print(f"pure NE exists (Theorem 3.1); defender gain = ν = {nu}")
+    print("defender cover:", " ".join(f"{u}-{v}" for u, v in pure.tuple_choice))
+    return 0
+
+
+def _cmd_solve(graph: Graph, k: int, nu: int, seed: int) -> int:
+    game = TupleGame(graph, k, nu)
+    try:
+        result = solve_game(game, seed=seed)
+    except NoEquilibriumFoundError as exc:
+        print(f"no structural equilibrium: {exc}")
+        return 1
+    print(f"equilibrium kind : {result.kind}")
+    print(f"defender gain    : {result.defender_gain:.6f}")
+    if result.kind == "k-matching":
+        config = result.mixed
+        support = sorted(config.vp_support_union(), key=vertex_sort_key)
+        hit = hit_probability(config, support[0])
+        print(f"attacker support : {support}")
+        print(f"defender tuples  : {len(config.tp_support())}")
+        print(f"hit probability  : {hit:.6f} (= k/ρ(G))")
+    return 0
+
+
+def _cmd_gain(graph: Graph, nu: int, lp: bool, seed: int) -> int:
+    points = gain_curve(graph, nu, include_lp=lp, seed=seed)
+    headers = ["k", "kind", "gain"] + (["lp_gain"] if lp else [])
+    table = Table(headers)
+    for p in points:
+        row: List = [p.k, p.kind, p.gain]
+        if lp:
+            row.append("-" if p.lp_gain is None else p.lp_gain)
+        table.add_row(row)
+    print(table.render(title=f"defender gain vs k (nu={nu})"))
+    mixed = [p for p in points if p.kind == "k-matching"]
+    if mixed:
+        slope = fit_slope_through_origin(mixed)
+        print(f"fitted slope through origin: {slope:.6f} "
+              f"(theory: ν/ρ = {nu / minimum_edge_cover_size(graph):.6f})")
+    return 0
+
+
+def _cmd_simulate(graph: Graph, k: int, nu: int, trials: int, seed: int) -> int:
+    game = TupleGame(graph, k, nu)
+    try:
+        result = solve_game(game, seed=seed)
+    except NoEquilibriumFoundError as exc:
+        print(f"no structural equilibrium: {exc}")
+        return 1
+    report = simulate(game, result.mixed, trials=trials, seed=seed)
+    analytic = expected_profit_tp(result.mixed)
+    low, high = report.defender_profit.confidence_interval()
+    print(f"equilibrium kind        : {result.kind}")
+    print(f"analytic defender gain  : {analytic:.6f}")
+    print(
+        f"simulated defender gain : {report.defender_profit.mean:.6f} "
+        f"(95% CI [{low:.6f}, {high:.6f}], {trials} trials)"
+    )
+    inside = low <= analytic <= high
+    print(f"analytic value inside CI: {'yes' if inside else 'no'}")
+    return 0
+
+
+def _cmd_report(graph: Graph, k: int, nu: int, trials: int, seed: int) -> int:
+    from repro.analysis.report import security_report
+
+    try:
+        print(security_report(graph, k, nu=nu, trials=trials, seed=seed))
+    except NoEquilibriumFoundError as exc:
+        print(f"no structural equilibrium at the operating point: {exc}")
+        return 1
+    return 0
+
+
+def _cmd_export(graph: Graph, k: int, nu: int, seed: int, output: str) -> int:
+    from pathlib import Path
+
+    from repro.core.serialize import solve_result_to_json
+
+    try:
+        result = solve_game(TupleGame(graph, k, nu), seed=seed)
+    except NoEquilibriumFoundError as exc:
+        print(f"no structural equilibrium: {exc}")
+        return 1
+    Path(output).write_text(solve_result_to_json(result) + "\n")
+    print(f"wrote {result.kind} schedule (gain {result.defender_gain:.4f}) "
+          f"to {output}")
+    return 0
+
+
+def _cmd_shapes(graph: Graph, k: int) -> int:
+    from repro.models.families import KPathFamily, KStarFamily, KTupleFamily
+    from repro.models.game import GeneralizedGame
+
+    table = Table(["family", "strategies", "duel value", "vs tuple"])
+    reference = None
+    for family in (KTupleFamily(k), KStarFamily(k), KPathFamily(k)):
+        try:
+            game = GeneralizedGame(graph, family, nu=1)
+            value = game.solve_minimax().value
+        except GameError as exc:
+            table.add_row([family.name, "-", f"({exc})", "-"])
+            continue
+        if reference is None:
+            reference = value
+        table.add_row([
+            family.name, game.strategy_count(), value,
+            f"{100 * value / reference:.1f}%",
+        ])
+    print(table.render(title=f"defender shape comparison at k={k}"))
+    return 0
+
+
+def _cmd_ranges(graph: Graph, k: int) -> int:
+    from repro.solvers.ranges import attacker_vertex_ranges, defender_edge_ranges
+
+    game = TupleGame(graph, k, nu=1)
+    attacker = attacker_vertex_ranges(game)
+    defender = defender_edge_ranges(game)
+    print(f"duel value (per attacker): {attacker.value:.6f}\n")
+
+    v_table = Table(["host", "attack prob min", "attack prob max"])
+    for v in graph.sorted_vertices():
+        low, high = attacker.ranges[v]
+        v_table.add_row([str(v), low, high])
+    print(v_table.render(title="attacker probability ranges over all optima"))
+
+    e_table = Table(["link", "scan prob min", "scan prob max"])
+    for e in graph.sorted_edges():
+        low, high = defender.ranges[e]
+        e_table.add_row([f"{e[0]}-{e[1]}", low, high])
+    print()
+    print(e_table.render(title="defender marginal scan ranges over all optima"))
+    mandatory = defender.required()
+    if mandatory:
+        print("\nmandatory links (positive in every optimal schedule): "
+              + ", ".join(f"{u}-{v}" for u, v in mandatory))
+    return 0
+
+
+def _cmd_redteam(graph: Graph, k: int, rounds: int, seed: int) -> int:
+    from repro.matching.covers import minimum_edge_cover_size as _rho
+    from repro.simulation.adaptive import exploit_gap, regret_matching_attack
+
+    game = TupleGame(graph, k, nu=1)
+    try:
+        result = solve_game(game)
+    except NoEquilibriumFoundError as exc:
+        print(f"no structural equilibrium: {exc}")
+        return 1
+    drill = regret_matching_attack(game, result.mixed, rounds=rounds, seed=seed)
+    rho = _rho(graph)
+    value = min(1.0, k / rho)
+    gap = exploit_gap(drill, value)
+    print(f"schedule            : {result.kind} equilibrium")
+    print(f"rounds probed       : {drill.rounds}")
+    print(f"red-team escape rate: {drill.escape_rate:.4f}")
+    print(f"theoretical cap     : {1 - value:.4f} (1 - k/rho)")
+    print(f"exploit gap         : {gap:+.4f}")
+    verdict = "schedule holds" if gap < 0.05 else "SCHEDULE EXPLOITED"
+    print(f"verdict             : {verdict}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        graph = load_graph(args.graph)
+        if args.command == "info":
+            return _cmd_info(graph)
+        if args.command == "pure":
+            return _cmd_pure(graph, args.k, args.nu)
+        if args.command == "solve":
+            return _cmd_solve(graph, args.k, args.nu, args.seed)
+        if args.command == "gain":
+            return _cmd_gain(graph, args.nu, args.lp, args.seed)
+        if args.command == "simulate":
+            return _cmd_simulate(graph, args.k, args.nu, args.trials, args.seed)
+        if args.command == "report":
+            return _cmd_report(graph, args.k, args.nu, args.trials, args.seed)
+        if args.command == "export":
+            return _cmd_export(graph, args.k, args.nu, args.seed, args.output)
+        if args.command == "shapes":
+            return _cmd_shapes(graph, args.k)
+        if args.command == "ranges":
+            return _cmd_ranges(graph, args.k)
+        if args.command == "redteam":
+            return _cmd_redteam(graph, args.k, args.rounds, args.seed)
+        parser.error(f"unknown command {args.command!r}")
+    except (GameError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

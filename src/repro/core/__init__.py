@@ -1,0 +1,93 @@
+"""Game core: the Tuple model ``Π_k(G)``, its configurations and profits.
+
+This package is the paper's primary object of study — Definition 2.1,
+the profit functionals (equations (1)–(2)), pure Nash equilibria
+(Theorem 3.1) and the mixed-NE characterization (Theorem 3.4).
+"""
+
+from repro.core.characterization import (
+    CharacterizationReport,
+    check_characterization,
+    is_mixed_nash,
+    verify_best_responses,
+)
+from repro.core.configuration import PROB_TOL, MixedConfiguration, PureConfiguration
+from repro.core.deviation import (
+    AttackerDeviation,
+    DefenderDeviation,
+    best_attacker_deviation,
+    best_defender_deviation,
+    exploitability,
+)
+from repro.core.serialize import (
+    configuration_from_json,
+    configuration_to_json,
+    solve_result_to_json,
+)
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import (
+    all_hit_probabilities,
+    all_vertex_masses,
+    edge_mass,
+    expected_profit_tp,
+    expected_profit_vp,
+    hit_probability,
+    pure_profit_tp,
+    pure_profit_vp,
+    tuple_mass,
+    vertex_mass,
+)
+from repro.core.pure import (
+    edge_cover_of_size,
+    find_pure_nash,
+    is_pure_nash,
+    pure_nash_exists,
+)
+from repro.core.tuples import (
+    EdgeTuple,
+    all_tuples,
+    canonical_tuple,
+    count_tuples,
+    tuple_edges,
+    tuple_vertices,
+)
+
+__all__ = [
+    "CharacterizationReport",
+    "check_characterization",
+    "is_mixed_nash",
+    "verify_best_responses",
+    "PROB_TOL",
+    "MixedConfiguration",
+    "PureConfiguration",
+    "AttackerDeviation",
+    "DefenderDeviation",
+    "best_attacker_deviation",
+    "best_defender_deviation",
+    "exploitability",
+    "configuration_from_json",
+    "configuration_to_json",
+    "solve_result_to_json",
+    "GameError",
+    "TupleGame",
+    "all_hit_probabilities",
+    "all_vertex_masses",
+    "edge_mass",
+    "expected_profit_tp",
+    "expected_profit_vp",
+    "hit_probability",
+    "pure_profit_tp",
+    "pure_profit_vp",
+    "tuple_mass",
+    "vertex_mass",
+    "edge_cover_of_size",
+    "find_pure_nash",
+    "is_pure_nash",
+    "pure_nash_exists",
+    "EdgeTuple",
+    "all_tuples",
+    "canonical_tuple",
+    "count_tuples",
+    "tuple_edges",
+    "tuple_vertices",
+]

@@ -1,0 +1,266 @@
+"""Pure and mixed configurations (strategy profiles) of ``Π_k(G)``.
+
+Definition 2.1 calls a strategy profile a *configuration*: one vertex per
+vertex player plus one k-edge tuple for the tuple player.  A *mixed*
+configuration replaces each choice with a probability distribution.  This
+module provides validated, immutable containers for both, together with the
+support notation of the paper:
+
+* ``D_s(vp_i)`` — :meth:`MixedConfiguration.vp_support`;
+* ``D_s(VP) = ∪_i D_s(vp_i)`` — :meth:`MixedConfiguration.vp_support_union`;
+* ``D_s(tp)`` — :meth:`MixedConfiguration.tp_support`;
+* ``E(D_s(tp))`` — :meth:`MixedConfiguration.tp_support_edges`;
+* ``Tuples_s(v)`` — :meth:`MixedConfiguration.tuples_containing`.
+
+Probabilities are floats; constructors verify non-negativity and unit mass
+(within ``PROB_TOL``) and renormalize exactly so that downstream payoff
+algebra can assume clean distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
+from repro.graphs.core import Edge, Vertex, vertex_sort_key
+
+__all__ = ["PureConfiguration", "MixedConfiguration", "PROB_TOL"]
+
+PROB_TOL = 1e-9
+"""Tolerance used when validating that probabilities sum to one."""
+
+
+class PureConfiguration:
+    """A pure strategy profile ``(s_1, ..., s_ν, s_tp)``.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import path_graph
+    >>> from repro.core.game import TupleGame
+    >>> game = TupleGame(path_graph(4), k=2, nu=2)
+    >>> config = PureConfiguration(game, [1, 3], [(0, 1), (2, 3)])
+    >>> config.tuple_choice
+    ((0, 1), (2, 3))
+    """
+
+    __slots__ = ("game", "vertex_choices", "tuple_choice")
+
+    def __init__(
+        self,
+        game: TupleGame,
+        vertex_choices: Sequence[Vertex],
+        tuple_choice: Iterable[Edge],
+    ) -> None:
+        choices = tuple(vertex_choices)
+        if len(choices) != game.nu:
+            raise GameError(
+                f"expected {game.nu} vertex choices, got {len(choices)}"
+            )
+        for v in choices:
+            if not game.graph.has_vertex(v):
+                raise GameError(f"vertex choice {v!r} is not a vertex of the graph")
+        canon = canonical_tuple(tuple_choice)
+        if len(canon) != game.k:
+            raise GameError(
+                f"the tuple player must pick exactly k={game.k} edges; got {len(canon)}"
+            )
+        for e in canon:
+            if e not in game.graph.edges():
+                raise GameError(f"tuple edge {e!r} is not an edge of the graph")
+        self.game = game
+        self.vertex_choices: Tuple[Vertex, ...] = choices
+        self.tuple_choice: EdgeTuple = canon
+
+    def covered_vertices(self) -> FrozenSet[Vertex]:
+        """``V(s_tp)`` — endpoints protected by the defender's choice."""
+        return tuple_vertices(self.tuple_choice)
+
+    def __repr__(self) -> str:
+        return (
+            f"PureConfiguration(vertices={self.vertex_choices!r}, "
+            f"tuple={self.tuple_choice!r})"
+        )
+
+
+def _validated_distribution(
+    raw: Mapping, kind: str
+) -> Dict:
+    """Drop zero entries, verify positivity and unit mass, renormalize."""
+    support = {s: float(p) for s, p in raw.items() if p != 0.0}
+    if not support:
+        raise GameError(f"{kind} distribution has empty support")
+    # NaN compares false to everything, so an explicit finiteness check is
+    # required — otherwise a NaN probability would sail through both the
+    # negativity and the unit-mass comparisons below.
+    bad = [s for s, p in support.items() if not math.isfinite(p)]
+    if bad:
+        raise GameError(f"{kind} distribution has non-finite probabilities: {bad!r}")
+    negative = [s for s, p in support.items() if p < 0.0]
+    if negative:
+        raise GameError(f"{kind} distribution has negative probabilities: {negative!r}")
+    total = sum(support.values())
+    if abs(total - 1.0) > PROB_TOL * max(1.0, len(support)):
+        raise GameError(
+            f"{kind} distribution must sum to 1; got {total!r}"
+        )
+    return {s: p / total for s, p in support.items()}
+
+
+class MixedConfiguration:
+    """A mixed strategy profile for ``Π_k(G)``.
+
+    Parameters
+    ----------
+    game:
+        The instance this profile belongs to.
+    vp_distributions:
+        One ``{vertex: probability}`` mapping per vertex player (length
+        ``ν``).  Zero entries are dropped; the rest must be positive and
+        sum to one.
+    tp_distribution:
+        ``{edge-tuple: probability}`` for the tuple player.  Keys may be
+        any iterables of edges; they are canonicalized (and must therefore
+        be distinct as edge sets).
+    """
+
+    __slots__ = ("game", "_vp", "_tp", "_tuples_by_vertex")
+
+    def __init__(
+        self,
+        game: TupleGame,
+        vp_distributions: Sequence[Mapping[Vertex, float]],
+        tp_distribution: Mapping[Iterable[Edge], float],
+    ) -> None:
+        if len(vp_distributions) != game.nu:
+            raise GameError(
+                f"expected {game.nu} vertex-player distributions, "
+                f"got {len(vp_distributions)}"
+            )
+        vp: List[Dict[Vertex, float]] = []
+        for i, dist in enumerate(vp_distributions):
+            clean = _validated_distribution(dist, f"vertex player {i}")
+            for v in clean:
+                if not game.graph.has_vertex(v):
+                    raise GameError(
+                        f"vertex player {i} assigns probability to non-vertex {v!r}"
+                    )
+            vp.append(clean)
+
+        tp_raw: Dict[EdgeTuple, float] = {}
+        for t, p in tp_distribution.items():
+            canon = canonical_tuple(t)
+            if len(canon) != game.k:
+                raise GameError(
+                    f"tuple {canon!r} has {len(canon)} edges; the game requires k={game.k}"
+                )
+            for e in canon:
+                if e not in game.graph.edges():
+                    raise GameError(f"tuple edge {e!r} is not an edge of the graph")
+            if canon in tp_raw:
+                raise GameError(f"tuple {canon!r} appears twice in the distribution")
+            tp_raw[canon] = p
+        tp = _validated_distribution(tp_raw, "tuple player")
+
+        self.game = game
+        self._vp: Tuple[Dict[Vertex, float], ...] = tuple(vp)
+        self._tp: Dict[EdgeTuple, float] = tp
+
+        # Tuples_s(v): the support tuples covering each vertex, precomputed
+        # because hit probabilities query it repeatedly.
+        tuples_by_vertex: Dict[Vertex, List[EdgeTuple]] = {}
+        for t in self._tp:
+            for v in tuple_vertices(t):
+                tuples_by_vertex.setdefault(v, []).append(t)
+        self._tuples_by_vertex = tuples_by_vertex
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pure(cls, pure: PureConfiguration) -> "MixedConfiguration":
+        """Degenerate mixed configuration concentrating on a pure profile."""
+        return cls(
+            pure.game,
+            [{v: 1.0} for v in pure.vertex_choices],
+            {pure.tuple_choice: 1.0},
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        game: TupleGame,
+        vp_support: Iterable[Vertex],
+        tp_support: Iterable[Iterable[Edge]],
+    ) -> "MixedConfiguration":
+        """The uniform profile of Lemma 4.1 / Lemma 2.1.
+
+        Every vertex player plays uniformly on the same ``vp_support``;
+        the tuple player plays uniformly on ``tp_support``.
+        """
+        vertices = sorted(set(vp_support), key=vertex_sort_key)
+        if not vertices:
+            raise GameError("vp_support must be non-empty")
+        vp_dist = {v: 1.0 / len(vertices) for v in vertices}
+        tuples = sorted({canonical_tuple(t) for t in tp_support})
+        if not tuples:
+            raise GameError("tp_support must be non-empty")
+        tp_dist = {t: 1.0 / len(tuples) for t in tuples}
+        return cls(game, [vp_dist] * game.nu, tp_dist)
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def prob_vp(self, i: int, v: Vertex) -> float:
+        """``P_s(vp_i, v)``."""
+        return self._vp[i].get(v, 0.0)
+
+    def prob_tp(self, t: Iterable[Edge]) -> float:
+        """``P_s(tp, t)``."""
+        return self._tp.get(canonical_tuple(t), 0.0)
+
+    def vp_distribution(self, i: int) -> Mapping[Vertex, float]:
+        """Read-only view of vertex player ``i``'s distribution."""
+        return dict(self._vp[i])
+
+    def tp_distribution(self) -> Mapping[EdgeTuple, float]:
+        """Read-only view of the tuple player's distribution."""
+        return dict(self._tp)
+
+    # ------------------------------------------------------------------
+    # Supports
+    # ------------------------------------------------------------------
+    def vp_support(self, i: int) -> FrozenSet[Vertex]:
+        """``D_s(vp_i)``."""
+        return frozenset(self._vp[i])
+
+    def vp_support_union(self) -> FrozenSet[Vertex]:
+        """``D_s(VP) = ∪_i D_s(vp_i)``."""
+        union: set = set()
+        for dist in self._vp:
+            union.update(dist)
+        return frozenset(union)
+
+    def tp_support(self) -> FrozenSet[EdgeTuple]:
+        """``D_s(tp)``."""
+        return frozenset(self._tp)
+
+    def tp_support_edges(self) -> FrozenSet[Edge]:
+        """``E(D_s(tp))`` — union of the support tuples' edges."""
+        return frozenset(e for t in self._tp for e in t)
+
+    def tp_support_vertices(self) -> FrozenSet[Vertex]:
+        """``V(D_s(tp))`` — vertices covered by some support tuple."""
+        return frozenset(self._tuples_by_vertex)
+
+    def tuples_containing(self, v: Vertex) -> Tuple[EdgeTuple, ...]:
+        """``Tuples_s(v)``: support tuples with ``v`` among their endpoints."""
+        return tuple(self._tuples_by_vertex.get(v, ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"MixedConfiguration(nu={self.game.nu}, "
+            f"vp_support={len(self.vp_support_union())}, "
+            f"tp_support={len(self._tp)})"
+        )

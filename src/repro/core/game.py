@@ -1,0 +1,122 @@
+"""The Tuple-model game ``Π_k(G)`` (Definition 2.1).
+
+A game instance bundles the graph, the defender's power ``k`` (how many
+edges the tuple player scans) and the number ``ν`` of vertex players
+(attackers).  The object is immutable; configurations and equilibria refer
+back to it for validation and payoff computation.
+
+For ``k = 1`` the instance *is* an Edge-model instance ``Π_1(G)`` (Remark
+after Definition 2.1); :meth:`TupleGame.edge_game` produces that restriction
+explicitly, which the reduction of Theorem 4.5 uses.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.graphs.core import Graph, GraphError, Vertex
+from repro.core.tuples import count_tuples
+
+__all__ = ["TupleGame", "GameError"]
+
+
+class GameError(ValueError):
+    """Raised for invalid game parameters or malformed configurations."""
+
+
+class TupleGame:
+    """An instance ``Π_k(G)`` of the Tuple model.
+
+    Parameters
+    ----------
+    graph:
+        The network; must have no isolated vertices and at least one edge.
+    k:
+        Defender power: number of distinct edges per defender strategy,
+        ``1 ≤ k ≤ m``.
+    nu:
+        Number of vertex players (attackers), ``ν ≥ 1``.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import path_graph
+    >>> game = TupleGame(path_graph(4), k=2, nu=3)
+    >>> game.k, game.nu, game.n, game.m
+    (2, 3, 4, 3)
+    """
+
+    __slots__ = ("_graph", "_k", "_nu")
+
+    def __init__(self, graph: Graph, k: int, nu: int = 1) -> None:
+        try:
+            graph.validate_for_game()
+        except GraphError as exc:
+            raise GameError(f"invalid game graph: {exc}") from exc
+        if not isinstance(k, int) or not 1 <= k <= graph.m:
+            raise GameError(f"k must be an integer with 1 <= k <= m={graph.m}; got {k!r}")
+        if not isinstance(nu, int) or nu < 1:
+            raise GameError(f"the game needs at least one vertex player; got nu={nu!r}")
+        self._graph = graph
+        self._k = k
+        self._nu = nu
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying network ``G``."""
+        return self._graph
+
+    @property
+    def k(self) -> int:
+        """Defender power: edges per tuple."""
+        return self._k
+
+    @property
+    def nu(self) -> int:
+        """Number of vertex players ``ν``."""
+        return self._nu
+
+    @property
+    def n(self) -> int:
+        """``|V(G)|``."""
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        """``|E(G)|``."""
+        return self._graph.m
+
+    @property
+    def vertex_strategies(self) -> FrozenSet[Vertex]:
+        """Strategy set of every vertex player: ``V(G)``."""
+        return self._graph.vertices()
+
+    def tuple_strategy_count(self) -> int:
+        """``|E^k| = C(m, k)`` — size of the defender's strategy set."""
+        return count_tuples(self._graph, self._k)
+
+    def edge_game(self, nu: int = None) -> "TupleGame":
+        """The corresponding Edge-model instance ``Π_1(G)``.
+
+        Used by the Theorem 4.5 reduction.  ``nu`` defaults to this game's
+        attacker count.
+        """
+        return TupleGame(self._graph, 1, self._nu if nu is None else nu)
+
+    def is_edge_model(self) -> bool:
+        """True when this instance is an Edge-model game (``k = 1``)."""
+        return self._k == 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleGame):
+            return NotImplemented
+        return (
+            self._graph == other._graph
+            and self._k == other._k
+            and self._nu == other._nu
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._graph, self._k, self._nu))
+
+    def __repr__(self) -> str:
+        return f"TupleGame(n={self.n}, m={self.m}, k={self._k}, nu={self._nu})"

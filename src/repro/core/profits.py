@@ -1,0 +1,116 @@
+"""Individual Profit functionals — equations (1) and (2) of the paper.
+
+Pure profiles (Definition 2.1):
+
+* vertex player ``i`` earns ``1`` iff its vertex avoids ``V(s_tp)``;
+* the tuple player earns the number of attackers standing on ``V(s_tp)``.
+
+Mixed profiles induce *Expected* Individual Profits, computed here exactly
+from the distributions (no sampling — :mod:`repro.simulation` provides the
+Monte-Carlo counterpart used to validate these formulas):
+
+* ``IP_i(s) = Σ_v P_s(vp_i, v) · (1 − P_s(Hit(v)))``      — equation (1)
+* ``IP_tp(s) = Σ_{t ∈ D_s(tp)} P_s(tp, t) · m_s(t)``      — equation (2)
+
+with ``P_s(Hit(v)) = Σ_{t ∈ Tuples_s(v)} P_s(tp, t)`` the probability that
+the defender covers ``v``, and ``m_s`` the expected attacker masses on
+vertices / edges / tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
+from repro.graphs.core import Edge, Vertex, canonical_edge
+
+__all__ = [
+    "pure_profit_vp",
+    "pure_profit_tp",
+    "hit_probability",
+    "vertex_mass",
+    "edge_mass",
+    "tuple_mass",
+    "expected_profit_vp",
+    "expected_profit_tp",
+    "all_hit_probabilities",
+    "all_vertex_masses",
+]
+
+
+# ----------------------------------------------------------------------
+# Pure profits
+# ----------------------------------------------------------------------
+def pure_profit_vp(config: PureConfiguration, i: int) -> int:
+    """``IP_i(s)`` for a pure profile: 1 iff attacker ``i`` escapes."""
+    return 0 if config.vertex_choices[i] in config.covered_vertices() else 1
+
+
+def pure_profit_tp(config: PureConfiguration) -> int:
+    """``IP_tp(s)``: how many attackers stand on defended endpoints."""
+    covered = config.covered_vertices()
+    return sum(1 for v in config.vertex_choices if v in covered)
+
+
+# ----------------------------------------------------------------------
+# Masses and hit probabilities
+# ----------------------------------------------------------------------
+def hit_probability(config: MixedConfiguration, v: Vertex) -> float:
+    """``P_s(Hit(v))`` — probability the defender's tuple covers ``v``."""
+    return sum(config.prob_tp(t) for t in config.tuples_containing(v))
+
+
+def all_hit_probabilities(config: MixedConfiguration) -> Dict[Vertex, float]:
+    """``P_s(Hit(v))`` for every vertex of the graph (zero off-support)."""
+    hits = {v: 0.0 for v in config.game.graph.vertices()}
+    for t, p in config.tp_distribution().items():
+        for v in tuple_vertices(t):
+            hits[v] += p
+    return hits
+
+
+def vertex_mass(config: MixedConfiguration, v: Vertex) -> float:
+    """``m_s(v) = Σ_i P_s(vp_i, v)`` — expected attackers on ``v``."""
+    return sum(config.prob_vp(i, v) for i in range(config.game.nu))
+
+
+def all_vertex_masses(config: MixedConfiguration) -> Dict[Vertex, float]:
+    """``m_s(v)`` for every vertex (zero off-support)."""
+    masses = {v: 0.0 for v in config.game.graph.vertices()}
+    for i in range(config.game.nu):
+        for v, p in config.vp_distribution(i).items():
+            masses[v] += p
+    return masses
+
+
+def edge_mass(config: MixedConfiguration, edge: Edge) -> float:
+    """``m_s(e) = m_s(u) + m_s(v)`` for ``e = (u, v)``."""
+    u, v = canonical_edge(*edge)
+    return vertex_mass(config, u) + vertex_mass(config, v)
+
+
+def tuple_mass(config: MixedConfiguration, t: Iterable[Edge]) -> float:
+    """``m_s(t) = Σ_{v ∈ V(t)} m_s(v)`` — expected attackers on the
+    *distinct* endpoints of ``t`` (a vertex shared by two tuple edges is
+    counted once, per the paper's definition of ``V(t)``)."""
+    canon: EdgeTuple = canonical_tuple(t)
+    return sum(vertex_mass(config, v) for v in tuple_vertices(canon))
+
+
+# ----------------------------------------------------------------------
+# Expected profits
+# ----------------------------------------------------------------------
+def expected_profit_vp(config: MixedConfiguration, i: int) -> float:
+    """Equation (1): expected escape probability of vertex player ``i``."""
+    return sum(
+        p * (1.0 - hit_probability(config, v))
+        for v, p in config.vp_distribution(i).items()
+    )
+
+
+def expected_profit_tp(config: MixedConfiguration) -> float:
+    """Equation (2): expected number of attackers the defender catches."""
+    return sum(
+        p * tuple_mass(config, t) for t, p in config.tp_distribution().items()
+    )

@@ -1,0 +1,127 @@
+"""JSON serialization of games, configurations and solve results.
+
+Deployment artifacts: a solved scan schedule must survive being written to
+disk, shipped to the scanner host and reloaded.  The JSON document pins
+the full game (graph, k, ν), the equilibrium kind and every probability,
+and loading re-validates everything through the normal constructors, so a
+tampered or truncated document fails loudly rather than deploying a
+non-equilibrium schedule.
+
+Vertices must be JSON-representable (ints or strings — the same types the
+graph I/O layer produces).  Probabilities round-trip as floats; documents
+are key-sorted and therefore byte-deterministic for a given profile.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.graphs.core import Graph, vertex_sort_key
+
+__all__ = [
+    "configuration_to_json",
+    "configuration_from_json",
+    "solve_result_to_json",
+]
+
+_FORMAT = "repro.mixed-configuration.v1"
+
+
+def _game_payload(game: TupleGame) -> Dict[str, Any]:
+    return {
+        "vertices": game.graph.sorted_vertices(),
+        "edges": [list(e) for e in game.graph.sorted_edges()],
+        "k": game.k,
+        "nu": game.nu,
+    }
+
+
+def _game_from_payload(payload: Dict[str, Any]) -> TupleGame:
+    try:
+        edges = [tuple(e) for e in payload["edges"]]
+        graph = Graph(edges, vertices=payload.get("vertices", ()))
+        return TupleGame(graph, int(payload["k"]), int(payload["nu"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GameError(f"malformed game payload: {exc}") from exc
+
+
+def configuration_to_json(config: MixedConfiguration) -> str:
+    """Serialize a mixed configuration (with its game) to JSON."""
+    game = config.game
+    payload = {
+        "format": _FORMAT,
+        "game": _game_payload(game),
+        "vertex_players": [
+            sorted(
+                ([v, p] for v, p in config.vp_distribution(i).items()),
+                key=lambda item: repr(item[0]),
+            )
+            for i in range(game.nu)
+        ],
+        "tuple_player": [
+            {"edges": [list(e) for e in t], "probability": p}
+            for t, p in sorted(config.tp_distribution().items())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def configuration_from_json(text: str) -> MixedConfiguration:
+    """Parse and fully re-validate a serialized mixed configuration.
+
+    Raises :class:`~repro.core.game.GameError` on any structural defect:
+    wrong format tag, missing keys, probabilities that do not sum to one,
+    strategies outside the game.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GameError(f"invalid JSON configuration document: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise GameError(
+            f"unrecognized configuration format (expected {_FORMAT!r})"
+        )
+    for key in ("game", "vertex_players", "tuple_player"):
+        if key not in payload:
+            raise GameError(f"configuration document is missing {key!r}")
+    game = _game_from_payload(payload["game"])
+
+    vp_dists: List[Dict] = []
+    for entry in payload["vertex_players"]:
+        try:
+            vp_dists.append({v: float(p) for v, p in entry})
+        except (TypeError, ValueError) as exc:
+            raise GameError(f"malformed vertex-player distribution: {exc}") from exc
+
+    tp_dist: Dict = {}
+    for item in payload["tuple_player"]:
+        try:
+            key = tuple(tuple(e) for e in item["edges"])
+            tp_dist[key] = float(item["probability"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GameError(f"malformed tuple-player entry: {exc}") from exc
+
+    # MixedConfiguration re-validates supports, arities and unit mass.
+    return MixedConfiguration(game, vp_dists, tp_dist)
+
+
+def solve_result_to_json(result) -> str:
+    """Serialize a :class:`~repro.equilibria.solve.SolveResult` with its
+    equilibrium, kind and gain (one self-contained deployment document)."""
+    inner = json.loads(configuration_to_json(result.mixed))
+    inner["solve"] = {
+        "kind": result.kind,
+        "defender_gain": result.defender_gain,
+        "partition": (
+            None
+            if result.partition is None
+            else {
+                "independent_set": sorted(result.partition[0], key=vertex_sort_key),
+                "vertex_cover": sorted(result.partition[1], key=vertex_sort_key),
+            }
+        ),
+    }
+    return json.dumps(inner, indent=2, sort_keys=True)

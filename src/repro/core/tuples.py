@@ -1,0 +1,79 @@
+"""Canonical k-tuples of edges — the defender's strategy objects.
+
+Definition 2.1 gives the tuple player the strategy set ``E^k``: all tuples
+of ``k`` *distinct* edges of ``G``.  Order inside a tuple never affects any
+payoff (only the endpoint set ``V(t)`` and the edge set ``E(t)`` matter), so
+the library canonicalizes every tuple as a sorted ``tuple`` of canonical
+edges; two strategies are "the same tuple" exactly when their edge sets
+coincide.  This keeps supports, probability dictionaries and condition (3)
+of Definition 4.1 ("each edge belongs to an equal number of *distinct*
+tuples") unambiguous.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from repro.graphs.core import Edge, Graph, GraphError, Vertex, canonical_edge
+
+__all__ = [
+    "EdgeTuple",
+    "canonical_tuple",
+    "tuple_vertices",
+    "tuple_edges",
+    "all_tuples",
+    "count_tuples",
+]
+
+EdgeTuple = Tuple[Edge, ...]
+"""A defender pure strategy: sorted tuple of ``k`` distinct canonical edges."""
+
+
+def canonical_tuple(edges: Iterable[Edge]) -> EdgeTuple:
+    """Canonicalize an iterable of edges into an :data:`EdgeTuple`.
+
+    Edges are canonicalized individually, deduplicated (duplicates raise,
+    since the model demands *distinct* edges) and sorted.
+
+    Raises
+    ------
+    GraphError
+        If the tuple is empty or contains a repeated edge.
+    """
+    listed = [canonical_edge(u, v) for u, v in edges]
+    canon = sorted(set(listed))
+    if len(canon) != len(listed):
+        raise GraphError("a tuple must consist of distinct edges")
+    if not canon:
+        raise GraphError("a tuple must contain at least one edge")
+    return tuple(canon)
+
+
+def tuple_vertices(t: EdgeTuple) -> FrozenSet[Vertex]:
+    """``V(t)``: the distinct endpoints of the tuple's edges."""
+    return frozenset(v for e in t for v in e)
+
+
+def tuple_edges(t: EdgeTuple) -> FrozenSet[Edge]:
+    """``E(t)``: the tuple's edges as a set."""
+    return frozenset(t)
+
+
+def all_tuples(graph: Graph, k: int) -> Iterator[EdgeTuple]:
+    """Enumerate ``E^k``, the full defender strategy set, canonically.
+
+    ``C(m, k)`` strategies — intended for small instances (exact solvers,
+    exhaustive verification); structural algorithms never enumerate this.
+    """
+    if not 1 <= k <= graph.m:
+        raise GraphError(f"k must satisfy 1 <= k <= m={graph.m}; got {k}")
+    yield from combinations(graph.sorted_edges(), k)
+
+
+def count_tuples(graph: Graph, k: int) -> int:
+    """``|E^k| = C(m, k)`` without enumeration."""
+    if not 1 <= k <= graph.m:
+        raise GraphError(f"k must satisfy 1 <= k <= m={graph.m}; got {k}")
+    return comb(graph.m, k)

@@ -1,0 +1,59 @@
+"""Structural Nash equilibria: matching, k-matching, reductions, solver.
+
+This package implements Section 4 of the paper — the k-matching machinery
+(Definition 4.1, Lemma 4.1), Algorithm ``A_tuple`` (Figure 1), the
+Theorem 4.5 reduction in both directions, and a one-call solver that
+dispatches between the pure regime (Theorem 3.1) and the mixed regime.
+"""
+
+from repro.equilibria.atuple import algorithm_a_tuple, cyclic_tuples, expected_tuple_count
+from repro.equilibria.families import (
+    enumerate_k_matchings,
+    perfect_matching_equilibrium,
+    regular_edge_equilibrium,
+    uniform_kmatching_equilibrium,
+)
+from repro.equilibria.kmatching import (
+    is_kmatching_configuration,
+    is_kmatching_nash,
+    kmatching_profile,
+    predicted_defender_gain,
+    predicted_hit_probability,
+    satisfies_cover_conditions,
+    tuple_multiplicity,
+)
+from repro.equilibria.matching_ne import (
+    algorithm_a,
+    build_matching_cover,
+    is_matching_configuration,
+    matching_equilibrium,
+)
+from repro.equilibria.reduction import edge_to_tuple, gain_ratio, tuple_to_edge
+from repro.equilibria.solve import NoEquilibriumFoundError, SolveResult, solve_game
+
+__all__ = [
+    "algorithm_a_tuple",
+    "cyclic_tuples",
+    "expected_tuple_count",
+    "enumerate_k_matchings",
+    "perfect_matching_equilibrium",
+    "regular_edge_equilibrium",
+    "uniform_kmatching_equilibrium",
+    "is_kmatching_configuration",
+    "is_kmatching_nash",
+    "kmatching_profile",
+    "predicted_defender_gain",
+    "predicted_hit_probability",
+    "satisfies_cover_conditions",
+    "tuple_multiplicity",
+    "algorithm_a",
+    "build_matching_cover",
+    "is_matching_configuration",
+    "matching_equilibrium",
+    "edge_to_tuple",
+    "gain_ratio",
+    "tuple_to_edge",
+    "NoEquilibriumFoundError",
+    "SolveResult",
+    "solve_game",
+]

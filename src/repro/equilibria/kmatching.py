@@ -1,0 +1,143 @@
+"""k-matching configurations and Nash equilibria — Definition 4.1, Lemma 4.1.
+
+A *k-matching configuration* of ``Π_k(G)`` (Definition 4.1) satisfies:
+
+1. ``D_s(VP)`` is an independent set of ``G``;
+2. each vertex of ``D_s(VP)`` is incident to exactly one edge of
+   ``E(D_s(tp))``;
+3. every edge of ``E(D_s(tp))`` belongs to the same number ``α`` of
+   distinct support tuples.
+
+Lemma 4.1: if additionally condition 1 of Theorem 3.4 holds (the support
+edges cover ``G`` and the attacker support vertex-covers the obtained
+subgraph), then the *uniform* profile on those supports is a mixed NE —
+a **k-matching Nash equilibrium** (Definition 4.2).  At that equilibrium
+every support vertex is hit with probability ``k / |E(D_s(tp))|`` (Claim
+4.3) and the defender earns ``k·ν / |D_s(VP)|`` (Corollary 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import Counter as CounterType, Iterable, Optional
+
+from collections import Counter
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import EdgeTuple, canonical_tuple
+from repro.graphs.core import Edge, Vertex
+from repro.graphs.properties import is_edge_cover, is_independent_set, is_vertex_cover
+
+__all__ = [
+    "is_kmatching_configuration",
+    "satisfies_cover_conditions",
+    "is_kmatching_nash",
+    "kmatching_profile",
+    "tuple_multiplicity",
+    "predicted_hit_probability",
+    "predicted_defender_gain",
+]
+
+
+def tuple_multiplicity(tuples: Iterable[EdgeTuple]) -> Optional[int]:
+    """The common per-edge tuple count ``α`` of Definition 4.1(3).
+
+    Returns ``α`` when every edge appearing in the tuples appears in
+    exactly ``α`` of them, else ``None``.
+    """
+    counts: CounterType[Edge] = Counter()
+    for t in tuples:
+        for e in t:
+            counts[e] += 1
+    if not counts:
+        return None
+    values = set(counts.values())
+    return values.pop() if len(values) == 1 else None
+
+
+def is_kmatching_configuration(game: TupleGame, config: MixedConfiguration) -> bool:
+    """Check the three clauses of Definition 4.1 on a configuration's
+    supports (probabilities are irrelevant to the definition)."""
+    if config.game != game:
+        raise GameError("configuration belongs to a different game")
+    vp_support = config.vp_support_union()
+    if not is_independent_set(game.graph, vp_support):
+        return False
+    support_edges = config.tp_support_edges()
+    for v in vp_support:
+        if sum(1 for e in support_edges if v in e) != 1:
+            return False
+    return tuple_multiplicity(config.tp_support()) is not None
+
+
+def satisfies_cover_conditions(game: TupleGame, config: MixedConfiguration) -> bool:
+    """Condition 1 of Theorem 3.4, the extra premise of Lemma 4.1."""
+    support_edges = config.tp_support_edges()
+    if not is_edge_cover(game.graph, support_edges):
+        return False
+    obtained = game.graph.subgraph_from_edges(support_edges)
+    candidates = config.vp_support_union() & obtained.vertices()
+    return is_vertex_cover(obtained, candidates)
+
+
+def is_kmatching_nash(
+    game: TupleGame, config: MixedConfiguration, tol: float = 1e-9
+) -> bool:
+    """Check Definition 4.2: k-matching configuration + cover conditions +
+    the uniform Lemma 4.1 distributions."""
+    if not is_kmatching_configuration(game, config):
+        return False
+    if not satisfies_cover_conditions(game, config):
+        return False
+    # Uniformity of the tuple player (equation (3)).
+    tp = config.tp_distribution()
+    expected_tp = 1.0 / len(tp)
+    if any(abs(p - expected_tp) > tol for p in tp.values()):
+        return False
+    # Uniformity of each vertex player on the shared support (equation (4)).
+    vp_support = config.vp_support_union()
+    expected_vp = 1.0 / len(vp_support)
+    for i in range(game.nu):
+        dist = config.vp_distribution(i)
+        if set(dist) != set(vp_support):
+            return False
+        if any(abs(p - expected_vp) > tol for p in dist.values()):
+            return False
+    return True
+
+
+def kmatching_profile(
+    game: TupleGame,
+    vp_support: Iterable[Vertex],
+    tuples: Iterable[Iterable[Edge]],
+    validate: bool = True,
+) -> MixedConfiguration:
+    """Assemble the uniform Lemma 4.1 profile from explicit supports.
+
+    With ``validate=True`` (default), raises
+    :class:`~repro.core.game.GameError` unless the supports form a
+    k-matching configuration satisfying the lemma's premises — so the
+    returned profile is guaranteed to be a k-matching NE.
+    """
+    canonical = [canonical_tuple(t) for t in tuples]
+    config = MixedConfiguration.uniform(game, vp_support, canonical)
+    if validate:
+        if not is_kmatching_configuration(game, config):
+            raise GameError(
+                "supports do not form a k-matching configuration (Definition 4.1)"
+            )
+        if not satisfies_cover_conditions(game, config):
+            raise GameError(
+                "supports violate condition 1 of Theorem 3.4 (cover conditions)"
+            )
+    return config
+
+
+def predicted_hit_probability(game: TupleGame, config: MixedConfiguration) -> float:
+    """Claim 4.3's closed form ``k / |E(D_s(tp))|`` for support vertices."""
+    return game.k / len(config.tp_support_edges())
+
+
+def predicted_defender_gain(game: TupleGame, config: MixedConfiguration) -> float:
+    """Corollary 4.7/4.10's closed form ``k·ν / |D_s(VP)|``."""
+    return game.k * game.nu / len(config.vp_support_union())

@@ -1,0 +1,143 @@
+"""Matching Nash equilibria of the Edge model (``Π_1(G)``).
+
+Definition 2.2 and Lemma 2.1 (both imported by the paper from [MPPS05])
+define *matching configurations* and show that with uniform probabilities
+and cover conditions they are Nash equilibria.  The paper's Algorithm
+``A_tuple`` calls the Edge-model algorithm ``A(Π_1(G), IS, VC)`` as its
+step 1; since [MPPS05] is not reproduced verbatim in the paper, the
+construction here follows the proof obligations directly (see DESIGN.md
+§2):
+
+1. **Match** ``VC`` into ``IS``: a saturating matching exists exactly when
+   the expander condition of Theorem 2.2 holds (Hall's theorem), giving
+   each cover vertex a private independent-set partner.
+2. **Patch**: every ``IS`` vertex not used by the matching adopts one
+   arbitrary incident edge — its far endpoint lies in ``VC`` because
+   ``IS`` is independent.
+
+The resulting edge set ``D(tp)`` is an edge cover of ``G`` in which every
+``IS`` vertex has degree exactly one and every edge has exactly one ``IS``
+endpoint, i.e. a matching configuration satisfying Lemma 2.1's premises.
+The uniform profile on ``(IS, D(tp))`` is then a matching NE.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.graphs.core import Edge, Graph, Vertex, canonical_edge, vertex_sort_key
+from repro.graphs.properties import is_independent_set
+from repro.matching.hall import is_expander_into
+
+__all__ = [
+    "algorithm_a",
+    "build_matching_cover",
+    "is_matching_configuration",
+    "matching_equilibrium",
+]
+
+
+def build_matching_cover(
+    graph: Graph,
+    independent_set: Iterable[Vertex],
+    vertex_cover: Iterable[Vertex],
+) -> FrozenSet[Edge]:
+    """Construct the defender support ``D(tp)`` of Algorithm ``A``.
+
+    Returns an edge cover of ``graph`` in which each vertex of
+    ``independent_set`` is incident to exactly one edge and every edge has
+    exactly one endpoint in ``independent_set``.
+
+    Raises
+    ------
+    GameError
+        If the inputs are not a valid Theorem 2.2 partition (``IS`` not
+        independent, ``VC`` not the complement, or the expander condition
+        fails — in which case the Hall violator is reported).
+    """
+    is_set = frozenset(independent_set)
+    vc_set = frozenset(vertex_cover)
+    if is_set | vc_set != graph.vertices() or is_set & vc_set:
+        raise GameError("IS and VC must partition the vertex set")
+    if not is_set:
+        raise GameError("IS must be non-empty")
+    if not is_independent_set(graph, is_set):
+        raise GameError("IS is not an independent set")
+    hall = is_expander_into(graph, vc_set, is_set)
+    if not hall:
+        raise GameError(
+            f"G is not a VC-expander into IS; Hall violator: {sorted(hall.violator, key=vertex_sort_key)!r}"
+        )
+
+    cover: Set[Edge] = set()
+    used_is: Set[Vertex] = set()
+    for vc_vertex, is_partner in sorted(hall.matching.pairs.items(), key=vertex_sort_key):
+        cover.add(canonical_edge(vc_vertex, is_partner))
+        used_is.add(is_partner)
+    for v in sorted(is_set - used_is, key=vertex_sort_key):
+        # IS is independent, so any incident edge reaches into VC.
+        cover.add(graph.incident_edges(v)[0])
+    return frozenset(cover)
+
+
+def algorithm_a(
+    game: TupleGame,
+    independent_set: Iterable[Vertex],
+    vertex_cover: Iterable[Vertex],
+) -> MixedConfiguration:
+    """Algorithm ``A(Π_1(G), IS, VC)`` — a matching NE of the Edge model.
+
+    Every vertex player plays uniformly on ``IS``; the edge player plays
+    uniformly on the cover built by :func:`build_matching_cover`
+    (Lemma 2.1).  Requires ``game.k == 1``.
+    """
+    if game.k != 1:
+        raise GameError(
+            f"algorithm A solves the Edge model; this game has k={game.k} "
+            "(use algorithm_a_tuple)"
+        )
+    cover = build_matching_cover(game.graph, independent_set, vertex_cover)
+    tuples = [(e,) for e in sorted(cover)]
+    return MixedConfiguration.uniform(game, independent_set, tuples)
+
+
+def matching_equilibrium(game: TupleGame, seed: int = 0) -> MixedConfiguration:
+    """Find a partition (Theorem 2.2) and run Algorithm ``A`` on it.
+
+    Raises :class:`~repro.core.game.GameError` when no partition is found
+    (for non-bipartite graphs above the exact-search size this may be a
+    false negative of the greedy heuristic).
+    """
+    from repro.matching.partition import find_partition
+
+    partition = find_partition(game.graph, seed=seed)
+    if partition is None:
+        raise GameError(
+            "no IS/VC partition satisfying Theorem 2.2 was found; "
+            "the graph admits no matching NE (or the heuristic missed it)"
+        )
+    independent, cover = partition
+    return algorithm_a(game, independent, cover)
+
+
+def is_matching_configuration(game: TupleGame, config: MixedConfiguration) -> bool:
+    """Check Definition 2.2 on an Edge-model configuration.
+
+    (1) ``D(vp)`` is independent; (2) each support vertex is incident to
+    exactly one support edge.
+    """
+    if game.k != 1:
+        raise GameError("matching configurations are defined on the Edge model")
+    if config.game != game:
+        raise GameError("configuration belongs to a different game")
+    vp_support = config.vp_support_union()
+    if not is_independent_set(game.graph, vp_support):
+        return False
+    support_edges = config.tp_support_edges()
+    for v in vp_support:
+        incident = [e for e in support_edges if v in e]
+        if len(incident) != 1:
+            return False
+    return True

@@ -1,0 +1,87 @@
+"""The Theorem 4.5 reduction between the Tuple and Edge models.
+
+Both directions are implemented as configuration transforms:
+
+* :func:`tuple_to_edge` (Lemma 4.6) — flatten a k-matching NE of
+  ``Π_k(G)``: the Edge-model defender plays uniformly on the *edge set*
+  ``E(D_s(tp))``, the attackers keep their support.
+* :func:`edge_to_tuple` (Lemma 4.8) — lift a matching NE of ``Π_1(G)``
+  via the cyclic window construction of Figure 1 / :mod:`.atuple`.
+
+Corollaries 4.7 and 4.10 pin the defender's gains across the reduction:
+``IP_tp(Π_k) = k · IP_tp(Π_1)`` — the paper's headline "power of the
+defender" law.  :func:`gain_ratio` measures it on actual configurations so
+experiments can confirm the slope empirically.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp
+from repro.equilibria.atuple import cyclic_tuples
+from repro.equilibria.kmatching import is_kmatching_configuration
+from repro.equilibria.matching_ne import is_matching_configuration
+
+__all__ = ["tuple_to_edge", "edge_to_tuple", "gain_ratio"]
+
+
+def tuple_to_edge(
+    game: TupleGame, config: MixedConfiguration, validate: bool = True
+) -> MixedConfiguration:
+    """Lemma 4.6: from a k-matching NE of ``Π_k(G)`` to a matching NE of
+    ``Π_1(G)``.
+
+    The construction sets ``D_s'(VP) := D_s(VP)`` and
+    ``D_s'(tp) := E(D_s(tp))`` with uniform probabilities throughout.
+    With ``validate=True`` the input supports are checked to be a
+    k-matching configuration first.
+    """
+    if config.game != game:
+        raise GameError("configuration belongs to a different game")
+    if validate and not is_kmatching_configuration(game, config):
+        raise GameError("input is not a k-matching configuration (Definition 4.1)")
+    edge_game = game.edge_game()
+    tuples = [(e,) for e in sorted(config.tp_support_edges())]
+    return MixedConfiguration.uniform(edge_game, config.vp_support_union(), tuples)
+
+
+def edge_to_tuple(
+    edge_game: TupleGame,
+    config: MixedConfiguration,
+    k: int,
+    validate: bool = True,
+) -> MixedConfiguration:
+    """Lemma 4.8: from a matching NE of ``Π_1(G)`` to a k-matching NE of
+    ``Π_k(G)``.
+
+    Labels the Edge-model support edges, cuts the ``δ`` cyclic k-windows
+    and plays uniformly (each edge then lies in exactly
+    ``α = k / gcd(E_num, k)`` tuples — Claim 4.9).
+    """
+    if config.game != edge_game:
+        raise GameError("configuration belongs to a different game")
+    if edge_game.k != 1:
+        raise GameError("the source game must be an Edge-model instance (k=1)")
+    if validate and not is_matching_configuration(edge_game, config):
+        raise GameError("input is not a matching configuration (Definition 2.2)")
+    target_game = TupleGame(edge_game.graph, k, edge_game.nu)
+    labelled_edges = sorted(config.tp_support_edges())
+    tuples = cyclic_tuples(labelled_edges, k)
+    return MixedConfiguration.uniform(
+        target_game, config.vp_support_union(), tuples
+    )
+
+
+def gain_ratio(
+    tuple_game: TupleGame,
+    tuple_config: MixedConfiguration,
+    edge_game: TupleGame,
+    edge_config: MixedConfiguration,
+) -> float:
+    """``IP_tp(Π_k) / IP_tp(Π_1)`` — equals ``k`` at the Theorem 4.5 pair."""
+    numerator = expected_profit_tp(tuple_config)
+    denominator = expected_profit_tp(edge_config)
+    if denominator == 0:
+        raise GameError("Edge-model defender gain is zero; ratio undefined")
+    return numerator / denominator

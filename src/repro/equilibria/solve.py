@@ -1,0 +1,142 @@
+"""One-call equilibrium solver for the Tuple model.
+
+The paper's results tile the parameter space of ``Π_k(G)`` exactly
+(DESIGN.md §2):
+
+* ``k ≥ ρ(G)`` (minimum-edge-cover size): a **pure** NE exists and is
+  constructed per Theorem 3.1;
+* ``k < ρ(G)``: no pure NE (Theorem 3.1); if a Theorem 2.2 partition
+  ``(IS, VC)`` exists, then ``|IS| = ρ(G) > k`` and Algorithm ``A_tuple``
+  yields a **k-matching mixed** NE (Theorems 4.12/5.1);
+* otherwise the paper's machinery does not apply, and the solver falls
+  back to the extension families of :mod:`repro.equilibria.families`
+  (beyond the paper, each output verified): **perfect-matching** window
+  equilibria for graphs with perfect matchings (e.g. Petersen), then
+  candidate-and-verify **uniform-k-matching** equilibria for small
+  symmetric graphs (e.g. odd cycles);
+* if every construction declines, :func:`solve_game` reports that
+  honestly (small instances can still use :mod:`repro.solvers.lp` for an
+  unstructured mixed NE).
+
+:func:`solve_game` walks that decision tree and returns a
+:class:`SolveResult` carrying the equilibrium, its kind and the defender's
+gain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp, pure_profit_tp
+from repro.core.pure import find_pure_nash
+from repro.equilibria.atuple import algorithm_a_tuple
+from repro.matching.covers import minimum_edge_cover_size
+from repro.matching.partition import Partition, find_partition
+
+__all__ = ["SolveResult", "solve_game", "NoEquilibriumFoundError"]
+
+
+class NoEquilibriumFoundError(GameError):
+    """Raised when neither the pure nor the k-matching machinery applies."""
+
+
+class SolveResult:
+    """Outcome of :func:`solve_game`.
+
+    Attributes
+    ----------
+    kind:
+        ``"pure"``, ``"k-matching"``, or one of the extension kinds
+        ``"perfect-matching"`` / ``"uniform-k-matching"``.
+    mixed:
+        The equilibrium as a :class:`MixedConfiguration` (pure equilibria
+        are wrapped as degenerate mixed profiles).
+    pure:
+        The underlying :class:`PureConfiguration` when ``kind == "pure"``.
+    partition:
+        The ``(IS, VC)`` partition used, for k-matching equilibria.
+    defender_gain:
+        ``IP_tp`` at the equilibrium: ``ν`` for pure, ``k·ν/ρ(G)`` for
+        k-matching.
+    """
+
+    __slots__ = ("kind", "mixed", "pure", "partition", "defender_gain")
+
+    def __init__(
+        self,
+        kind: str,
+        mixed: MixedConfiguration,
+        pure: Optional[PureConfiguration],
+        partition: Optional[Partition],
+    ) -> None:
+        self.kind = kind
+        self.mixed = mixed
+        self.pure = pure
+        self.partition = partition
+        self.defender_gain = (
+            float(pure_profit_tp(pure)) if pure is not None else expected_profit_tp(mixed)
+        )
+
+    def __repr__(self) -> str:
+        return f"SolveResult(kind={self.kind!r}, defender_gain={self.defender_gain:.4f})"
+
+
+def solve_game(
+    game: TupleGame, seed: int = 0, allow_extensions: bool = True
+) -> SolveResult:
+    """Compute a Nash equilibrium of ``Π_k(G)`` by the paper's recipe.
+
+    With ``allow_extensions=True`` (default) the solver also tries the
+    beyond-the-paper constructions of :mod:`repro.equilibria.families`
+    before giving up; pass ``False`` to restrict to exactly the paper's
+    machinery (used by experiments that characterize its reach).
+
+    Raises
+    ------
+    NoEquilibriumFoundError
+        When ``k < ρ(G)`` and no applicable construction was found.  For
+        bipartite graphs this never happens (Theorem 5.1); for general
+        graphs beyond the exact-search size it may be a false negative of
+        the greedy partition heuristic.
+    """
+    rho = minimum_edge_cover_size(game.graph)
+    if game.k >= rho:
+        pure = find_pure_nash(game)
+        assert pure is not None  # guaranteed by k >= rho and k <= m
+        return SolveResult("pure", MixedConfiguration.from_pure(pure), pure, None)
+
+    partition = find_partition(game.graph, seed=seed)
+    if partition is not None:
+        independent, cover = partition
+        config = algorithm_a_tuple(game, independent, cover)
+        return SolveResult("k-matching", config, None, partition)
+
+    if allow_extensions:
+        from repro.equilibria.families import (
+            perfect_matching_equilibrium,
+            uniform_kmatching_equilibrium,
+        )
+
+        try:
+            config = perfect_matching_equilibrium(game)
+            return SolveResult("perfect-matching", config, None, None)
+        except GameError:
+            pass
+        try:
+            config = uniform_kmatching_equilibrium(game)
+            return SolveResult("uniform-k-matching", config, None, None)
+        except GameError:
+            pass
+
+    raise NoEquilibriumFoundError(
+        f"k={game.k} < minimum edge cover {rho} rules out pure NE, no "
+        "IS/VC partition for a k-matching NE was found"
+        + (
+            ", and the extension families (perfect-matching, "
+            "uniform-k-matching) do not apply"
+            if allow_extensions
+            else " (extensions disabled)"
+        )
+    )

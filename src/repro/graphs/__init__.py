@@ -1,0 +1,65 @@
+"""Graph substrate: data structure, generators, predicates, serialization.
+
+The game of the paper (Definition 2.1) is played on an undirected simple
+graph with no isolated vertices; this package provides everything the game
+and equilibrium layers need to talk about such graphs.
+"""
+
+from repro.graphs.core import (
+    Edge,
+    Graph,
+    GraphError,
+    Vertex,
+    canonical_edge,
+    vertex_sort_key,
+)
+from repro.graphs.metrics import (
+    average_degree,
+    degree_histogram,
+    density,
+    diameter,
+    girth,
+    radius,
+)
+from repro.graphs.transform import complement, disjoint_union, relabel, subdivide
+from repro.graphs.properties import (
+    bipartition,
+    connected_components,
+    is_bipartite,
+    is_connected,
+    is_edge_cover,
+    is_independent_set,
+    is_matching,
+    is_vertex_cover,
+    uncovered_vertices,
+    vertices_covered_by_edges,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphError",
+    "Vertex",
+    "canonical_edge",
+    "vertex_sort_key",
+    "average_degree",
+    "degree_histogram",
+    "density",
+    "diameter",
+    "girth",
+    "radius",
+    "complement",
+    "disjoint_union",
+    "relabel",
+    "subdivide",
+    "bipartition",
+    "connected_components",
+    "is_bipartite",
+    "is_connected",
+    "is_edge_cover",
+    "is_independent_set",
+    "is_matching",
+    "is_vertex_cover",
+    "uncovered_vertices",
+    "vertices_covered_by_edges",
+]

@@ -1,0 +1,337 @@
+"""Graph generators for examples, tests and the benchmark workloads.
+
+The paper's theorems are quantified over graph families ("any graph",
+"bipartite graphs", graphs with small edge covers, ...), so the experiment
+harness sweeps over a zoo of structured and random families.  All random
+generators take an explicit ``seed`` and are fully deterministic for a
+given seed — a requirement for reproducible benchmark tables.
+
+Every generator returns a :class:`~repro.graphs.core.Graph` with integer
+vertices ``0..n-1`` (bipartite generators use disjoint integer ranges for
+the two sides) and, unless stated otherwise, no isolated vertices, so the
+result is directly usable as a game instance.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.graphs.core import Edge, Graph, GraphError
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "complete_multipartite_graph",
+    "star_graph",
+    "wheel_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "petersen_graph",
+    "circulant_graph",
+    "barbell_graph",
+    "lollipop_graph",
+    "random_tree",
+    "random_graph_with_perfect_matching",
+    "random_bipartite_graph",
+    "random_connected_graph",
+    "gnp_random_graph",
+    "double_star_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on vertices ``0..n-1``.  Requires ``n ≥ 2``."""
+    if n < 2:
+        raise GraphError("a path needs at least 2 vertices")
+    return Graph((i, i + 1) for i in range(n - 1))
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``.  Requires ``n ≥ 3``."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    return Graph([(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n``.  Requires ``n ≥ 2``."""
+    if n < 2:
+        raise GraphError("a complete graph needs at least 2 vertices")
+    return Graph(combinations(range(n), 2))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with left side ``0..a-1`` and right side ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError("both sides of K_{a,b} need at least one vertex")
+    return Graph((i, a + j) for i in range(a) for j in range(b))
+
+
+def star_graph(leaves: int) -> Graph:
+    """The star ``K_{1,leaves}`` with center ``0``."""
+    if leaves < 1:
+        raise GraphError("a star needs at least one leaf")
+    return Graph((0, i) for i in range(1, leaves + 1))
+
+
+def double_star_graph(left_leaves: int, right_leaves: int) -> Graph:
+    """Two adjacent centers, each with its own leaves.
+
+    A tree whose minimum edge cover is much smaller than ``n/2`` on one
+    side — a useful stress case for the pure-NE threshold of Theorem 3.1.
+    Center vertices are ``0`` and ``1``.
+    """
+    if left_leaves < 1 or right_leaves < 1:
+        raise GraphError("each center needs at least one leaf")
+    edges: List[Edge] = [(0, 1)]
+    next_vertex = 2
+    for _ in range(left_leaves):
+        edges.append((0, next_vertex))
+        next_vertex += 1
+    for _ in range(right_leaves):
+        edges.append((1, next_vertex))
+        next_vertex += 1
+    return Graph(edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid (bipartite).  Requires at least 2 vertices."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise GraphError("a grid needs at least 2 vertices")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(edges)
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-cube on ``2^dimension`` vertices (bipartite,
+    regular)."""
+    if dimension < 1:
+        raise GraphError("hypercube dimension must be at least 1")
+    edges = [
+        (v, v ^ (1 << bit))
+        for v in range(1 << dimension)
+        for bit in range(dimension)
+        if v < v ^ (1 << bit)
+    ]
+    return Graph(edges)
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: 3-regular, non-bipartite, well-known NE
+    stress-test instance."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return Graph(outer + spokes + inner)
+
+
+def circulant_graph(n: int, offsets: Tuple[int, ...]) -> Graph:
+    """Circulant graph ``C_n(offsets)`` — regular, often non-bipartite."""
+    if n < 3:
+        raise GraphError("a circulant graph needs at least 3 vertices")
+    edges: List[Edge] = []
+    for offset in offsets:
+        step = offset % n
+        if step == 0:
+            raise GraphError("offsets must be nonzero modulo n")
+        for v in range(n):
+            edges.append((v, (v + step) % n))
+    return Graph(edges)
+
+
+def wheel_graph(rim: int) -> Graph:
+    """The wheel ``W_rim``: a cycle of ``rim`` vertices plus a hub ``0``
+    adjacent to all of them.  Non-bipartite for every ``rim ≥ 3``."""
+    if rim < 3:
+        raise GraphError("a wheel needs a rim of at least 3 vertices")
+    edges: List[Edge] = [(0, i) for i in range(1, rim + 1)]
+    edges += [(i, i % rim + 1) for i in range(1, rim + 1)]
+    return Graph(edges)
+
+
+def complete_multipartite_graph(*sizes: int) -> Graph:
+    """Complete multipartite graph with the given class sizes.
+
+    Vertices are numbered consecutively class by class; every pair of
+    vertices from different classes is adjacent.
+    """
+    if len(sizes) < 2:
+        raise GraphError("a multipartite graph needs at least two classes")
+    if any(s < 1 for s in sizes):
+        raise GraphError("every class needs at least one vertex")
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for size in sizes:
+        boundaries.append((start, start + size))
+        start += size
+    edges: List[Edge] = []
+    for a, (lo_a, hi_a) in enumerate(boundaries):
+        for lo_b, hi_b in boundaries[a + 1:]:
+            edges.extend(
+                (u, v) for u in range(lo_a, hi_a) for v in range(lo_b, hi_b)
+            )
+    return Graph(edges)
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two ``K_clique`` cliques joined by a path of ``bridge`` edges.
+
+    A classic worst case for expansion: the bridge is a bottleneck, and
+    partition search must place its interior carefully.
+    """
+    if clique < 3:
+        raise GraphError("barbell cliques need at least 3 vertices each")
+    if bridge < 1:
+        raise GraphError("the bridge needs at least one edge")
+    left = list(range(clique))
+    right = list(range(clique + bridge - 1, 2 * clique + bridge - 1))
+    edges: List[Edge] = list(combinations(left, 2))
+    edges += list(combinations(right, 2))
+    # Bridge path from left[-1] through fresh interior vertices to right[0].
+    chain = [left[-1]] + list(range(clique, clique + bridge - 1)) + [right[0]]
+    edges += list(zip(chain, chain[1:]))
+    return Graph(edges)
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """A ``K_clique`` with a path of ``tail`` edges hanging off it."""
+    if clique < 3:
+        raise GraphError("the lollipop head needs at least 3 vertices")
+    if tail < 1:
+        raise GraphError("the tail needs at least one edge")
+    edges: List[Edge] = list(combinations(range(clique), 2))
+    chain = [clique - 1] + list(range(clique, clique + tail))
+    edges += list(zip(chain, chain[1:]))
+    return Graph(edges)
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree via a random Prüfer sequence."""
+    if n < 2:
+        raise GraphError("a tree needs at least 2 vertices")
+    if n == 2:
+        return Graph([(0, 1)])
+    rng = random.Random(seed)
+    pruefer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in pruefer:
+        degree[v] += 1
+    edges: List[Edge] = []
+    # Classic decode: repeatedly join the smallest leaf to the next code
+    # symbol.  A simple O(n log n)-ish scan suffices at library scale.
+    leaves = sorted(v for v in range(n) if degree[v] == 1)
+    for v in pruefer:
+        leaf = leaves.pop(0)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            # Insert keeping order for determinism.
+            lo, hi = 0, len(leaves)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if leaves[mid] < v:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            leaves.insert(lo, v)
+    edges.append((leaves[0], leaves[1]))
+    return Graph(edges)
+
+
+def random_bipartite_graph(
+    a: int, b: int, p: float, seed: int = 0
+) -> Graph:
+    """Random bipartite graph: each of the ``a·b`` cross pairs appears with
+    probability ``p``; isolated vertices are then patched with one random
+    cross edge so the result is a valid game instance."""
+    if a < 1 or b < 1:
+        raise GraphError("both sides need at least one vertex")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = {
+        (i, a + j)
+        for i in range(a)
+        for j in range(b)
+        if rng.random() < p
+    }
+    touched = {v for e in edges for v in e}
+    for i in range(a):
+        if i not in touched:
+            edges.add((i, a + rng.randrange(b)))
+    touched = {v for e in edges for v in e}
+    for j in range(b):
+        if a + j not in touched:
+            edges.add((rng.randrange(a), a + j))
+    return Graph(edges)
+
+
+def gnp_random_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` with isolated vertices patched by one random
+    edge each (so the model's no-isolated-vertex precondition holds)."""
+    if n < 2:
+        raise GraphError("need at least 2 vertices")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must lie in [0, 1]")
+    rng = random.Random(seed)
+    edges = {(u, v) for u, v in combinations(range(n), 2) if rng.random() < p}
+    touched = {v for e in edges for v in e}
+    for v in range(n):
+        if v not in touched:
+            other = rng.randrange(n - 1)
+            if other >= v:
+                other += 1
+            edges.add((min(v, other), max(v, other)))
+            touched.add(other)
+    return Graph(edges)
+
+
+def random_graph_with_perfect_matching(
+    pairs: int, extra_edges: int, seed: int = 0
+) -> Graph:
+    """A random graph on ``2·pairs`` vertices guaranteed to contain a
+    perfect matching.
+
+    Construction: vertices ``2i``/``2i+1`` are matched partners; random
+    chords are then added.  Workload for the perfect-matching equilibrium
+    family (the matching {(0,1), (2,3), ...} is planted, but the *maximum*
+    matching the solver finds may of course differ).
+    """
+    if pairs < 1:
+        raise GraphError("need at least one matched pair")
+    rng = random.Random(seed)
+    n = 2 * pairs
+    edges = {(2 * i, 2 * i + 1) for i in range(pairs)}
+    candidates = [
+        (u, v) for u, v in combinations(range(n), 2) if (u, v) not in edges
+    ]
+    rng.shuffle(candidates)
+    for edge in candidates[:extra_edges]:
+        edges.add(edge)
+    return Graph(edges)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int = 0) -> Graph:
+    """A random tree plus ``extra_edges`` uniformly chosen chords —
+    connected by construction, density controlled exactly."""
+    tree = random_tree(n, seed=seed)
+    rng = random.Random(seed + 1)
+    edges = set(tree.edges())
+    candidates = [
+        (u, v) for u, v in combinations(range(n), 2) if (u, v) not in edges
+    ]
+    rng.shuffle(candidates)
+    for edge in candidates[:extra_edges]:
+        edges.add(edge)
+    return Graph(edges)

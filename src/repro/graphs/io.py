@@ -1,0 +1,109 @@
+"""Graph serialization: whitespace edge lists and JSON documents.
+
+The CLI (:mod:`repro.cli`) and the examples read network topologies from
+disk.  Two formats are supported:
+
+* **edge list** — one edge per line, two whitespace-separated vertex
+  labels; ``#`` starts a comment.  Labels are kept as strings unless every
+  label parses as an integer, in which case all are converted (so files of
+  numeric IDs round-trip to integer-vertex graphs).
+* **JSON** — ``{"vertices": [...], "edges": [[u, v], ...]}``; vertices may
+  be listed explicitly to pin ordering/typing, but any endpoint appearing
+  only in ``edges`` is accepted too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.graphs.core import Graph, GraphError
+
+__all__ = [
+    "parse_edge_list",
+    "format_edge_list",
+    "load_edge_list",
+    "save_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "load_graph",
+]
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(text: str) -> Graph:
+    """Parse an edge-list document into a :class:`Graph`."""
+    pairs: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 2:
+            raise GraphError(
+                f"line {lineno}: expected two vertex labels, got {len(fields)}"
+            )
+        pairs.append((fields[0], fields[1]))
+    if all(_is_int(u) and _is_int(v) for u, v in pairs):
+        return Graph((int(u), int(v)) for u, v in pairs)
+    return Graph(pairs)
+
+
+def _is_int(label: str) -> bool:
+    try:
+        int(label)
+    except ValueError:
+        return False
+    return True
+
+
+def format_edge_list(graph: Graph) -> str:
+    """Render a graph as a deterministic edge-list document."""
+    lines = [f"{u} {v}" for u, v in graph.sorted_edges()]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_edge_list(path: PathLike) -> Graph:
+    """Read an edge-list file from disk."""
+    return parse_edge_list(Path(path).read_text())
+
+
+def save_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write a graph to disk in edge-list format."""
+    Path(path).write_text(format_edge_list(graph))
+
+
+def graph_to_json(graph: Graph) -> str:
+    """Serialize a graph as a JSON document (sorted, hence deterministic)."""
+    payload = {
+        "vertices": graph.sorted_vertices(),
+        "edges": [list(e) for e in graph.sorted_edges()],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Inverse of :func:`graph_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON graph document: {exc}") from exc
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise GraphError("JSON graph document must be an object with an 'edges' key")
+    edges = [tuple(e) for e in payload["edges"]]
+    for e in edges:
+        if len(e) != 2:
+            raise GraphError(f"edge {e!r} is not a pair")
+    vertices: Sequence = payload.get("vertices", ())
+    return Graph(edges, vertices=vertices, allow_isolated=False)
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a graph, dispatching on the file extension (``.json`` vs
+    anything else = edge list)."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return graph_from_json(path.read_text())
+    return load_edge_list(path)

@@ -1,0 +1,113 @@
+"""Classical graph metrics: distances, girth, density, degree statistics.
+
+Used by the security report to characterize a network before the
+game-theoretic sections, and by the experiment harness to describe
+workload instances.  All BFS-based and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, Optional
+
+from repro.graphs.core import Graph, GraphError, Vertex
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "radius",
+    "girth",
+    "density",
+    "degree_histogram",
+    "average_degree",
+]
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise GraphError(f"vertex {source!r} is not in the graph")
+    distances: Dict[Vertex, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            if u not in distances:
+                distances[u] = distances[v] + 1
+                queue.append(u)
+    return distances
+
+
+def eccentricity(graph: Graph, vertex: Vertex) -> int:
+    """Largest hop distance from ``vertex``.
+
+    Raises :class:`GraphError` when the graph is disconnected (the
+    eccentricity would be infinite).
+    """
+    distances = bfs_distances(graph, vertex)
+    if len(distances) != graph.n:
+        raise GraphError("eccentricity undefined on a disconnected graph")
+    return max(distances.values())
+
+
+def diameter(graph: Graph) -> int:
+    """Largest eccentricity; connected graphs only."""
+    if graph.n == 0:
+        raise GraphError("diameter undefined on the empty graph")
+    return max(eccentricity(graph, v) for v in graph.sorted_vertices())
+
+
+def radius(graph: Graph) -> int:
+    """Smallest eccentricity; connected graphs only."""
+    if graph.n == 0:
+        raise GraphError("radius undefined on the empty graph")
+    return min(eccentricity(graph, v) for v in graph.sorted_vertices())
+
+
+def girth(graph: Graph) -> Optional[int]:
+    """Length of the shortest cycle, or ``None`` for forests.
+
+    BFS from every vertex; a non-tree edge closing at depths
+    ``d(u), d(v)`` witnesses a cycle of length ``d(u) + d(v) + 1``.
+    Exact for unweighted graphs.
+    """
+    best: Optional[int] = None
+    for root in graph.sorted_vertices():
+        depth: Dict[Vertex, int] = {root: 0}
+        parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+        queue: deque = deque([root])
+        while queue:
+            v = queue.popleft()
+            if best is not None and depth[v] * 2 >= best:
+                continue  # deeper layers cannot improve the bound
+            for u in graph.neighbors(v):
+                if u not in depth:
+                    depth[u] = depth[v] + 1
+                    parent[u] = v
+                    queue.append(u)
+                elif parent[v] != u:
+                    cycle = depth[v] + depth[u] + 1
+                    if best is None or cycle < best:
+                        best = cycle
+    return best
+
+
+def density(graph: Graph) -> float:
+    """``2m / (n(n−1))`` — fraction of possible edges present."""
+    if graph.n < 2:
+        raise GraphError("density undefined below 2 vertices")
+    return 2.0 * graph.m / (graph.n * (graph.n - 1))
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """``{degree: vertex count}``, ascending by degree."""
+    counts = Counter(graph.degree(v) for v in graph.vertices())
+    return dict(sorted(counts.items()))
+
+
+def average_degree(graph: Graph) -> float:
+    """``2m / n``."""
+    if graph.n == 0:
+        raise GraphError("average degree undefined on the empty graph")
+    return 2.0 * graph.m / graph.n

@@ -1,0 +1,205 @@
+"""Structural graph predicates used throughout the paper.
+
+§2.1 of the paper defines the vocabulary the whole development rests on:
+independent sets, vertex covers, edge covers, matchings, bipartiteness and
+``S``-expanders.  This module implements each as an explicit predicate over
+:class:`~repro.graphs.core.Graph`, plus the connectivity helpers the model
+definition (Definition 2.1: connected graph, no isolated vertices) needs.
+
+Expander checks are re-exported from :mod:`repro.matching.hall`, where they
+are decided in polynomial time via Hall's theorem.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.core import Edge, Graph, GraphError, Vertex, canonical_edge
+
+__all__ = [
+    "is_independent_set",
+    "is_vertex_cover",
+    "is_edge_cover",
+    "is_matching",
+    "is_matched_in",
+    "vertices_covered_by_edges",
+    "uncovered_vertices",
+    "connected_components",
+    "is_connected",
+    "bipartition",
+    "is_bipartite",
+    "is_regular",
+    "min_degree",
+    "max_degree",
+    "is_expander",
+    "is_expander_into",
+]
+
+
+def _check_vertices(graph: Graph, vertices: Iterable[Vertex]) -> Set[Vertex]:
+    vset = set(vertices)
+    missing = [v for v in vset if v not in graph]
+    if missing:
+        raise GraphError(f"vertices not in graph: {missing!r}")
+    return vset
+
+
+def _check_edges(graph: Graph, edges: Iterable[Edge]) -> Set[Edge]:
+    eset = {canonical_edge(u, v) for u, v in edges}
+    missing = [e for e in eset if e not in graph.edges()]
+    if missing:
+        raise GraphError(f"edges not in graph: {missing!r}")
+    return eset
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[Vertex]) -> bool:
+    """True when no two of the given vertices are adjacent in ``graph``."""
+    vset = _check_vertices(graph, vertices)
+    return all(not (graph.neighbors(v) & vset) for v in vset)
+
+
+def is_vertex_cover(graph: Graph, vertices: Iterable[Vertex]) -> bool:
+    """True when every edge of ``graph`` has an endpoint in ``vertices``."""
+    vset = _check_vertices(graph, vertices)
+    return all(u in vset or v in vset for u, v in graph.edges())
+
+
+def vertices_covered_by_edges(edges: Iterable[Edge]) -> FrozenSet[Vertex]:
+    """``V(T)`` in the paper's notation: all endpoints of an edge set."""
+    covered: Set[Vertex] = set()
+    for u, v in edges:
+        covered.add(u)
+        covered.add(v)
+    return frozenset(covered)
+
+
+def uncovered_vertices(graph: Graph, edges: Iterable[Edge]) -> FrozenSet[Vertex]:
+    """Vertices of ``graph`` that no edge in the given set touches."""
+    return frozenset(graph.vertices() - vertices_covered_by_edges(edges))
+
+
+def is_edge_cover(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """True when every vertex of ``graph`` is an endpoint of some edge."""
+    eset = _check_edges(graph, edges)
+    return not uncovered_vertices(graph, eset)
+
+
+def is_matching(graph: Graph, edges: Iterable[Edge]) -> bool:
+    """True when no two of the given edges share an endpoint."""
+    eset = _check_edges(graph, edges)
+    seen: Set[Vertex] = set()
+    for u, v in eset:
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True
+
+
+def is_matched_in(
+    graph: Graph, vertices: Iterable[Vertex], matching: Iterable[Edge]
+) -> bool:
+    """True when every given vertex is an endpoint of the matching.
+
+    This is the paper's "set ``S`` is matched in ``M``" (§2.1).
+    """
+    eset = _check_edges(graph, matching)
+    if not is_matching(graph, eset):
+        raise GraphError("the given edge set is not a matching")
+    covered = vertices_covered_by_edges(eset)
+    return all(v in covered for v in _check_vertices(graph, vertices))
+
+
+def connected_components(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """Connected components in deterministic order of their minimum vertex."""
+    remaining = set(graph.vertices())
+    components: List[FrozenSet[Vertex]] = []
+    for start in graph.sorted_vertices():
+        if start not in remaining:
+            continue
+        component: Set[Vertex] = {start}
+        queue: deque = deque([start])
+        remaining.discard(start)
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u in remaining:
+                    remaining.discard(u)
+                    component.add(u)
+                    queue.append(u)
+        components.append(frozenset(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for the empty graph and any single-component graph."""
+    if graph.n == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def bipartition(graph: Graph) -> Optional[Tuple[FrozenSet[Vertex], FrozenSet[Vertex]]]:
+    """Two-color the graph, returning ``(left, right)`` or ``None``.
+
+    Works component by component (isolated vertices, when present, land on
+    the left side).  Deterministic: each component is rooted at its
+    smallest vertex, which goes left.
+    """
+    color: Dict[Vertex, int] = {}
+    for start in graph.sorted_vertices():
+        if start in color:
+            continue
+        color[start] = 0
+        queue: deque = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u not in color:
+                    color[u] = 1 - color[v]
+                    queue.append(u)
+                elif color[u] == color[v]:
+                    return None
+    left = frozenset(v for v, c in color.items() if c == 0)
+    right = frozenset(v for v, c in color.items() if c == 1)
+    return left, right
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """True when the vertex set splits into two independent classes."""
+    return bipartition(graph) is not None
+
+
+def min_degree(graph: Graph) -> int:
+    """The smallest vertex degree (``δ(G)``); undefined on the empty graph."""
+    if graph.n == 0:
+        raise GraphError("degree undefined on the empty graph")
+    return min(graph.degree(v) for v in graph.vertices())
+
+
+def max_degree(graph: Graph) -> int:
+    """The largest vertex degree (``Δ(G)``); undefined on the empty graph."""
+    if graph.n == 0:
+        raise GraphError("degree undefined on the empty graph")
+    return max(graph.degree(v) for v in graph.vertices())
+
+
+def is_regular(graph: Graph) -> bool:
+    """True when all vertices share the same degree."""
+    if graph.n == 0:
+        return True
+    return min_degree(graph) == max_degree(graph)
+
+
+def is_expander(graph: Graph, source: Iterable[Vertex]):
+    """Paper's literal ``S``-expander test; see :mod:`repro.matching.hall`."""
+    from repro.matching.hall import is_expander as _impl
+
+    return _impl(graph, _check_vertices(graph, source))
+
+
+def is_expander_into(graph: Graph, source: Iterable[Vertex], target: Iterable[Vertex]):
+    """Hall condition of ``source`` into ``target``; see :mod:`repro.matching.hall`."""
+    from repro.matching.hall import is_expander_into as _impl
+
+    return _impl(graph, _check_vertices(graph, source), _check_vertices(graph, target))

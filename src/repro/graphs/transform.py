@@ -1,0 +1,82 @@
+"""Graph transformations: relabeling, disjoint union, subdivision.
+
+Composition helpers for building scenario networks, plus one transform
+with game-theoretic teeth: **subdivision**.  Placing a relay host on every
+link makes any network bipartite (every cycle doubles in length), and
+bipartite networks *always* admit k-matching equilibria (Theorem 5.1) —
+so subdivision is a topology-level mitigation that brings a stubborn
+network (a Petersen mesh, an odd ring) into the reach of the paper's
+constructive machinery.  The ``subdivided_topology_always_solves``
+integration test and the examples exercise exactly that story.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graphs.core import Edge, Graph, GraphError, Vertex, canonical_edge
+
+__all__ = ["relabel", "disjoint_union", "subdivide", "complement"]
+
+
+def relabel(graph: Graph, mapping: Callable[[Vertex], Vertex]) -> Graph:
+    """Apply a vertex-renaming function; must be injective on ``V``."""
+    new_names: Dict[Vertex, Vertex] = {}
+    for v in graph.vertices():
+        name = mapping(v)
+        new_names[v] = name
+    if len(set(new_names.values())) != graph.n:
+        raise GraphError("relabeling function is not injective on the vertex set")
+    return Graph(
+        (new_names[u], new_names[v]) for u, v in graph.edges()
+    )
+
+
+def disjoint_union(left: Graph, right: Graph) -> Graph:
+    """Disjoint union, keeping labels apart by tagging each side.
+
+    Vertices become ``("L", v)`` / ``("R", v)`` pairs, so the operands'
+    label spaces can overlap freely.
+    """
+    edges: List[Edge] = [
+        (("L", u), ("L", v)) for u, v in left.edges()
+    ] + [
+        (("R", u), ("R", v)) for u, v in right.edges()
+    ]
+    return Graph(edges)
+
+
+def subdivide(graph: Graph) -> Graph:
+    """Subdivide every edge once: ``u—v`` becomes ``u—(u,v)—v``.
+
+    The relay vertex is the canonical edge tuple itself.  The result is
+    always bipartite (original vertices on one side, relays on the other),
+    with ``n + m`` vertices and ``2m`` edges.
+    """
+    if graph.m == 0:
+        raise GraphError("cannot subdivide an edgeless graph")
+    edges: List[Edge] = []
+    for u, v in graph.edges():
+        relay = canonical_edge(u, v)
+        edges.append((u, relay))
+        edges.append((relay, v))
+    return Graph(edges)
+
+
+def complement(graph: Graph) -> Graph:
+    """The complement graph on the same vertices.
+
+    Vertices isolated in the complement (i.e. universal vertices of the
+    input) make the result unusable as a game instance; the constructor
+    is therefore called with ``allow_isolated=True`` and callers should
+    run :meth:`~repro.graphs.core.Graph.validate_for_game` before playing
+    on it.
+    """
+    vertices = graph.sorted_vertices()
+    edges = [
+        (u, v)
+        for i, u in enumerate(vertices)
+        for v in vertices[i + 1:]
+        if not graph.has_edge(u, v)
+    ]
+    return Graph(edges, vertices=vertices, allow_isolated=True)

@@ -1,0 +1,65 @@
+"""Matching engine: Hopcroft–Karp, blossom, König, Gallai, Hall.
+
+These classical algorithms are the polynomial-time machinery behind the
+paper's complexity claims (Corollary 3.2, Theorems 4.13 and 5.1); all are
+implemented from scratch in this package.
+"""
+
+from repro.matching.blossom import matching_number, maximum_matching
+from repro.matching.covers import (
+    extend_matching_to_edge_cover,
+    has_edge_cover_of_size,
+    minimum_edge_cover,
+    minimum_edge_cover_size,
+)
+from repro.matching.hall import (
+    HallResult,
+    check_hall,
+    find_saturating_matching,
+    is_expander,
+    is_expander_into,
+)
+from repro.matching.hopcroft_karp import (
+    MatchingResult,
+    hopcroft_karp,
+    maximum_bipartite_matching,
+)
+from repro.matching.konig import (
+    KonigResult,
+    konig_vertex_cover,
+    minimum_vertex_cover_bipartite,
+)
+from repro.matching.partition import (
+    Partition,
+    bipartite_partition,
+    exact_partition_search,
+    find_partition,
+    greedy_partition,
+    is_valid_partition,
+)
+
+__all__ = [
+    "matching_number",
+    "maximum_matching",
+    "extend_matching_to_edge_cover",
+    "has_edge_cover_of_size",
+    "minimum_edge_cover",
+    "minimum_edge_cover_size",
+    "HallResult",
+    "check_hall",
+    "find_saturating_matching",
+    "is_expander",
+    "is_expander_into",
+    "MatchingResult",
+    "hopcroft_karp",
+    "maximum_bipartite_matching",
+    "KonigResult",
+    "konig_vertex_cover",
+    "minimum_vertex_cover_bipartite",
+    "Partition",
+    "bipartite_partition",
+    "exact_partition_search",
+    "find_partition",
+    "greedy_partition",
+    "is_valid_partition",
+]

@@ -1,0 +1,166 @@
+"""Edmonds' blossom algorithm: maximum matching in *general* graphs.
+
+Pure Nash equilibria of the Tuple model exist exactly when the graph has an
+edge cover of size ``k`` (Theorem 3.1), and by Gallai's identity the minimum
+edge cover of any graph has size ``n − ν(G)`` where ``ν(G)`` is the maximum
+matching number.  The paper's graphs are arbitrary (not only bipartite), so
+deciding pure-NE existence in polynomial time (Corollary 3.2) needs a
+general maximum-matching routine — this module.
+
+The implementation is the classical ``O(n³)`` blossom-shrinking algorithm:
+grow alternating BFS trees from free vertices; a cross edge between two
+even-level vertices in the same tree reveals an odd cycle (*blossom*) that
+is contracted by re-basing its vertices, while a cross edge to another tree
+yields an augmenting path.
+
+Vertices of the input :class:`~repro.graphs.core.Graph` are mapped to dense
+integer indices internally and mapped back on output.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set
+
+from repro.graphs.core import Edge, Graph, Vertex, canonical_edge
+
+__all__ = ["maximum_matching", "matching_number"]
+
+
+class _BlossomState:
+    """Mutable working state for one augmenting-path search."""
+
+    __slots__ = ("n", "adj", "match", "parent", "base")
+
+    def __init__(self, n: int, adj: List[List[int]]) -> None:
+        self.n = n
+        self.adj = adj
+        self.match: List[int] = [-1] * n
+        self.parent: List[int] = [-1] * n
+        self.base: List[int] = list(range(n))
+
+    def _lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor of ``a`` and ``b`` in the alternating
+        tree, working over blossom bases."""
+        used = [False] * self.n
+        v = a
+        while True:
+            v = self.base[v]
+            used[v] = True
+            if self.match[v] == -1:
+                break
+            v = self.parent[self.match[v]]
+        v = b
+        while True:
+            v = self.base[v]
+            if used[v]:
+                return v
+            v = self.parent[self.match[v]]
+
+    def _mark_path(
+        self, v: int, b: int, child: int, in_blossom: List[bool]
+    ) -> None:
+        """Mark blossom vertices on the tree path from ``v`` down to base
+        ``b`` and re-hang parents so the contracted blossom stays even."""
+        while self.base[v] != b:
+            in_blossom[self.base[v]] = True
+            in_blossom[self.base[self.match[v]]] = True
+            self.parent[v] = child
+            child = self.match[v]
+            v = self.parent[self.match[v]]
+
+    def find_augmenting_path(self, root: int) -> int:
+        """BFS from free vertex ``root``; returns the free vertex ending an
+        augmenting path, or ``-1`` when none exists."""
+        used = [False] * self.n
+        self.parent = [-1] * self.n
+        self.base = list(range(self.n))
+        used[root] = True
+        queue: deque = deque([root])
+        while queue:
+            v = queue.popleft()
+            for to in self.adj[v]:
+                if self.base[v] == self.base[to] or self.match[v] == to:
+                    continue
+                if to == root or (
+                    self.match[to] != -1 and self.parent[self.match[to]] != -1
+                ):
+                    # ``to`` is an even (outer) vertex in the same tree:
+                    # contract the blossom closed by edge (v, to).
+                    current_base = self._lca(v, to)
+                    in_blossom = [False] * self.n
+                    self._mark_path(v, current_base, to, in_blossom)
+                    self._mark_path(to, current_base, v, in_blossom)
+                    for i in range(self.n):
+                        if in_blossom[self.base[i]]:
+                            self.base[i] = current_base
+                            if not used[i]:
+                                used[i] = True
+                                queue.append(i)
+                elif self.parent[to] == -1:
+                    self.parent[to] = v
+                    if self.match[to] == -1:
+                        return to
+                    if not used[self.match[to]]:
+                        used[self.match[to]] = True
+                        queue.append(self.match[to])
+        return -1
+
+    def augment(self, finish: int) -> None:
+        """Flip matched/unmatched edges along the found path ending at the
+        free vertex ``finish``."""
+        v = finish
+        while v != -1:
+            pv = self.parent[v]
+            ppv = self.match[pv]
+            self.match[v] = pv
+            self.match[pv] = v
+            v = ppv
+
+
+def maximum_matching(graph: Graph) -> FrozenSet[Edge]:
+    """Compute a maximum-cardinality matching of ``graph``.
+
+    Returns the matching as a frozenset of canonical edges.  Deterministic:
+    vertices are processed in the graph's canonical order.
+
+    Examples
+    --------
+    >>> g = Graph([(1, 2), (2, 3), (3, 1)])  # triangle
+    >>> len(maximum_matching(g))
+    1
+    """
+    order = graph.sorted_vertices()
+    index: Dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+    n = len(order)
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u, v in graph.sorted_edges():
+        adj[index[u]].append(index[v])
+        adj[index[v]].append(index[u])
+
+    state = _BlossomState(n, adj)
+
+    # Greedy warm start halves the number of expensive BFS phases.
+    for u, v in graph.sorted_edges():
+        iu, iv = index[u], index[v]
+        if state.match[iu] == -1 and state.match[iv] == -1:
+            state.match[iu] = iv
+            state.match[iv] = iu
+
+    for v in range(n):
+        if state.match[v] == -1:
+            finish = state.find_augmenting_path(v)
+            if finish != -1:
+                state.augment(finish)
+
+    matched: Set[Edge] = set()
+    for i in range(n):
+        j = state.match[i]
+        if j != -1 and i < j:
+            matched.add(canonical_edge(order[i], order[j]))
+    return frozenset(matched)
+
+
+def matching_number(graph: Graph) -> int:
+    """``ν(G)``, the maximum matching cardinality."""
+    return len(maximum_matching(graph))

@@ -1,0 +1,83 @@
+"""Minimum edge covers via Gallai's identity.
+
+Theorem 3.1 reduces pure-NE existence of ``Π_k(G)`` to "does ``G`` have an
+edge cover of size ``k``?", and Corollary 3.2 notes the question is
+polynomial.  The classical route (the one the paper cites through [11]) is:
+
+1. compute a maximum matching ``M`` (blossom algorithm — the graph need not
+   be bipartite);
+2. extend ``M`` greedily: every vertex left exposed by ``M`` picks one
+   arbitrary incident edge.
+
+The result is a minimum edge cover of size ``n − |M|`` (Gallai, 1959): each
+added edge covers exactly one previously-exposed vertex (two exposed
+vertices can never be adjacent once ``M`` is maximum), giving
+``|M| + (n − 2|M|)`` edges, and no edge cover can do better.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.graphs.core import Edge, Graph, Vertex
+from repro.matching.blossom import matching_number, maximum_matching
+
+__all__ = [
+    "minimum_edge_cover",
+    "minimum_edge_cover_size",
+    "has_edge_cover_of_size",
+    "extend_matching_to_edge_cover",
+]
+
+
+def extend_matching_to_edge_cover(graph: Graph, matching: FrozenSet[Edge]) -> FrozenSet[Edge]:
+    """Extend a matching to an edge cover by giving each exposed vertex one
+    incident edge (the deterministically smallest).
+
+    When the matching is *maximum* the result is a minimum edge cover.
+    Requires the graph to have no isolated vertices.
+    """
+    graph.validate_for_game()
+    cover: Set[Edge] = set(matching)
+    covered: Set[Vertex] = set()
+    for u, v in matching:
+        covered.add(u)
+        covered.add(v)
+    for v in graph.sorted_vertices():
+        if v not in covered:
+            edge = graph.incident_edges(v)[0]
+            cover.add(edge)
+            covered.add(edge[0])
+            covered.add(edge[1])
+    return frozenset(cover)
+
+
+def minimum_edge_cover(graph: Graph) -> FrozenSet[Edge]:
+    """A minimum-cardinality edge cover of ``graph``.
+
+    Size is always ``n − ν(G)`` (Gallai).  Raises
+    :class:`~repro.graphs.core.GraphError` on graphs with isolated
+    vertices, which admit no edge cover at all.
+    """
+    graph.validate_for_game()
+    return extend_matching_to_edge_cover(graph, maximum_matching(graph))
+
+
+def minimum_edge_cover_size(graph: Graph) -> int:
+    """``ρ(G) = n − ν(G)`` without materializing the cover."""
+    graph.validate_for_game()
+    return graph.n - matching_number(graph)
+
+
+def has_edge_cover_of_size(graph: Graph, k: int) -> bool:
+    """Decide whether ``graph`` has an edge cover using exactly ``k``
+    *distinct* edges.
+
+    Monotone above the minimum: any minimum cover can absorb arbitrary
+    extra edges, so the answer is ``ρ(G) ≤ k ≤ m``.
+    """
+    if k < 1:
+        return False
+    if k > graph.m:
+        return False
+    return minimum_edge_cover_size(graph) <= k

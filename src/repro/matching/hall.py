@@ -1,0 +1,163 @@
+"""Hall-condition and expander checks.
+
+Theorem 2.2 (via [MPPS05]) and Corollary 4.11 characterize graphs with
+(k-)matching Nash equilibria through an expander condition on the vertex
+cover side of a partition: ``G`` is a ``VC``-expander when every
+``X ⊆ VC`` satisfies ``|X| ≤ |Neigh_G(X)|``.
+
+Checking such conditions naively is exponential, but Hall's theorem turns
+each of them into a single maximum-matching computation on an auxiliary
+bipartite graph: the condition holds iff the left class can be saturated.
+When it fails, the set of left vertices reachable by alternating paths from
+any unmatched left vertex is a concrete *violator* ``X`` with
+``|Neigh(X)| < |X|`` — returned to the caller as a certificate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set
+
+from repro.graphs.core import Graph, Vertex, vertex_sort_key
+from repro.matching.hopcroft_karp import MatchingResult, hopcroft_karp
+
+__all__ = [
+    "HallResult",
+    "check_hall",
+    "is_expander_into",
+    "is_expander",
+    "find_saturating_matching",
+]
+
+
+class HallResult:
+    """Outcome of a Hall-condition check.
+
+    Attributes
+    ----------
+    holds:
+        True when every subset of the left class has enough neighbors.
+    matching:
+        A maximum matching of the auxiliary bipartite graph; saturating
+        exactly when ``holds``.
+    violator:
+        When the condition fails, a set ``X`` of left vertices with
+        ``|N(X)| < |X|``; ``None`` otherwise.
+    """
+
+    __slots__ = ("holds", "matching", "violator")
+
+    def __init__(
+        self,
+        holds: bool,
+        matching: MatchingResult,
+        violator: Optional[FrozenSet[Hashable]],
+    ) -> None:
+        self.holds = holds
+        self.matching = matching
+        self.violator = violator
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        return f"HallResult(holds={self.holds}, matching_size={self.matching.size})"
+
+
+def _alternating_reachable(
+    start: Hashable,
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+    match_right: Mapping[Hashable, Hashable],
+) -> FrozenSet[Hashable]:
+    """Left vertices reachable from ``start`` by alternating paths.
+
+    Paths alternate unmatched (left->right) and matched (right->left)
+    edges.  With a *maximum* matching and ``start`` unmatched, the returned
+    set is a Hall violator.
+    """
+    seen_left: Set[Hashable] = {start}
+    seen_right: Set[Hashable] = set()
+    queue: deque = deque([start])
+    while queue:
+        v = queue.popleft()
+        for r in adjacency.get(v, ()):
+            if r in seen_right:
+                continue
+            seen_right.add(r)
+            partner = match_right.get(r)
+            if partner is not None and partner not in seen_left:
+                seen_left.add(partner)
+                queue.append(partner)
+    return frozenset(seen_left)
+
+
+def check_hall(
+    left: Iterable[Hashable],
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> HallResult:
+    """Decide Hall's condition for a bipartite adjacency structure.
+
+    Returns a :class:`HallResult` carrying the maximum matching and, on
+    failure, a violating subset of the left class.
+    """
+    left_order: List[Hashable] = list(left)
+    matching = hopcroft_karp(left_order, adjacency)
+    unmatched = matching.unmatched_left(left_order)
+    if not unmatched:
+        return HallResult(True, matching, None)
+    violator = _alternating_reachable(unmatched[0], adjacency, matching.pairs_right)
+    return HallResult(False, matching, violator)
+
+
+def find_saturating_matching(
+    left: Iterable[Hashable],
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> Optional[MatchingResult]:
+    """A matching saturating ``left`` if one exists, else ``None``."""
+    result = check_hall(left, adjacency)
+    return result.matching if result.holds else None
+
+
+def _restricted_adjacency(
+    graph: Graph, source: Iterable[Vertex], target: Optional[Set[Vertex]]
+) -> Dict[Vertex, List[Vertex]]:
+    """Adjacency from ``source`` vertices to their graph neighbors,
+    optionally intersected with ``target``.  Deterministic ordering."""
+    adjacency: Dict[Vertex, List[Vertex]] = {}
+    for v in source:
+        neighbors = graph.neighbors(v)
+        if target is not None:
+            chosen = [u for u in neighbors if u in target]
+        else:
+            chosen = list(neighbors)
+        adjacency[v] = sorted(chosen, key=vertex_sort_key)
+    return adjacency
+
+
+def is_expander_into(
+    graph: Graph, source: Iterable[Vertex], target: Iterable[Vertex]
+) -> HallResult:
+    """Check ``|X| ≤ |Neigh_G(X) ∩ target|`` for every ``X ⊆ source``.
+
+    This is the effective condition used by the matching-NE construction:
+    the cover side ``VC`` must be matchable *into* the independent side
+    ``IS`` (see DESIGN.md §2).  Decided exactly via Hall's theorem.
+    """
+    target_set = set(target)
+    source_list = sorted(set(source), key=vertex_sort_key)
+    adjacency = _restricted_adjacency(graph, source_list, target_set)
+    return check_hall(source_list, adjacency)
+
+
+def is_expander(graph: Graph, source: Iterable[Vertex]) -> HallResult:
+    """Check the paper's literal ``S``-expander condition.
+
+    §2.1: ``G`` is an ``S``-expander when every ``X ⊆ S`` satisfies
+    ``|X| ≤ |Neigh_G(X)|`` (neighbors taken in the whole graph).  Hall's
+    theorem applies verbatim to the bipartite *incidence* structure
+    ``S × V(G)``, so this too is one matching computation, not a subset
+    enumeration.
+    """
+    source_list = sorted(set(source), key=vertex_sort_key)
+    adjacency = _restricted_adjacency(graph, source_list, None)
+    return check_hall(source_list, adjacency)

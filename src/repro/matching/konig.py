@@ -1,0 +1,103 @@
+"""König's theorem: minimum vertex covers of bipartite graphs.
+
+Theorem 5.1 applies Algorithm ``A_tuple`` to bipartite graphs with ``VC`` a
+*minimum* vertex cover and ``IS = V \\ VC`` the complementary independent
+set.  König's theorem makes that cover computable from one Hopcroft–Karp
+run: with ``Z`` the set of vertices reachable by alternating paths from the
+unmatched left vertices, ``(L \\ Z) ∪ (R ∩ Z)`` is a vertex cover of size
+equal to the maximum matching, hence minimum.
+
+The same run certifies the C4.11 characterization for bipartite graphs: the
+matching it produces saturates ``VC`` into ``IS`` (DESIGN.md §2), which is
+exactly what Algorithm ``A`` needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Set
+
+from repro.graphs.core import Graph, GraphError, Vertex, vertex_sort_key
+from repro.graphs.properties import bipartition
+from repro.matching.hopcroft_karp import MatchingResult, hopcroft_karp
+
+__all__ = ["konig_vertex_cover", "minimum_vertex_cover_bipartite", "KonigResult"]
+
+
+class KonigResult:
+    """Minimum vertex cover of a bipartite graph plus its certificates.
+
+    Attributes
+    ----------
+    cover:
+        A minimum vertex cover (``|cover|`` equals the matching number).
+    independent_set:
+        Its complement, a maximum independent set.
+    matching:
+        The maximum matching witnessing minimality, as a
+        :class:`~repro.matching.hopcroft_karp.MatchingResult` with the
+        graph's left class on the left.
+    left, right:
+        The bipartition used.
+    """
+
+    __slots__ = ("cover", "independent_set", "matching", "left", "right")
+
+    def __init__(
+        self,
+        cover: FrozenSet[Vertex],
+        independent_set: FrozenSet[Vertex],
+        matching: MatchingResult,
+        left: FrozenSet[Vertex],
+        right: FrozenSet[Vertex],
+    ) -> None:
+        self.cover = cover
+        self.independent_set = independent_set
+        self.matching = matching
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"KonigResult(cover_size={len(self.cover)})"
+
+
+def konig_vertex_cover(graph: Graph) -> KonigResult:
+    """Compute a minimum vertex cover of a bipartite graph.
+
+    Raises :class:`~repro.graphs.core.GraphError` when the graph is not
+    bipartite.  Deterministic for a given graph.
+    """
+    parts = bipartition(graph)
+    if parts is None:
+        raise GraphError("König's theorem requires a bipartite graph")
+    left, right = parts
+
+    left_order = sorted(left, key=vertex_sort_key)
+    adjacency: Dict[Vertex, List[Vertex]] = {
+        v: sorted(graph.neighbors(v), key=vertex_sort_key) for v in left_order
+    }
+    matching = hopcroft_karp(left_order, adjacency)
+
+    # Alternating BFS from unmatched left vertices.
+    reachable_left: Set[Vertex] = set(matching.unmatched_left(left_order))
+    reachable_right: Set[Vertex] = set()
+    queue: deque = deque(reachable_left)
+    while queue:
+        v = queue.popleft()
+        for r in adjacency[v]:
+            if r in reachable_right:
+                continue
+            reachable_right.add(r)
+            partner = matching.pairs_right.get(r)
+            if partner is not None and partner not in reachable_left:
+                reachable_left.add(partner)
+                queue.append(partner)
+
+    cover = frozenset((left - reachable_left) | reachable_right)
+    independent = frozenset(graph.vertices() - cover)
+    return KonigResult(cover, independent, matching, left, right)
+
+
+def minimum_vertex_cover_bipartite(graph: Graph) -> FrozenSet[Vertex]:
+    """Just the cover from :func:`konig_vertex_cover`."""
+    return konig_vertex_cover(graph).cover

@@ -1,0 +1,147 @@
+"""Finding the ``IS``/``VC`` partitions of Theorem 2.2 / Corollary 4.11.
+
+A graph admits a (k-)matching Nash equilibrium iff its vertices can be
+split into an independent set ``IS`` and ``VC = V \\ IS`` such that ``VC``
+expands into ``IS`` (every ``X ⊆ VC`` has ``|Neigh(X) ∩ IS| ≥ |X|`` — see
+DESIGN.md §2 for why the "into" form is the operative one).  This module
+hosts the three strategies the library uses to find such partitions:
+
+* :func:`bipartite_partition` — constructive and always succeeds on
+  bipartite graphs: take a König minimum vertex cover as ``VC`` (the
+  maximum matching saturates it into the complement);
+* :func:`exact_partition_search` — exhaustive over independent sets, for
+  small general graphs (complete existence oracle);
+* :func:`greedy_partition` — maximal-independent-set restarts for larger
+  general graphs (sound but incomplete).
+
+A structural fact worth noting (proved in DESIGN.md §2 and property-tested):
+*every* valid partition has ``|IS| = n − ν(G)``, the minimum-edge-cover
+size, so downstream quantities such as the defender's gain ``k·ν/|IS|`` do
+not depend on which valid partition is chosen.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.core import Graph, Vertex
+from repro.graphs.properties import bipartition, is_independent_set
+from repro.matching.hall import is_expander_into
+from repro.matching.konig import konig_vertex_cover
+
+__all__ = [
+    "Partition",
+    "is_valid_partition",
+    "bipartite_partition",
+    "exact_partition_search",
+    "greedy_partition",
+    "find_partition",
+]
+
+Partition = Tuple[FrozenSet[Vertex], FrozenSet[Vertex]]
+"""A ``(IS, VC)`` pair with ``VC = V \\ IS``."""
+
+_EXACT_SEARCH_LIMIT = 24
+"""Largest vertex count for which exhaustive partition search is attempted."""
+
+
+def is_valid_partition(graph: Graph, independent: Iterable[Vertex]) -> bool:
+    """Check that ``independent`` induces a partition satisfying C4.11.
+
+    Conditions: ``IS`` is an independent set and ``VC = V \\ IS`` expands
+    into ``IS`` (Hall).  An empty ``IS`` is never valid (the game needs a
+    non-empty attacker support), and ``IS = V`` is valid only for edgeless
+    graphs, which the model excludes anyway.
+    """
+    is_set = frozenset(independent)
+    if not is_set:
+        return False
+    if not is_independent_set(graph, is_set):
+        return False
+    vc = graph.vertices() - is_set
+    return bool(is_expander_into(graph, vc, is_set))
+
+
+def bipartite_partition(graph: Graph) -> Partition:
+    """The canonical partition for bipartite graphs (Theorem 5.1).
+
+    ``VC`` is a König minimum vertex cover; ``IS`` its complement.  The
+    maximum matching underlying König's theorem saturates ``VC`` with
+    partners in ``IS``, so the expander condition holds by construction.
+    """
+    result = konig_vertex_cover(graph)
+    return result.independent_set, result.cover
+
+
+def exact_partition_search(graph: Graph) -> Optional[Partition]:
+    """Exhaustively search for a valid partition (small graphs only).
+
+    Enumerates subsets as candidate independent sets, largest first so the
+    partition found yields the smallest ``VC``.  Returns ``None`` when no
+    valid partition exists — this is a complete existence oracle, used by
+    tests as ground truth for C4.11.  Raises ``ValueError`` above
+    ``_EXACT_SEARCH_LIMIT`` vertices.
+    """
+    if graph.n > _EXACT_SEARCH_LIMIT:
+        raise ValueError(
+            f"exact search is limited to {_EXACT_SEARCH_LIMIT} vertices; "
+            f"got {graph.n} (use greedy_partition or bipartite_partition)"
+        )
+    vertices = graph.sorted_vertices()
+    n = len(vertices)
+    candidates: List[FrozenSet[Vertex]] = []
+    for mask in range(1, 1 << n):
+        subset = frozenset(vertices[i] for i in range(n) if mask >> i & 1)
+        if is_independent_set(graph, subset):
+            candidates.append(subset)
+    candidates.sort(key=len, reverse=True)
+    for subset in candidates:
+        vc = graph.vertices() - subset
+        if is_expander_into(graph, vc, subset):
+            return subset, frozenset(vc)
+    return None
+
+
+def _greedy_independent_set(graph: Graph, rng: random.Random) -> FrozenSet[Vertex]:
+    """A maximal independent set grown in randomized low-degree-first order."""
+    order = graph.sorted_vertices()
+    order.sort(key=lambda v: (graph.degree(v), rng.random()))
+    chosen: Set[Vertex] = set()
+    blocked: Set[Vertex] = set()
+    for v in order:
+        if v not in blocked:
+            chosen.add(v)
+            blocked.add(v)
+            blocked.update(graph.neighbors(v))
+    return frozenset(chosen)
+
+
+def greedy_partition(
+    graph: Graph, attempts: int = 32, seed: int = 0
+) -> Optional[Partition]:
+    """Randomized-restart heuristic partition search for general graphs.
+
+    Sound (any partition returned is valid) but incomplete: ``None`` means
+    "not found", not "does not exist".  Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    for _ in range(max(1, attempts)):
+        independent = _greedy_independent_set(graph, rng)
+        if is_valid_partition(graph, independent):
+            vc = graph.vertices() - independent
+            return independent, frozenset(vc)
+    return None
+
+
+def find_partition(graph: Graph, seed: int = 0) -> Optional[Partition]:
+    """Best-effort partition finder used by the high-level solvers.
+
+    Strategy: bipartite graphs constructively (always succeeds); otherwise
+    exhaustive search when small enough, falling back to greedy restarts.
+    """
+    if bipartition(graph) is not None:
+        return bipartite_partition(graph)
+    if graph.n <= _EXACT_SEARCH_LIMIT:
+        return exact_partition_search(graph)
+    return greedy_partition(graph, seed=seed)

@@ -1,0 +1,40 @@
+"""Generalized defender models: tuple, path and star strategy families.
+
+Extension of the paper motivated by its related work ([8]'s path-cleaning
+defender): the same game with a shape-constrained defender, solved by the
+generic minimax engine, to quantify the *power of the defender's shape*.
+"""
+
+from repro.models.equilibria import (
+    generalized_defender_profit,
+    generalized_hit_probabilities,
+    uniform_family_equilibrium,
+    verify_generalized_nash,
+)
+from repro.models.families import (
+    DefenderFamily,
+    KPathFamily,
+    KStarFamily,
+    KTupleFamily,
+    enumerate_k_edge_paths,
+)
+from repro.models.game import (
+    GeneralizedGame,
+    covering_strategy,
+    pure_nash_exists_generalized,
+)
+
+__all__ = [
+    "generalized_defender_profit",
+    "generalized_hit_probabilities",
+    "uniform_family_equilibrium",
+    "verify_generalized_nash",
+    "DefenderFamily",
+    "KPathFamily",
+    "KStarFamily",
+    "KTupleFamily",
+    "enumerate_k_edge_paths",
+    "GeneralizedGame",
+    "covering_strategy",
+    "pure_nash_exists_generalized",
+]

@@ -1,0 +1,140 @@
+"""Defender strategy families: tuples, paths, stars.
+
+The paper gives the defender *any* ``k`` distinct edges; its companion
+work (reference [8]: "a generalized variation of the Edge model, where the
+defender is able to clean a path of the graph") constrains the shape.
+This module abstracts the defender's strategy space as a *family* so the
+generalized game of :mod:`repro.models.game` can quantify what the shape
+constraint costs the defender:
+
+* :class:`KTupleFamily` — the paper's Tuple model: all ``C(m, k)`` sets of
+  ``k`` distinct edges;
+* :class:`KPathFamily` — the [8] variation: simple paths with exactly
+  ``k`` edges (``k+1`` distinct vertices), enumerated by DFS;
+* :class:`KStarFamily` — a deployment-friendly shape (one scanner placed
+  at a host watching ``k`` of its links): for every vertex ``v``, every
+  ``min(k, deg(v))``-subset of ``v``'s incident edges.
+
+Every family yields strategies as canonical edge tuples, so all the
+library's profit/coverage machinery applies unchanged.  Note the
+containments ``paths ⊆ tuples`` and (for constant strategy size) stars
+with exactly ``k`` edges ``⊆ tuples``, which force
+``value(path) ≤ value(tuple)`` — the inequality experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Set
+
+from repro.core.tuples import EdgeTuple, canonical_tuple
+from repro.graphs.core import Edge, Graph, GraphError, Vertex, canonical_edge, vertex_sort_key
+
+__all__ = [
+    "DefenderFamily",
+    "KTupleFamily",
+    "KPathFamily",
+    "KStarFamily",
+    "enumerate_k_edge_paths",
+]
+
+
+class DefenderFamily:
+    """Base class: a named, enumerable defender strategy space."""
+
+    name: str = "abstract"
+
+    def __init__(self, k: int) -> None:
+        if not isinstance(k, int) or k < 1:
+            raise GraphError(f"family size k must be a positive integer; got {k!r}")
+        self.k = k
+
+    def strategies(self, graph: Graph) -> Iterator[EdgeTuple]:
+        """Yield every strategy as a canonical edge tuple."""
+        raise NotImplementedError
+
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`GraphError` when the family is empty on ``graph``."""
+        for _ in self.strategies(graph):
+            return
+        raise GraphError(
+            f"the {self.name} family with k={self.k} is empty on this graph"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k})"
+
+
+class KTupleFamily(DefenderFamily):
+    """The paper's Tuple model: any ``k`` distinct edges."""
+
+    name = "tuple"
+
+    def strategies(self, graph: Graph) -> Iterator[EdgeTuple]:
+        if self.k > graph.m:
+            return
+        yield from combinations(graph.sorted_edges(), self.k)
+
+
+def enumerate_k_edge_paths(graph: Graph, k: int) -> Iterator[EdgeTuple]:
+    """All simple paths with exactly ``k`` edges, as canonical tuples.
+
+    A path visits ``k + 1`` distinct vertices.  Each path is found twice
+    (once per direction); deduplication keeps the canonical copy by only
+    emitting walks whose start vertex precedes the end vertex in the
+    library's deterministic order.  ``k = 1`` degenerates to single edges.
+    """
+    order = {v: i for i, v in enumerate(graph.sorted_vertices())}
+
+    def extend(current: Vertex, visited: List[Vertex], edges: List[Edge]):
+        if len(edges) == k:
+            if order[visited[0]] <= order[current]:
+                yield canonical_tuple(edges)
+            return
+        for neighbor in sorted(graph.neighbors(current), key=vertex_sort_key):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            edges.append(canonical_edge(current, neighbor))
+            visited.append(neighbor)
+            yield from extend(neighbor, visited, edges)
+            visited.pop()
+            edges.pop()
+            seen.discard(neighbor)
+
+    for start in graph.sorted_vertices():
+        seen: Set[Vertex] = {start}
+        yield from extend(start, [start], [])
+
+
+class KPathFamily(DefenderFamily):
+    """The [8] variation: the defender cleans a simple path of ``k`` edges."""
+
+    name = "path"
+
+    def strategies(self, graph: Graph) -> Iterator[EdgeTuple]:
+        yield from enumerate_k_edge_paths(graph, self.k)
+
+
+class KStarFamily(DefenderFamily):
+    """One scanner at a host, watching ``min(k, deg)`` of its links.
+
+    Capping at the degree keeps the family non-empty on low-degree
+    vertices; strategies of fewer than ``k`` edges are weaker, mirroring
+    the deployment reality that a leaf host cannot watch ``k`` links.
+    """
+
+    name = "star"
+
+    def strategies(self, graph: Graph) -> Iterator[EdgeTuple]:
+        emitted = set()
+        for v in graph.sorted_vertices():
+            incident = graph.incident_edges(v)
+            size = min(self.k, len(incident))
+            for combo in combinations(incident, size):
+                strategy = canonical_tuple(combo)
+                # Two adjacent vertices can generate the same single-edge
+                # strategy; deduplicate across centers.
+                if strategy not in emitted:
+                    emitted.add(strategy)
+                    yield strategy

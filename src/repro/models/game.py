@@ -1,0 +1,122 @@
+"""The generalized defender game: Π restricted to a strategy family.
+
+Same players and profits as Definition 2.1, but the defender draws from an
+arbitrary :class:`~repro.models.families.DefenderFamily` instead of the
+full ``E^k``.  Two of the paper's results transfer verbatim because their
+proofs never use the tuple structure:
+
+* **Generalized Theorem 3.1** — the game has a pure NE iff some family
+  strategy covers every vertex (:func:`pure_nash_exists_generalized`):
+  sufficiency is the same all-attackers-caught argument; necessity is the
+  same escape-and-starve argument.
+* **Value via LP** — the duel value is computable exactly by the generic
+  minimax LP (:meth:`GeneralizedGame.solve_minimax`).
+
+What does *not* transfer is the k-matching machinery — that is exactly
+the Tuple model's structural privilege, and experiment E9 measures how
+much defender value the shape constraints (path, star) give up relative
+to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.game import GameError
+from repro.core.tuples import EdgeTuple, tuple_vertices
+from repro.graphs.core import Graph
+from repro.models.families import DefenderFamily
+from repro.solvers.lp import LPSolution, minimax_over_strategies
+
+__all__ = [
+    "GeneralizedGame",
+    "pure_nash_exists_generalized",
+    "covering_strategy",
+]
+
+_DEFAULT_STRATEGY_LIMIT = 200_000
+
+
+class GeneralizedGame:
+    """An instance of the family-restricted security game.
+
+    Parameters
+    ----------
+    graph:
+        The network (no isolated vertices, at least one edge).
+    family:
+        The defender's strategy family.
+    nu:
+        Number of attackers.
+    strategy_limit:
+        Materialization guard; families are enumerated eagerly so the LP
+        and best-response logic can reuse the list.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        family: DefenderFamily,
+        nu: int = 1,
+        strategy_limit: int = _DEFAULT_STRATEGY_LIMIT,
+    ) -> None:
+        try:
+            graph.validate_for_game()
+        except Exception as exc:  # GraphError
+            raise GameError(f"invalid game graph: {exc}") from exc
+        if not isinstance(nu, int) or nu < 1:
+            raise GameError(f"the game needs at least one attacker; got {nu!r}")
+        strategies: List[EdgeTuple] = []
+        for strategy in family.strategies(graph):
+            strategies.append(strategy)
+            if len(strategies) > strategy_limit:
+                raise GameError(
+                    f"the {family.name} family exceeds the strategy limit "
+                    f"{strategy_limit} on this graph"
+                )
+        if not strategies:
+            raise GameError(
+                f"the {family.name} family with k={family.k} is empty on "
+                "this graph"
+            )
+        self.graph = graph
+        self.family = family
+        self.nu = nu
+        self.strategies: List[EdgeTuple] = strategies
+
+    def strategy_count(self) -> int:
+        return len(self.strategies)
+
+    def solve_minimax(self) -> LPSolution:
+        """Exact duel value and optimal mixtures over the family."""
+        return minimax_over_strategies(
+            self.graph.sorted_vertices(), self.strategies, tuple_vertices
+        )
+
+    def defender_gain(self) -> float:
+        """Equilibrium gain ``ν · value``."""
+        return self.nu * self.solve_minimax().value
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedGame(family={self.family.name}, k={self.family.k}, "
+            f"strategies={len(self.strategies)}, nu={self.nu})"
+        )
+
+
+def covering_strategy(game: GeneralizedGame) -> Optional[EdgeTuple]:
+    """A family strategy covering every vertex, or ``None``.
+
+    The generalized-Theorem-3.1 witness: such a strategy exists iff the
+    game has a pure NE.
+    """
+    everything = game.graph.vertices()
+    for strategy in game.strategies:
+        if tuple_vertices(strategy) == everything:
+            return strategy
+    return None
+
+
+def pure_nash_exists_generalized(game: GeneralizedGame) -> bool:
+    """Generalized Theorem 3.1: pure NE iff a covering strategy exists."""
+    return covering_strategy(game) is not None

@@ -1,0 +1,24 @@
+"""Monte-Carlo playout of the game, validating the analytic profit algebra,
+plus adaptive (no-regret) attackers for robustness experiments."""
+
+from repro.simulation.adaptive import (
+    AdaptiveAttackResult,
+    exploit_gap,
+    regret_matching_attack,
+)
+from repro.simulation.engine import Sampler, SimulationReport, simulate
+from repro.simulation.estimators import RunningStat, wilson_interval
+from repro.simulation.fast import FastSimulationResult, simulate_fast
+
+__all__ = [
+    "AdaptiveAttackResult",
+    "exploit_gap",
+    "regret_matching_attack",
+    "Sampler",
+    "SimulationReport",
+    "simulate",
+    "RunningStat",
+    "wilson_interval",
+    "FastSimulationResult",
+    "simulate_fast",
+]

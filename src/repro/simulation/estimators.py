@@ -1,0 +1,91 @@
+"""Streaming statistics for Monte-Carlo experiments.
+
+Plain Welford accumulation plus interval helpers — enough to attach honest
+error bars to the simulated profits that validate equations (1)–(2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = ["RunningStat", "wilson_interval"]
+
+_Z95 = 1.959963984540054
+"""Two-sided 95% normal quantile."""
+
+
+class RunningStat:
+    """Welford's online mean/variance accumulator.
+
+    Examples
+    --------
+    >>> stat = RunningStat()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     stat.push(x)
+    >>> stat.mean
+    2.0
+    >>> round(stat.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return float("inf")
+        return self.stddev / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = _Z95) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (95% by default)."""
+        half = z * self.stderr
+        return self.mean - half, self.mean + half
+
+    def __repr__(self) -> str:
+        return f"RunningStat(n={self.count}, mean={self.mean:.6f})"
+
+
+def wilson_interval(successes: int, trials: int, z: float = _Z95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation near 0 and 1, which is
+    where attacker catch rates live at strong equilibria.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)

@@ -1,0 +1,154 @@
+"""Probing the optimal-strategy polytopes: what *every* equilibrium needs.
+
+The LP minimax of :mod:`repro.solvers.lp` returns *one* optimal strategy
+per side, but equilibria of the duel are rarely unique — Lemma 4.1's
+uniform profile and the LP's vertex solution can differ while sharing the
+value.  For deployment questions one wants the whole polytope:
+
+* *which hosts can a rational attacker use at all?*  — vertex ``v`` is
+  usable iff some optimal attacker mixture puts positive mass on it;
+* *which links must every optimal scan schedule cover?* — edge ``e`` is
+  mandatory iff its marginal probability is positive in every optimal
+  defender mixture.
+
+Both reduce to secondary LPs over the optimality polytope: fix the game
+value ``v*`` (computed once), then minimize / maximize the coordinate of
+interest subject to the optimality constraints.  Exact, no enumeration of
+equilibria needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import all_tuples, tuple_vertices
+from repro.graphs.core import Edge, Vertex, vertex_sort_key
+
+__all__ = ["StrategyRanges", "attacker_vertex_ranges", "defender_edge_ranges"]
+
+_TOL = 1e-9
+_DEFAULT_TUPLE_LIMIT = 100_000
+
+
+class StrategyRanges:
+    """Per-coordinate [min, max] probabilities over an optimal polytope."""
+
+    __slots__ = ("value", "ranges")
+
+    def __init__(self, value: float, ranges: Dict) -> None:
+        self.value = value
+        self.ranges = ranges
+
+    def required(self, tol: float = 1e-7) -> List:
+        """Coordinates positive in *every* optimal strategy (min > 0)."""
+        return sorted(
+            (key for key, (low, _) in self.ranges.items() if low > tol),
+            key=vertex_sort_key,
+        )
+
+    def usable(self, tol: float = 1e-7) -> List:
+        """Coordinates positive in *some* optimal strategy (max > 0)."""
+        return sorted(
+            (key for key, (_, high) in self.ranges.items() if high > tol),
+            key=vertex_sort_key,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StrategyRanges(value={self.value:.6f}, "
+            f"coordinates={len(self.ranges)})"
+        )
+
+
+def _probe(c, a_ub, b_ub, a_eq, b_eq, bounds) -> float:
+    res = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        raise GameError(f"range-probe LP failed: {res.message}")
+    return float(res.fun)
+
+
+def _coverage_matrix(game: TupleGame, tuple_limit: int):
+    if game.tuple_strategy_count() > tuple_limit:
+        raise GameError(
+            f"C(m={game.m}, k={game.k}) exceeds the probing limit {tuple_limit}"
+        )
+    vertices = game.graph.sorted_vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    tuples = list(all_tuples(game.graph, game.k))
+    coverage = np.zeros((len(tuples), len(vertices)))
+    for row, t in enumerate(tuples):
+        for v in tuple_vertices(t):
+            coverage[row, index[v]] = 1.0
+    return vertices, tuples, coverage
+
+
+def attacker_vertex_ranges(
+    game: TupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
+) -> StrategyRanges:
+    """[min, max] probability of each vertex across optimal attacker
+    mixtures.
+
+    The optimality polytope is ``{q ≥ 0 : Σq = 1, (A q)_t ≤ v* ∀t}``.
+    """
+    from repro.solvers.lp import solve_minimax
+
+    vertices, tuples, coverage = _coverage_matrix(game, tuple_limit)
+    value = solve_minimax(game, tuple_limit=tuple_limit).value
+    n = len(vertices)
+    a_ub = coverage
+    b_ub = np.full(len(tuples), value + _TOL)
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    bounds = [(0.0, 1.0)] * n
+
+    ranges: Dict[Vertex, Tuple[float, float]] = {}
+    for i, v in enumerate(vertices):
+        c = np.zeros(n)
+        c[i] = 1.0
+        low = _probe(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        high = -_probe(-c, a_ub, b_ub, a_eq, b_eq, bounds)
+        ranges[v] = (max(0.0, low), min(1.0, high))
+    return StrategyRanges(value, ranges)
+
+
+def defender_edge_ranges(
+    game: TupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
+) -> StrategyRanges:
+    """[min, max] *marginal* probability of each edge (the chance the
+    schedule scans it) across optimal defender mixtures.
+
+    The optimality polytope is ``{p ≥ 0 : Σp = 1, (Aᵀ p)_v ≥ v* ∀v}``;
+    the probed coordinate is ``Σ_{t ∋ e} p_t``.
+    """
+    from repro.solvers.lp import solve_minimax
+
+    vertices, tuples, coverage = _coverage_matrix(game, tuple_limit)
+    value = solve_minimax(game, tuple_limit=tuple_limit).value
+    t_count = len(tuples)
+    a_ub = -coverage.T  # (A^T p)_v >= v*  ->  -(A^T p)_v <= -v*
+    b_ub = np.full(len(vertices), -(value - _TOL))
+    a_eq = np.ones((1, t_count))
+    b_eq = np.array([1.0])
+    bounds = [(0.0, 1.0)] * t_count
+
+    membership: Dict[Edge, np.ndarray] = {}
+    for e in game.graph.sorted_edges():
+        row = np.zeros(t_count)
+        for idx, t in enumerate(tuples):
+            if e in t:
+                row[idx] = 1.0
+        membership[e] = row
+
+    ranges: Dict[Edge, Tuple[float, float]] = {}
+    for e, row in membership.items():
+        low = _probe(row, a_ub, b_ub, a_eq, b_eq, bounds)
+        high = -_probe(-row, a_ub, b_ub, a_eq, b_eq, bounds)
+        ranges[e] = (max(0.0, low), min(1.0, high))
+    return StrategyRanges(value, ranges)

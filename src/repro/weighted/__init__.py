@@ -1,0 +1,19 @@
+"""Weighted-assets extension: hosts with unequal values.
+
+A strategically-zero-sum generalization of the paper's model; see
+:mod:`repro.weighted.game` for why all the machinery transfers.
+"""
+
+from repro.weighted.game import (
+    WeightedTupleGame,
+    weighted_double_oracle,
+    weighted_lp_equilibrium,
+    weighted_minimax,
+)
+
+__all__ = [
+    "WeightedTupleGame",
+    "weighted_double_oracle",
+    "weighted_lp_equilibrium",
+    "weighted_minimax",
+]

@@ -1,0 +1,358 @@
+"""The weighted Tuple model: hosts with unequal values.
+
+The paper treats all hosts alike: an attacker scores 1 for escaping
+anywhere.  Real networks have crown jewels.  This extension attaches a
+positive weight ``w(v)`` to every vertex: an attacker on ``v`` earns
+``w(v)`` if it escapes and 0 if caught, and the defender earns the total
+weight of the attackers it catches.
+
+The game stays *strategically* zero-sum: the attacker's payoff
+``w(v)·(1 − Hit(v))`` differs from the negated defender payoff
+``−w(v)·Hit(v)`` only by ``w(v)``, a constant in the defender's action —
+so best responses, and hence Nash equilibria, coincide with those of the
+zero-sum game whose defender payoff matrix is ``D[t, v] = w(v)·[v ∈ V(t)]``
+(see DESIGN.md §6).  That gives the weighted model the same machinery:
+
+* **pure NE** exist iff an edge cover of size ``k`` exists — Theorem 3.1's
+  proof never uses the weights (an all-covering defender caps every
+  attacker at its maximum-possible profit of 0);
+* **mixed NE** come from the exact LP over the weighted matrix;
+* the defender's best response is weighted k-edge coverage, which
+  :mod:`repro.solvers.best_response` already solves.
+
+What genuinely changes is the *structure*: uniform k-matching profiles
+stop being equilibria (the attacker drifts to heavy vertices), and the
+equilibrium hit probability on vertex ``v`` becomes ``1 − value/w(v)``
+wherever the attacker is willing to stand — heavier hosts get scanned
+proportionally harder.  Experiment E12 measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import all_hit_probabilities, all_vertex_masses
+from repro.core.tuples import all_tuples, tuple_vertices
+from repro.graphs.core import Graph, Vertex
+from repro.solvers.best_response import best_tuple
+from repro.solvers.lp import LPSolution, _prune_and_normalize
+
+__all__ = [
+    "WeightedTupleGame",
+    "weighted_minimax",
+    "weighted_lp_equilibrium",
+    "weighted_double_oracle",
+]
+
+_DEFAULT_TUPLE_LIMIT = 200_000
+
+
+class WeightedTupleGame:
+    """``Π_k(G)`` with vertex weights.
+
+    Parameters
+    ----------
+    graph, k, nu:
+        As in :class:`~repro.core.game.TupleGame`.
+    weights:
+        Strictly positive value per vertex; every vertex must be covered.
+    """
+
+    def __init__(
+        self, graph: Graph, k: int, weights: Mapping[Vertex, float], nu: int = 1
+    ) -> None:
+        self.base = TupleGame(graph, k, nu)
+        w: Dict[Vertex, float] = {}
+        for v in graph.vertices():
+            if v not in weights:
+                raise GameError(f"vertex {v!r} has no weight")
+            value = float(weights[v])
+            if value <= 0.0:
+                raise GameError(
+                    f"vertex weights must be positive; {v!r} has {value!r}"
+                )
+            w[v] = value
+        extra = set(weights) - graph.vertices()
+        if extra:
+            raise GameError(f"weights given for non-vertices: {sorted(extra, key=repr)!r}")
+        self.weights = w
+
+    @property
+    def graph(self) -> Graph:
+        return self.base.graph
+
+    @property
+    def k(self) -> int:
+        return self.base.k
+
+    @property
+    def nu(self) -> int:
+        return self.base.nu
+
+    def total_weight(self) -> float:
+        return sum(self.weights.values())
+
+    # ------------------------------------------------------------------
+    # Profits
+    # ------------------------------------------------------------------
+    def pure_profit_attacker(self, config: PureConfiguration, i: int) -> float:
+        """``w(s_i)`` if attacker ``i`` escapes, else 0."""
+        v = config.vertex_choices[i]
+        return 0.0 if v in config.covered_vertices() else self.weights[v]
+
+    def pure_profit_defender(self, config: PureConfiguration) -> float:
+        """Total weight of the caught attackers."""
+        covered = config.covered_vertices()
+        return sum(
+            self.weights[v] for v in config.vertex_choices if v in covered
+        )
+
+    def expected_profit_attacker(self, config: MixedConfiguration, i: int) -> float:
+        hits = all_hit_probabilities(config)
+        return sum(
+            p * self.weights[v] * (1.0 - hits[v])
+            for v, p in config.vp_distribution(i).items()
+        )
+
+    def expected_profit_defender(self, config: MixedConfiguration) -> float:
+        hits = all_hit_probabilities(config)
+        masses = all_vertex_masses(config)
+        return sum(
+            masses[v] * self.weights[v] * hits[v] for v in self.graph.vertices()
+        )
+
+    # ------------------------------------------------------------------
+    # Equilibrium checks
+    # ------------------------------------------------------------------
+    def verify_best_responses(
+        self, config: MixedConfiguration, tol: float = 1e-9
+    ) -> Tuple[bool, Dict[str, float]]:
+        """First-principles NE check for the weighted game."""
+        hits = all_hit_probabilities(config)
+        best_attack = max(
+            self.weights[v] * (1.0 - hits[v]) for v in self.graph.vertices()
+        )
+        gaps: Dict[str, float] = {}
+        ok = True
+        for i in range(self.nu):
+            regret = best_attack - self.expected_profit_attacker(config, i)
+            gaps[f"vp_{i}"] = regret
+            if regret > tol:
+                ok = False
+        masses = all_vertex_masses(config)
+        weighted_mass = {v: masses[v] * self.weights[v] for v in masses}
+        _, best_defense = best_tuple(self.graph, weighted_mass, self.k)
+        regret = best_defense - self.expected_profit_defender(config)
+        gaps["tp"] = regret
+        if regret > tol * max(1.0, self.total_weight()):
+            ok = False
+        return ok, gaps
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedTupleGame(n={self.graph.n}, m={self.graph.m}, "
+            f"k={self.k}, nu={self.nu})"
+        )
+
+
+def weighted_minimax(
+    game: WeightedTupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
+) -> LPSolution:
+    """Exact equilibrium of the weighted duel by LP.
+
+    Defender LP over the matrix ``D[t, v] = w(v)·[v ∈ V(t)]``: the
+    *attacker-facing* guarantee is on escape profit, so the defender
+    constraint is "every vertex's escape profit ``w(v)(1 − hit(v))`` is at
+    most ``z``", minimized; the attacker LP is its dual.  The reported
+    ``value`` is the equilibrium *escape* profit per attacker; the
+    defender's per-attacker catch value follows from the attacker mixture.
+    """
+    base = game.base
+    if base.tuple_strategy_count() > tuple_limit:
+        raise GameError(
+            f"C(m={base.m}, k={base.k}) exceeds the LP limit {tuple_limit}"
+        )
+    vertices = game.graph.sorted_vertices()
+    index = {v: i for i, v in enumerate(vertices)}
+    tuples = list(all_tuples(game.graph, game.k))
+    n, t_count = len(vertices), len(tuples)
+    w = np.array([game.weights[v] for v in vertices])
+
+    # Escape matrix E[t][v] = w(v) * (1 - [v in V(t)]).
+    covered = np.zeros((t_count, n))
+    for row, t in enumerate(tuples):
+        for v in tuple_vertices(t):
+            covered[row, index[v]] = 1.0
+    escape = (1.0 - covered) * w[None, :]
+
+    # Defender: minimize z s.t. (p^T E)_v <= z for all v; sum p = 1.
+    c = np.zeros(t_count + 1)
+    c[-1] = 1.0
+    a_ub = np.hstack([escape.T, -np.ones((n, 1))])
+    b_ub = np.zeros(n)
+    a_eq = np.zeros((1, t_count + 1))
+    a_eq[0, :t_count] = 1.0
+    res_d = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=np.array([1.0]),
+        bounds=[(0.0, None)] * t_count + [(None, None)], method="highs",
+    )
+    if not res_d.success:
+        raise GameError(f"weighted defender LP failed: {res_d.message}")
+
+    # Attacker: maximize z' s.t. (E q)_t >= z' for all t; sum q = 1.
+    c2 = np.zeros(n + 1)
+    c2[-1] = -1.0
+    a_ub2 = np.hstack([-escape, np.ones((t_count, 1))])
+    b_ub2 = np.zeros(t_count)
+    a_eq2 = np.zeros((1, n + 1))
+    a_eq2[0, :n] = 1.0
+    res_a = linprog(
+        c2, A_ub=a_ub2, b_ub=b_ub2, A_eq=a_eq2, b_eq=np.array([1.0]),
+        bounds=[(0.0, None)] * n + [(None, None)], method="highs",
+    )
+    if not res_a.success:
+        raise GameError(f"weighted attacker LP failed: {res_a.message}")
+
+    value_d = res_d.fun
+    value_a = -res_a.fun
+    if abs(value_d - value_a) > 1e-7:
+        raise GameError(
+            f"weighted LP duality gap: {value_d!r} vs {value_a!r}"
+        )
+    defender = _prune_and_normalize(res_d.x[:t_count], tuples)
+    attacker = _prune_and_normalize(res_a.x[:n], vertices)
+    return LPSolution(float(value_d), defender, attacker)
+
+
+def weighted_lp_equilibrium(
+    game: WeightedTupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
+) -> Tuple[MixedConfiguration, LPSolution]:
+    """A mixed NE of the weighted game from the LP optima.
+
+    ``solution.value`` is the per-attacker *escape* profit at equilibrium.
+    """
+    solution = weighted_minimax(game, tuple_limit=tuple_limit)
+    config = MixedConfiguration(
+        game.base, [solution.attacker] * game.nu, solution.defender
+    )
+    return config, solution
+
+
+def weighted_double_oracle(
+    game: WeightedTupleGame,
+    tolerance: float = 1e-9,
+    max_iterations: int = 300,
+) -> Tuple[MixedConfiguration, float]:
+    """Weighted equilibrium by lazy strategy generation.
+
+    The weighted analogue of :func:`repro.solvers.double_oracle.double_oracle`
+    for instances whose ``C(m, k)`` defeats :func:`weighted_minimax`:
+    restricted weighted LPs over growing pools, with the defender oracle
+    maximizing *weighted* coverage of the attacker mixture and the
+    attacker oracle maximizing the escape profit ``w(v)(1 − hit(v))``.
+
+    Returns ``(equilibrium configuration, escape value per attacker)``.
+    """
+    import numpy as np
+    from scipy.optimize import linprog
+
+    graph = game.graph
+    vertices = graph.sorted_vertices()
+    uniform_mass = {v: game.weights[v] for v in vertices}
+    from repro.solvers.best_response import greedy_tuple
+
+    seed_tuple, _ = greedy_tuple(graph, uniform_mass, game.k)
+    defender_pool = [seed_tuple]
+    defender_seen = {seed_tuple}
+    heaviest = max(vertices, key=lambda v: (game.weights[v], repr(v)))
+    attacker_pool = [heaviest]
+    attacker_seen = {heaviest}
+
+    def restricted_solution():
+        n, t_count = len(attacker_pool), len(defender_pool)
+        w = np.array([game.weights[v] for v in attacker_pool])
+        covered = np.zeros((t_count, n))
+        index = {v: i for i, v in enumerate(attacker_pool)}
+        for row, t in enumerate(defender_pool):
+            for v in tuple_vertices(t):
+                col = index.get(v)
+                if col is not None:
+                    covered[row, col] = 1.0
+        escape = (1.0 - covered) * w[None, :]
+        c = np.zeros(t_count + 1)
+        c[-1] = 1.0
+        a_ub = np.hstack([escape.T, -np.ones((n, 1))])
+        a_eq = np.zeros((1, t_count + 1))
+        a_eq[0, :t_count] = 1.0
+        res_d = linprog(
+            c, A_ub=a_ub, b_ub=np.zeros(n), A_eq=a_eq, b_eq=np.array([1.0]),
+            bounds=[(0.0, None)] * t_count + [(None, None)], method="highs",
+        )
+        c2 = np.zeros(n + 1)
+        c2[-1] = -1.0
+        a_ub2 = np.hstack([-escape, np.ones((t_count, 1))])
+        a_eq2 = np.zeros((1, n + 1))
+        a_eq2[0, :n] = 1.0
+        res_a = linprog(
+            c2, A_ub=a_ub2, b_ub=np.zeros(t_count), A_eq=a_eq2,
+            b_eq=np.array([1.0]),
+            bounds=[(0.0, None)] * n + [(None, None)], method="highs",
+        )
+        if not (res_d.success and res_a.success):
+            raise GameError("restricted weighted LP failed")
+        from repro.solvers.lp import _prune_and_normalize
+
+        defender = _prune_and_normalize(res_d.x[:t_count], defender_pool)
+        attacker = _prune_and_normalize(res_a.x[:n], attacker_pool)
+        return float(res_d.fun), defender, attacker
+
+    for _ in range(max_iterations):
+        value, defender, attacker = restricted_solution()
+        # Defender oracle: minimize total escape == maximize weighted
+        # coverage of the attacker mixture.
+        weighted_mass = {
+            v: attacker.get(v, 0.0) * game.weights[v] for v in vertices
+        }
+        best_def, _ = best_tuple(graph, weighted_mass, game.k)
+        # Attacker oracle: the vertex with the highest escape profit.
+        hit: Dict = {v: 0.0 for v in vertices}
+        for t, p in defender.items():
+            for v in tuple_vertices(t):
+                hit[v] += p
+        best_att = max(
+            vertices, key=lambda v: (game.weights[v] * (1.0 - hit[v]), repr(v))
+        )
+        att_payoff = game.weights[best_att] * (1.0 - hit[best_att])
+        total_escape = sum(
+            attacker.get(v, 0.0) * game.weights[v] for v in vertices
+        )
+        covered_value = sum(
+            attacker.get(v, 0.0) * game.weights[v]
+            for v in tuple_vertices(best_def)
+        )
+        def_escape_if_best = total_escape - covered_value
+
+        improved = False
+        if def_escape_if_best < value - tolerance and best_def not in defender_seen:
+            defender_pool.append(best_def)
+            defender_seen.add(best_def)
+            improved = True
+        if att_payoff > value + tolerance and best_att not in attacker_seen:
+            attacker_pool.append(best_att)
+            attacker_seen.add(best_att)
+            improved = True
+        if not improved:
+            config = MixedConfiguration(
+                game.base, [attacker] * game.nu, defender
+            )
+            return config, value
+
+    raise GameError(
+        f"weighted double oracle did not converge within {max_iterations} "
+        "iterations"
+    )

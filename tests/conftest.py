@@ -1,0 +1,119 @@
+"""Shared fixtures: a zoo of graphs and ready-made game instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.game import TupleGame
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    double_star_graph,
+    grid_graph,
+    gnp_random_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    random_tree,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path4():
+    return path_graph(4)
+
+
+@pytest.fixture
+def path7():
+    return path_graph(7)
+
+
+@pytest.fixture
+def cycle6():
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def cycle5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def k4():
+    return complete_graph(4)
+
+
+@pytest.fixture
+def k23():
+    return complete_bipartite_graph(2, 3)
+
+
+@pytest.fixture
+def k24():
+    return complete_bipartite_graph(2, 4)
+
+
+@pytest.fixture
+def star5():
+    return star_graph(5)
+
+
+@pytest.fixture
+def grid34():
+    return grid_graph(3, 4)
+
+
+@pytest.fixture
+def petersen():
+    return petersen_graph()
+
+
+@pytest.fixture
+def cube3():
+    return hypercube_graph(3)
+
+
+def bipartite_zoo():
+    """Deterministic bipartite instances used across parametrized tests."""
+    return [
+        ("path4", path_graph(4)),
+        ("path7", path_graph(7)),
+        ("cycle6", cycle_graph(6)),
+        ("star5", star_graph(5)),
+        ("k23", complete_bipartite_graph(2, 3)),
+        ("k34", complete_bipartite_graph(3, 4)),
+        ("grid33", grid_graph(3, 3)),
+        ("grid34", grid_graph(3, 4)),
+        ("cube3", hypercube_graph(3)),
+        ("tree12", random_tree(12, seed=5)),
+        ("tree20", random_tree(20, seed=9)),
+        ("rb57", random_bipartite_graph(5, 7, 0.3, seed=3)),
+        ("rb66", random_bipartite_graph(6, 6, 0.4, seed=11)),
+        ("dstar34", double_star_graph(3, 4)),
+    ]
+
+
+def general_zoo():
+    """Instances including non-bipartite graphs."""
+    return bipartite_zoo() + [
+        ("cycle5", cycle_graph(5)),
+        ("k4", complete_graph(4)),
+        ("k5", complete_graph(5)),
+        ("petersen", petersen_graph()),
+        ("gnp12", gnp_random_graph(12, 0.3, seed=2)),
+        ("gnp15", gnp_random_graph(15, 0.25, seed=8)),
+    ]
+
+
+def zoo_params(zoo):
+    """Turn a zoo into pytest.param entries with readable ids."""
+    return [pytest.param(graph, id=name) for name, graph in zoo]
+
+
+@pytest.fixture
+def k24_game():
+    """K_{2,4} with k=2 and five attackers: the running example."""
+    return TupleGame(complete_bipartite_graph(2, 4), k=2, nu=5)

@@ -1,0 +1,101 @@
+"""Tests for adaptive (no-regret) attackers (repro.simulation.adaptive)."""
+
+import pytest
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph, path_graph
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.adaptive import exploit_gap, regret_matching_attack
+
+
+class TestAgainstEquilibriumDefender:
+    def test_escape_rate_capped_by_equilibrium_value(self):
+        graph = complete_bipartite_graph(2, 4)
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, 2, nu=1)
+        defender = solve_game(game).mixed
+        result = regret_matching_attack(game, defender, rounds=6_000, seed=3)
+        value = 2 / rho
+        # Statistical cap: allow a few standard deviations of slack.
+        assert result.escape_rate <= (1 - value) + 0.03
+        assert abs(exploit_gap(result, value)) <= 0.03
+
+    def test_learner_approaches_the_cap(self):
+        """Regret matching should not do much *worse* than 1 - value
+        either — it converges to the equilibrium escape rate."""
+        graph = grid_graph(2, 3)
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, 2, nu=1)
+        defender = solve_game(game).mixed
+        result = regret_matching_attack(game, defender, rounds=8_000, seed=5)
+        assert result.escape_rate >= (1 - 2 / rho) - 0.03
+
+    def test_regret_vanishes(self):
+        game = TupleGame(complete_bipartite_graph(2, 3), 1, nu=1)
+        defender = solve_game(game).mixed
+        result = regret_matching_attack(game, defender, rounds=10_000, seed=1)
+        assert result.regret <= 0.03
+
+
+class TestAgainstNaiveDefender:
+    def test_static_defender_is_exploited(self):
+        """A defender that always scans the same links leaks almost
+        everything to a learner — the reason Lemma 4.1 randomizes."""
+        graph = path_graph(6)
+        game = TupleGame(graph, 2, nu=1)
+        static = MixedConfiguration(
+            game, [{0: 1.0}], {((0, 1), (1, 2)): 1.0}
+        )
+        result = regret_matching_attack(game, static, rounds=3_000, seed=2)
+        rho = minimum_edge_cover_size(graph)
+        value = 2 / rho
+        assert result.escape_rate > 0.95
+        assert exploit_gap(result, value) > 0.3
+
+    def test_skewed_defender_is_exploited(self):
+        graph = complete_bipartite_graph(2, 4)
+        game = TupleGame(graph, 2, nu=1)
+        equilibrium = solve_game(game).mixed
+        tuples = sorted(equilibrium.tp_support())
+        weights = [0.9] + [0.1 / (len(tuples) - 1)] * (len(tuples) - 1)
+        skewed = MixedConfiguration(game, [{0: 1.0}], dict(zip(tuples, weights)))
+        result = regret_matching_attack(game, skewed, rounds=6_000, seed=4)
+        value = 2 / minimum_edge_cover_size(graph)
+        assert exploit_gap(result, value) > 0.1
+
+
+class TestMechanics:
+    def test_deterministic_per_seed(self):
+        game = TupleGame(path_graph(5), 2, nu=1)
+        defender = solve_game(game).mixed
+        a = regret_matching_attack(game, defender, rounds=500, seed=9)
+        b = regret_matching_attack(game, defender, rounds=500, seed=9)
+        assert a.escape_rate == b.escape_rate
+        assert a.strategy == b.strategy
+
+    def test_strategy_is_distribution(self):
+        game = TupleGame(path_graph(5), 2, nu=1)
+        defender = solve_game(game).mixed
+        result = regret_matching_attack(game, defender, rounds=400, seed=0)
+        assert sum(result.strategy.values()) == pytest.approx(1.0)
+
+    def test_rejects_foreign_defender(self):
+        game_a = TupleGame(path_graph(5), 2, nu=1)
+        game_b = TupleGame(path_graph(5), 2, nu=2)
+        defender = solve_game(game_b).mixed
+        with pytest.raises(GameError, match="different game"):
+            regret_matching_attack(game_a, defender, rounds=10)
+
+    def test_rejects_zero_rounds(self):
+        game = TupleGame(path_graph(5), 2, nu=1)
+        defender = solve_game(game).mixed
+        with pytest.raises(GameError, match="at least one round"):
+            regret_matching_attack(game, defender, rounds=0)
+
+    def test_repr(self):
+        game = TupleGame(path_graph(5), 2, nu=1)
+        defender = solve_game(game).mixed
+        result = regret_matching_attack(game, defender, rounds=50)
+        assert "escape_rate" in repr(result)

@@ -1,0 +1,120 @@
+"""Tests for table rendering and gain analysis (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.gain import (
+    GainPoint,
+    fit_slope_through_origin,
+    gain_curve,
+    max_linearity_residual,
+)
+from repro.analysis.tables import Table, format_number
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    grid_graph,
+    petersen_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+
+
+class TestFormatNumber:
+    def test_float_precision(self):
+        assert format_number(1.23456, precision=3) == "1.235"
+
+    def test_int_verbatim(self):
+        assert format_number(42) == "42"
+
+    def test_bool_words(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_number("k-matching") == "k-matching"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], precision=2)
+        t.add_row(["alpha", 1.5])
+        t.add_row(["b", 10])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+        assert len(t) == 2
+
+    def test_render_with_title(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert t.render(title="My Table").splitlines()[0] == "My Table"
+
+    def test_rejects_arity_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row([1])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_empty_table_renders_headers(self):
+        t = Table(["only"])
+        assert "only" in t.render()
+
+
+class TestGainCurve:
+    def test_default_sweep_covers_mixed_regime_plus_pure(self):
+        graph = complete_bipartite_graph(2, 4)
+        rho = minimum_edge_cover_size(graph)
+        points = gain_curve(graph, nu=3)
+        assert [p.k for p in points] == list(range(1, rho + 1))
+        assert all(p.kind == "k-matching" for p in points[:-1])
+        assert points[-1].kind == "pure"
+
+    def test_gain_is_exactly_linear_in_mixed_regime(self):
+        graph = grid_graph(3, 3)
+        rho = minimum_edge_cover_size(graph)
+        points = [p for p in gain_curve(graph, nu=4) if p.kind == "k-matching"]
+        slope = fit_slope_through_origin(points)
+        assert slope == pytest.approx(4 / rho)
+        assert max_linearity_residual(points, slope) == pytest.approx(0.0, abs=1e-9)
+
+    def test_lp_cross_check(self):
+        graph = complete_bipartite_graph(2, 3)
+        points = gain_curve(graph, nu=2, include_lp=True)
+        for p in points:
+            assert p.lp_gain is not None
+            assert p.lp_gain == pytest.approx(p.gain, abs=1e-6)
+
+    def test_lp_skipped_above_limit(self):
+        graph = grid_graph(3, 4)
+        points = gain_curve(graph, nu=1, ks=[5], include_lp=True, lp_tuple_limit=10)
+        assert points[0].lp_gain is None
+
+    def test_explicit_ks(self):
+        graph = complete_bipartite_graph(2, 4)
+        points = gain_curve(graph, nu=1, ks=[2, 3])
+        assert [p.k for p in points] == [2, 3]
+
+    def test_repr(self):
+        assert "GainPoint" in repr(GainPoint(1, "pure", 2.0))
+
+
+class TestSlopeFitting:
+    def test_exact_line(self):
+        points = [GainPoint(k, "k-matching", 0.75 * k) for k in range(1, 6)]
+        assert fit_slope_through_origin(points) == pytest.approx(0.75)
+        assert max_linearity_residual(points, 0.75) == pytest.approx(0.0)
+
+    def test_residual_detects_nonlinearity(self):
+        points = [GainPoint(1, "x", 1.0), GainPoint(2, "x", 4.0)]
+        slope = fit_slope_through_origin(points)
+        assert max_linearity_residual(points, slope) > 0.1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_slope_through_origin([])
+
+    def test_empty_residual_is_zero(self):
+        assert max_linearity_residual([], 1.0) == 0.0

@@ -1,0 +1,26 @@
+"""The committed API index must match the code (tools/gen_api_docs.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_api_docs_are_current():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_api_docs_cover_every_package():
+    text = (REPO_ROOT / "docs" / "api.md").read_text()
+    for package in (
+        "repro.core", "repro.equilibria", "repro.graphs", "repro.matching",
+        "repro.models", "repro.simulation", "repro.solvers", "repro.weighted",
+        "repro.analysis",
+    ):
+        assert f"## `{package}`" in text, f"{package} missing from docs/api.md"

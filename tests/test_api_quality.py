@@ -1,0 +1,56 @@
+"""Meta-tests on API quality: docstring coverage and export hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def _public_members(module):
+    for name in getattr(module, "__all__", []):
+        yield name, getattr(module, name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_public_callable_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in _public_members(module):
+        if inspect.isfunction(member) or inspect.isclass(member):
+            if not inspect.getdoc(member):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+def test_top_level_namespace_is_curated():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+    # The headline API is reachable from the root.
+    for required in ("TupleGame", "solve_game", "check_characterization"):
+        assert required in repro.__all__
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,88 @@
+"""Unit tests for the blossom algorithm (repro.matching.blossom).
+
+General (non-bipartite) maximum matching, cross-validated against
+networkx's max_weight_matching on random instances.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+)
+from repro.graphs.properties import is_matching
+from repro.matching.blossom import matching_number, maximum_matching
+
+
+class TestHandCases:
+    def test_single_edge(self):
+        assert matching_number(Graph([(1, 2)])) == 1
+
+    def test_triangle(self):
+        assert matching_number(cycle_graph(3)) == 1
+
+    def test_odd_cycle(self):
+        # C5 has matching number 2 — requires handling the odd cycle.
+        assert matching_number(cycle_graph(5)) == 2
+
+    def test_even_cycle_perfect(self):
+        assert matching_number(cycle_graph(8)) == 4
+
+    def test_path(self):
+        assert matching_number(path_graph(7)) == 3
+
+    def test_complete_graph(self):
+        assert matching_number(complete_graph(6)) == 3
+        assert matching_number(complete_graph(7)) == 3
+
+    def test_petersen_perfect_matching(self):
+        assert matching_number(petersen_graph()) == 5
+
+    def test_blossom_flower(self):
+        """A stem attached to an odd cycle — the canonical blossom case
+        where greedy matching inside the cycle must be re-based."""
+        # Cycle 1-2-3-4-5-1 plus stem 0-1 and tail 5-6.
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 5), (5, 1), (0, 1), (5, 6)])
+        assert matching_number(g) == 3
+
+    def test_two_triangles_joined(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+        assert matching_number(g) == 3
+
+    def test_matching_is_a_matching(self):
+        g = petersen_graph()
+        matched = maximum_matching(g)
+        assert is_matching(g, matched)
+
+    def test_deterministic(self):
+        g = gnp_random_graph(14, 0.3, seed=1)
+        assert maximum_matching(g) == maximum_matching(g)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(4, 30)
+        g = gnp_random_graph(n, rng.uniform(0.1, 0.6), seed=seed)
+        ours = maximum_matching(g)
+        assert is_matching(g, ours)
+        nxg = nx.Graph(list(g.edges()))
+        theirs = nx.max_weight_matching(nxg, maxcardinality=True)
+        assert len(ours) == len(theirs)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sparse_connected_graphs(self, seed):
+        g = random_connected_graph(20, extra_edges=6, seed=seed)
+        nxg = nx.Graph(list(g.edges()))
+        assert len(maximum_matching(g)) == len(
+            nx.max_weight_matching(nxg, maxcardinality=True)
+        )

@@ -1,0 +1,177 @@
+"""Tests for the Theorem 3.4 characterization (repro.core.characterization).
+
+The theorem is an *iff*; the key test strategy is agreement between the
+characterization checker and an independent first-principles best-response
+verifier across equilibria, perturbed equilibria and arbitrary profiles.
+"""
+
+import random
+
+import pytest
+
+from repro.core.characterization import (
+    check_characterization,
+    is_mixed_nash,
+    verify_best_responses,
+)
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import all_tuples
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def k24_equilibrium():
+    game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=5)
+    return game, solve_game(game).mixed
+
+
+class TestEquilibriaPass:
+    @pytest.mark.parametrize(
+        "graph, k, nu",
+        [
+            (path_graph(6), 2, 3),
+            (cycle_graph(6), 2, 2),
+            (star_graph(5), 2, 4),
+            (grid_graph(3, 3), 3, 2),
+            (complete_bipartite_graph(3, 4), 3, 6),
+        ],
+        ids=["path6", "cycle6", "star5", "grid33", "k34"],
+    )
+    def test_structural_equilibria_satisfy_all_conditions(self, graph, k, nu):
+        game = TupleGame(graph, k, nu)
+        result = solve_game(game)
+        report = check_characterization(game, result.mixed)
+        assert report.is_nash, report.failures
+        assert report.condition_1_edge_cover
+        assert report.condition_1_vertex_cover
+        assert report.condition_2a_uniform_min_hit
+        assert report.condition_2b_tp_mass
+        assert report.condition_3a_uniform_max_mass
+        assert report.condition_3b_total_mass
+        assert not report.failures
+
+    def test_pure_equilibrium_wrapped_as_mixed_is_degenerate_but_nash(self):
+        """A pure NE wrapped as a degenerate mixed profile: Theorem 3.4's
+        clause 1 does not apply (Claim 3.6 premise fails), but the
+        fallback best-response oracle still certifies the NE."""
+        game = TupleGame(path_graph(4), k=2, nu=2)
+        result = solve_game(game)
+        assert result.kind == "pure"
+        report = check_characterization(game, result.mixed)
+        assert not report.properly_mixed
+        assert is_mixed_nash(game, result.mixed)
+        ok, _ = verify_best_responses(game, result.mixed)
+        assert ok
+
+
+class TestPerturbationsFail:
+    def test_non_uniform_defender_breaks_2a(self):
+        game, config = k24_equilibrium()
+        tuples = sorted(config.tp_support())
+        assert len(tuples) >= 2
+        weights = [0.7] + [0.3 / (len(tuples) - 1)] * (len(tuples) - 1)
+        skew = dict(zip(tuples, weights))
+        perturbed = MixedConfiguration(
+            game, [config.vp_distribution(i) for i in range(game.nu)], skew
+        )
+        report = check_characterization(game, perturbed)
+        assert not report.condition_2a_uniform_min_hit
+        assert not report.is_nash
+        assert any("2(a)" in f for f in report.failures)
+
+    def test_support_not_edge_cover_breaks_1(self):
+        game = TupleGame(path_graph(4), k=2, nu=1)
+        config = MixedConfiguration(
+            game, [{0: 1.0}], {((0, 1), (1, 2)): 1.0}  # vertex 3 uncovered
+        )
+        report = check_characterization(game, config)
+        assert not report.condition_1_edge_cover
+        assert any("uncovered" in f for f in report.failures)
+
+    def test_attacker_off_min_hit_breaks_2a(self):
+        game, config = k24_equilibrium()
+        # Move an attacker onto a high-hit vertex (the small side of K24).
+        dists = [config.vp_distribution(i) for i in range(game.nu)]
+        dists[0] = {0: 1.0}  # vertex 0 is on the 2-side: hit prob higher
+        perturbed = MixedConfiguration(game, dists, config.tp_distribution())
+        report = check_characterization(game, perturbed)
+        assert not report.is_nash
+
+    def test_defender_on_suboptimal_tuple_breaks_3a(self):
+        game = TupleGame(path_graph(4), k=2, nu=1)
+        # Attacker fixed on vertex 0; defender mixes over both tuples
+        # containing (2,3) — one of which misses all attacker mass.
+        config = MixedConfiguration(
+            game,
+            [{0: 0.5, 3: 0.5}],
+            {((0, 1), (2, 3)): 0.5, ((1, 2), (2, 3)): 0.5},
+        )
+        report = check_characterization(game, config)
+        assert not report.condition_3a_uniform_max_mass
+
+
+class TestTheoremIsAnIff:
+    """check_characterization and verify_best_responses must agree on
+    every configuration (equilibrium or not)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_agreement_on_random_configurations(self, seed):
+        rng = random.Random(seed)
+        graph = path_graph(4) if seed % 2 == 0 else star_graph(3)
+        game = TupleGame(graph, k=2, nu=2)
+        tuples = list(all_tuples(graph, 2))
+        # Random supports and probabilities.
+        vp_dists = []
+        for _ in range(game.nu):
+            support = rng.sample(graph.sorted_vertices(), rng.randrange(1, 4))
+            weights = [rng.random() + 0.05 for _ in support]
+            total = sum(weights)
+            vp_dists.append({v: w / total for v, w in zip(support, weights)})
+        t_support = rng.sample(tuples, rng.randrange(1, min(4, len(tuples)) + 1))
+        t_weights = [rng.random() + 0.05 for _ in t_support]
+        t_total = sum(t_weights)
+        config = MixedConfiguration(
+            game, vp_dists, {t: w / t_total for t, w in zip(t_support, t_weights)}
+        )
+        oracle_verdict = is_mixed_nash(game, config, tol=1e-9)
+        by_best_response, gaps = verify_best_responses(game, config, tol=1e-9)
+        assert oracle_verdict == by_best_response, gaps
+        # On *properly mixed* profiles the raw characterization is the iff.
+        report = check_characterization(game, config, tol=1e-9)
+        if report.properly_mixed:
+            assert report.is_nash == by_best_response, (gaps, report.failures)
+
+    @pytest.mark.parametrize(
+        "graph,k,nu", [(path_graph(6), 2, 3), (complete_bipartite_graph(2, 4), 3, 4)],
+        ids=["path6", "k24"],
+    )
+    def test_agreement_on_equilibria(self, graph, k, nu):
+        game = TupleGame(graph, k, nu)
+        config = solve_game(game).mixed
+        assert is_mixed_nash(game, config)
+        ok, gaps = verify_best_responses(game, config)
+        assert ok, gaps
+
+
+class TestReportErgonomics:
+    def test_bool_and_repr(self):
+        game, config = k24_equilibrium()
+        report = check_characterization(game, config)
+        assert bool(report)
+        assert "NE" in repr(report)
+
+    def test_rejects_foreign_configuration(self):
+        game_a = TupleGame(path_graph(4), k=2, nu=1)
+        game_b = TupleGame(path_graph(4), k=2, nu=2)
+        config = solve_game(game_b).mixed
+        with pytest.raises(GameError, match="different game"):
+            check_characterization(game_a, config)
+        with pytest.raises(GameError, match="different game"):
+            verify_best_responses(game_a, config)

@@ -1,0 +1,201 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    petersen_graph,
+)
+from repro.graphs.io import save_edge_list
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    path = tmp_path / "grid.edges"
+    save_edge_list(grid_graph(3, 4), path)
+    return str(path)
+
+
+@pytest.fixture
+def petersen_file(tmp_path):
+    path = tmp_path / "petersen.edges"
+    save_edge_list(petersen_graph(), path)
+    return str(path)
+
+
+@pytest.fixture
+def house_file(tmp_path):
+    """C5 + chord: defeats every structural construction in the library."""
+    from repro.graphs.core import Graph
+
+    path = tmp_path / "house.edges"
+    save_edge_list(
+        Graph([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]), path
+    )
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_structure(self, grid_file, capsys):
+        assert main(["info", grid_file]) == 0
+        out = capsys.readouterr().out
+        assert "12" in out  # n
+        assert "17" in out  # m
+        assert "yes" in out  # bipartite
+        assert "minimum edge cover" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["info", "/nonexistent/graph.edges"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPure:
+    def test_exists(self, grid_file, capsys):
+        assert main(["pure", grid_file, "-k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "pure NE exists" in out
+        assert "defender cover" in out
+
+    def test_not_exists(self, grid_file, capsys):
+        assert main(["pure", grid_file, "-k", "2"]) == 1
+        assert "no pure NE" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_kmatching(self, grid_file, capsys):
+        assert main(["solve", grid_file, "-k", "3", "--nu", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k-matching" in out
+        assert "defender gain" in out
+        assert "2.000000" in out  # 3*4/6
+
+    def test_pure_regime(self, grid_file, capsys):
+        assert main(["solve", grid_file, "-k", "8", "--nu", "2"]) == 0
+        assert "pure" in capsys.readouterr().out
+
+    def test_petersen_solves_via_extension(self, petersen_file, capsys):
+        assert main(["solve", petersen_file, "-k", "2"]) == 0
+        assert "perfect-matching" in capsys.readouterr().out
+
+    def test_no_equilibrium(self, house_file, capsys):
+        assert main(["solve", house_file, "-k", "2"]) == 1
+        assert "no structural equilibrium" in capsys.readouterr().out
+
+    def test_invalid_k_reports_error(self, grid_file, capsys):
+        assert main(["solve", grid_file, "-k", "99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGain:
+    def test_sweep_with_slope(self, grid_file, capsys):
+        assert main(["gain", grid_file, "--nu", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted slope" in out
+        assert "0.666667" in out  # 4 / rho = 4/6
+
+    def test_lp_column(self, tmp_path, capsys):
+        path = tmp_path / "k23.edges"
+        save_edge_list(complete_bipartite_graph(2, 3), path)
+        assert main(["gain", str(path), "--nu", "2", "--lp"]) == 0
+        assert "lp_gain" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_reports_ci(self, grid_file, capsys):
+        assert main(
+            ["simulate", grid_file, "-k", "2", "--nu", "3", "--trials", "4000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analytic defender gain" in out
+        assert "95% CI" in out
+        assert "inside CI: yes" in out
+
+    def test_no_equilibrium(self, house_file, capsys):
+        assert main(["simulate", house_file, "-k", "2"]) == 1
+
+
+class TestReport:
+    def test_full_report(self, grid_file, capsys):
+        assert main(
+            ["report", grid_file, "-k", "2", "--nu", "3", "--trials", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NETWORK SECURITY GAME REPORT" in out
+        assert "Operating point k = 2" in out
+
+    def test_unsolvable_point(self, house_file, capsys):
+        assert main(["report", house_file, "-k", "1"]) == 1
+        assert "no structural equilibrium" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_writes_loadable_schedule(self, grid_file, tmp_path, capsys):
+        out_path = tmp_path / "schedule.json"
+        assert main(
+            ["export", grid_file, "-k", "2", "--nu", "3", "-o", str(out_path)]
+        ) == 0
+        assert "wrote k-matching schedule" in capsys.readouterr().out
+
+        from repro.core.serialize import configuration_from_json
+        from repro.core.characterization import is_mixed_nash
+
+        restored = configuration_from_json(out_path.read_text())
+        assert is_mixed_nash(restored.game, restored)
+
+    def test_unsolvable(self, house_file, tmp_path, capsys):
+        out_path = tmp_path / "never.json"
+        assert main(["export", house_file, "-k", "2", "-o", str(out_path)]) == 1
+        assert not out_path.exists()
+
+
+class TestShapes:
+    def test_comparison_table(self, grid_file, capsys):
+        assert main(["shapes", grid_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tuple" in out
+        assert "path" in out
+        assert "star" in out
+        assert "100.0%" in out
+
+
+class TestRanges:
+    def test_prints_polytope_tables(self, tmp_path, capsys):
+        from repro.graphs.generators import star_graph
+
+        path = tmp_path / "star.edges"
+        save_edge_list(star_graph(3), path)
+        assert main(["ranges", str(path), "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "duel value" in out
+        assert "attacker probability ranges" in out
+        assert "mandatory links" in out  # star: every edge is mandatory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("info", "pure", "solve", "gain", "simulate"):
+            args = parser.parse_args(
+                [command, "g.edges"] + (["-k", "1"] if command in ("pure", "solve", "simulate") else [])
+            )
+            assert args.command == command
+
+
+class TestRedTeam:
+    def test_drill_against_equilibrium(self, grid_file, capsys):
+        assert main(
+            ["redteam", grid_file, "-k", "2", "--rounds", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "red-team escape rate" in out
+        assert "schedule holds" in out
+
+    def test_unsolvable(self, house_file, capsys):
+        assert main(["redteam", house_file, "-k", "1"]) == 1

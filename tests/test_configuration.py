@@ -1,0 +1,157 @@
+"""Unit tests for pure/mixed configurations (repro.core.configuration)."""
+
+import pytest
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.graphs.generators import complete_bipartite_graph, path_graph
+
+
+@pytest.fixture
+def game():
+    return TupleGame(path_graph(4), k=2, nu=2)
+
+
+class TestPureConfiguration:
+    def test_basic(self, game):
+        config = PureConfiguration(game, [0, 3], [(0, 1), (2, 3)])
+        assert config.vertex_choices == (0, 3)
+        assert config.tuple_choice == ((0, 1), (2, 3))
+        assert config.covered_vertices() == frozenset({0, 1, 2, 3})
+
+    def test_rejects_wrong_attacker_count(self, game):
+        with pytest.raises(GameError, match="expected 2"):
+            PureConfiguration(game, [0], [(0, 1), (2, 3)])
+
+    def test_rejects_foreign_vertex(self, game):
+        with pytest.raises(GameError, match="not a vertex"):
+            PureConfiguration(game, [0, 9], [(0, 1), (2, 3)])
+
+    def test_rejects_wrong_tuple_size(self, game):
+        with pytest.raises(GameError, match="exactly k=2"):
+            PureConfiguration(game, [0, 3], [(0, 1)])
+
+    def test_rejects_foreign_edge(self, game):
+        with pytest.raises(GameError, match="not an edge"):
+            PureConfiguration(game, [0, 3], [(0, 1), (0, 2)])
+
+    def test_tuple_is_canonicalized(self, game):
+        config = PureConfiguration(game, [0, 0], [(3, 2), (1, 0)])
+        assert config.tuple_choice == ((0, 1), (2, 3))
+
+
+class TestMixedValidation:
+    def test_rejects_wrong_number_of_vp_distributions(self, game):
+        with pytest.raises(GameError, match="expected 2"):
+            MixedConfiguration(game, [{0: 1.0}], {((0, 1), (2, 3)): 1.0})
+
+    def test_rejects_negative_probability(self, game):
+        with pytest.raises(GameError, match="negative"):
+            MixedConfiguration(
+                game,
+                [{0: 1.5, 1: -0.5}, {0: 1.0}],
+                {((0, 1), (2, 3)): 1.0},
+            )
+
+    def test_rejects_mass_not_one(self, game):
+        with pytest.raises(GameError, match="sum to 1"):
+            MixedConfiguration(
+                game, [{0: 0.7}, {0: 1.0}], {((0, 1), (2, 3)): 1.0}
+            )
+
+    def test_rejects_empty_support(self, game):
+        with pytest.raises(GameError, match="empty support"):
+            MixedConfiguration(game, [{}, {0: 1.0}], {((0, 1), (2, 3)): 1.0})
+
+    def test_rejects_foreign_vertex(self, game):
+        with pytest.raises(GameError, match="non-vertex"):
+            MixedConfiguration(game, [{9: 1.0}, {0: 1.0}], {((0, 1), (2, 3)): 1.0})
+
+    def test_rejects_wrong_tuple_arity(self, game):
+        with pytest.raises(GameError, match="requires k=2"):
+            MixedConfiguration(game, [{0: 1.0}, {0: 1.0}], {((0, 1),): 1.0})
+
+    def test_rejects_duplicate_tuple_keys(self, game):
+        # Same edge set under two orderings must be detected as one tuple.
+        with pytest.raises(GameError, match="twice"):
+            MixedConfiguration(
+                game,
+                [{0: 1.0}, {0: 1.0}],
+                {((0, 1), (2, 3)): 0.5, ((2, 3), (0, 1)): 0.5},
+            )
+
+    def test_drops_zero_entries(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 1.0, 2: 0.0}, {0: 1.0}],
+            {((0, 1), (2, 3)): 1.0, ((0, 1), (1, 2)): 0.0},
+        )
+        assert config.vp_support(0) == frozenset({0})
+        assert config.tp_support() == frozenset({((0, 1), (2, 3))})
+
+    def test_renormalizes_within_tolerance(self, game):
+        p = 1.0 / 3.0
+        config = MixedConfiguration(
+            game,
+            [{0: p, 1: p, 2: p}, {0: 1.0}],
+            {((0, 1), (2, 3)): 1.0},
+        )
+        assert abs(sum(config.vp_distribution(0).values()) - 1.0) < 1e-15
+
+
+class TestSupports:
+    def test_supports_and_probabilities(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 0.5, 3: 0.5}, {1: 1.0}],
+            {((0, 1), (2, 3)): 0.25, ((1, 2), (2, 3)): 0.75},
+        )
+        assert config.vp_support(0) == frozenset({0, 3})
+        assert config.vp_support(1) == frozenset({1})
+        assert config.vp_support_union() == frozenset({0, 1, 3})
+        assert config.tp_support_edges() == frozenset({(0, 1), (1, 2), (2, 3)})
+        assert config.tp_support_vertices() == frozenset({0, 1, 2, 3})
+        assert config.prob_vp(0, 0) == 0.5
+        assert config.prob_vp(0, 1) == 0.0
+        assert config.prob_tp([(2, 3), (0, 1)]) == 0.25
+        assert config.prob_tp([(0, 1), (1, 2)]) == 0.0
+
+    def test_tuples_containing(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 1.0}, {0: 1.0}],
+            {((0, 1), (2, 3)): 0.5, ((1, 2), (2, 3)): 0.5},
+        )
+        assert set(config.tuples_containing(0)) == {((0, 1), (2, 3))}
+        assert len(config.tuples_containing(2)) == 2
+        assert config.tuples_containing(99) == ()
+
+
+class TestConstructors:
+    def test_from_pure_is_degenerate(self, game):
+        pure = PureConfiguration(game, [0, 3], [(0, 1), (2, 3)])
+        mixed = MixedConfiguration.from_pure(pure)
+        assert mixed.prob_vp(0, 0) == 1.0
+        assert mixed.prob_tp(((0, 1), (2, 3))) == 1.0
+
+    def test_uniform(self):
+        game = TupleGame(complete_bipartite_graph(2, 3), k=1, nu=3)
+        config = MixedConfiguration.uniform(
+            game, [2, 3, 4], [[(0, 2)], [(0, 3)], [(1, 4)]]
+        )
+        for i in range(3):
+            for v in (2, 3, 4):
+                assert config.prob_vp(i, v) == pytest.approx(1 / 3)
+        assert config.prob_tp([(0, 2)]) == pytest.approx(1 / 3)
+
+    def test_uniform_deduplicates_support(self, game):
+        config = MixedConfiguration.uniform(
+            game, [0, 0, 3], [[(0, 1), (2, 3)]]
+        )
+        assert config.prob_vp(0, 0) == pytest.approx(0.5)
+
+    def test_uniform_rejects_empty(self, game):
+        with pytest.raises(GameError):
+            MixedConfiguration.uniform(game, [], [[(0, 1), (2, 3)]])
+        with pytest.raises(GameError):
+            MixedConfiguration.uniform(game, [0], [])

@@ -1,0 +1,96 @@
+"""Tests for the Price of Defense analysis (repro.analysis.defense)."""
+
+import pytest
+
+from repro.analysis.defense import (
+    defense_profile,
+    predicted_price_of_defense,
+    price_of_defense,
+)
+from repro.core.game import TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    petersen_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+
+
+class TestPriceOfDefense:
+    def test_closed_form_at_kmatching(self):
+        graph = grid_graph(2, 4)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, rho):
+            game = TupleGame(graph, k, nu=5)
+            result = solve_game(game)
+            assert price_of_defense(game, result) == pytest.approx(rho / k)
+
+    def test_pure_regime_price_is_one(self):
+        graph = complete_bipartite_graph(2, 3)
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, rho, nu=3)
+        assert price_of_defense(game, solve_game(game)) == pytest.approx(1.0)
+
+    def test_independent_of_nu(self):
+        graph = grid_graph(3, 3)
+        prices = set()
+        for nu in (1, 4, 9):
+            game = TupleGame(graph, 2, nu=nu)
+            prices.add(round(price_of_defense(game, solve_game(game)), 10))
+        assert len(prices) == 1
+
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ValueError, match="undefined"):
+            game = TupleGame(grid_graph(2, 2), 1, nu=1)
+            result = solve_game(game)
+            result.defender_gain = 0.0
+            price_of_defense(game, result)
+
+
+class TestPredictedPrice:
+    def test_formula(self):
+        graph = complete_bipartite_graph(2, 5)
+        rho = minimum_edge_cover_size(graph)
+        assert predicted_price_of_defense(graph, 2) == pytest.approx(rho / 2)
+
+    def test_floored_at_one(self):
+        graph = complete_bipartite_graph(2, 5)
+        assert predicted_price_of_defense(graph, 99) == 1.0
+
+
+class TestDefenseProfile:
+    def test_default_sweep(self):
+        graph = grid_graph(2, 3)
+        rho = minimum_edge_cover_size(graph)
+        points = defense_profile(graph, nu=4)
+        assert [p.k for p in points] == list(range(1, rho + 1))
+        assert points[-1].kind == "pure"
+        assert points[-1].price == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        points = defense_profile(grid_graph(3, 3), nu=2)
+        prices = [p.price for p in points]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_petersen_via_extension(self):
+        points = defense_profile(petersen_graph(), nu=2)
+        kinds = {p.kind for p in points}
+        assert "perfect-matching" in kinds
+        for p in points:
+            if p.kind == "perfect-matching":
+                assert p.price == pytest.approx(p.predicted)
+
+    def test_odd_cycle_beats_the_closed_form(self):
+        """On C7 the uniform-k-matching value 2k/n beats k/rho, so the
+        measured price is *below* the rho/k prediction."""
+        points = defense_profile(cycle_graph(7), nu=3, ks=[1, 2])
+        for p in points:
+            assert p.kind == "uniform-k-matching"
+            assert p.price < p.predicted
+
+    def test_explicit_ks_and_repr(self):
+        points = defense_profile(grid_graph(2, 3), nu=1, ks=[2])
+        assert len(points) == 1
+        assert "DefensePoint" in repr(points[0])

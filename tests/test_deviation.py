@@ -1,0 +1,83 @@
+"""Tests for best-deviation witnesses (repro.core.deviation)."""
+
+import pytest
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.deviation import (
+    best_attacker_deviation,
+    best_defender_deviation,
+    exploitability,
+)
+from repro.core.game import GameError, TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph, path_graph
+
+
+@pytest.fixture
+def game():
+    return TupleGame(path_graph(4), 1, nu=1)
+
+
+class TestWitnesses:
+    def test_attacker_finds_uncovered_vertex(self, game):
+        config = MixedConfiguration(game, [{0: 1.0}], {((0, 1),): 1.0})
+        deviation = best_attacker_deviation(game, config)
+        # Vertices 2, 3 are never hit; the canonical minimum is 2.
+        assert deviation.vertex == 2
+        assert deviation.payoff == pytest.approx(1.0)
+        assert deviation.gain == pytest.approx(1.0)  # was always caught
+
+    def test_defender_finds_attacker_mass(self, game):
+        config = MixedConfiguration(game, [{3: 1.0}], {((0, 1),): 1.0})
+        deviation = best_defender_deviation(game, config)
+        assert 3 in {v for e in deviation.tuple_choice for v in e}
+        assert deviation.payoff == pytest.approx(1.0)
+        assert deviation.gain == pytest.approx(1.0)
+
+    def test_zero_gain_at_equilibrium(self):
+        game = TupleGame(complete_bipartite_graph(2, 4), 2, nu=3)
+        config = solve_game(game).mixed
+        for i in range(game.nu):
+            assert best_attacker_deviation(game, config, i).gain == pytest.approx(
+                0.0, abs=1e-9
+            )
+        assert best_defender_deviation(game, config).gain == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_rejects_bad_player_index(self, game):
+        config = solve_game(game).mixed
+        with pytest.raises(GameError, match="no vertex player"):
+            best_attacker_deviation(game, config, player=5)
+
+    def test_rejects_foreign_config(self, game):
+        other = TupleGame(path_graph(4), 1, nu=2)
+        config = solve_game(other).mixed
+        with pytest.raises(GameError, match="different game"):
+            best_attacker_deviation(game, config)
+        with pytest.raises(GameError, match="different game"):
+            best_defender_deviation(game, config)
+
+
+class TestExploitability:
+    def test_zero_at_equilibrium(self):
+        game = TupleGame(grid_graph(3, 3), 2, nu=2)
+        config = solve_game(game).mixed
+        assert exploitability(game, config) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_off_equilibrium(self, game):
+        config = MixedConfiguration(game, [{0: 1.0}], {((2, 3),): 1.0})
+        assert exploitability(game, config) > 0.5
+
+    def test_normalized_by_nu(self):
+        """A defender-side defect of fixed absolute size counts the same
+        relative to the attacker population."""
+        graph = path_graph(4)
+        for nu in (1, 4):
+            game = TupleGame(graph, 2, nu=nu)
+            # Defender ignores the attackers camped on vertex 0's edge.
+            config = MixedConfiguration(
+                game, [{3: 1.0}] * nu, {((0, 1), (1, 2)): 1.0}
+            )
+            # All attackers escape; defender could catch all nu of them.
+            assert exploitability(game, config) == pytest.approx(1.0)

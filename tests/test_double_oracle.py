@@ -1,0 +1,95 @@
+"""Tests for the double-oracle solver (repro.solvers.double_oracle)."""
+
+import pytest
+
+from repro.core.game import TupleGame
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.lp import solve_minimax
+
+
+class TestMatchesFullLP:
+    @pytest.mark.parametrize(
+        "graph, k",
+        [
+            (path_graph(6), 2),
+            (cycle_graph(7), 2),
+            (complete_bipartite_graph(2, 4), 3),
+            (petersen_graph(), 2),
+            (grid_graph(2, 4), 2),
+        ],
+        ids=["path6", "cycle7", "k24", "petersen", "grid24"],
+    )
+    def test_value_agrees(self, graph, k):
+        game = TupleGame(graph, k, nu=1)
+        full = solve_minimax(game).value
+        result = double_oracle(game)
+        assert result.value == pytest.approx(full, abs=1e-7)
+        assert result.certified_gap <= 1e-7
+
+    def test_pools_stay_small(self):
+        graph = complete_bipartite_graph(3, 5)
+        game = TupleGame(graph, 2, nu=1)
+        result = double_oracle(game)
+        assert result.defender_pool_size < game.tuple_strategy_count() / 3
+        assert result.attacker_pool_size <= graph.n
+
+
+class TestBeyondEnumeration:
+    def test_solves_instance_too_large_for_full_lp(self):
+        """C(60, 4) ≈ 487k tuples — over the LP limit, but double oracle
+        handles it and lands on the k/rho value the theory predicts."""
+        graph = random_bipartite_graph(15, 25, 0.15, seed=8)
+        k = 4
+        game = TupleGame(graph, k, nu=1)
+        assert game.tuple_strategy_count() > 200_000
+        result = double_oracle(game)
+        rho = minimum_edge_cover_size(graph)
+        assert result.value == pytest.approx(k / rho, abs=1e-7)
+
+    def test_pure_regime_value_one(self):
+        graph = path_graph(4)
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, rho, nu=1)
+        result = double_oracle(game)
+        assert result.value == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMechanics:
+    def test_deterministic(self):
+        game = TupleGame(grid_graph(2, 3), 2, nu=1)
+        a = double_oracle(game)
+        b = double_oracle(game)
+        assert a.value == b.value
+        assert a.iterations == b.iterations
+
+    def test_repr(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        assert "value=" in repr(double_oracle(game))
+
+    def test_greedy_oracle_reports_gap(self):
+        """With a greedy defender oracle the certificate may be loose but
+        the value still lands within the reported gap of the truth."""
+        graph = grid_graph(2, 4)
+        game = TupleGame(graph, 2, nu=1)
+        truth = solve_minimax(game).value
+        result = double_oracle(game, method="greedy")
+        assert result.value <= truth + result.certified_gap + 1e-7
+        assert result.value >= truth - result.certified_gap - 1e-7
+
+
+class TestConvergenceGuard:
+    def test_max_iterations_raises(self):
+        from repro.core.game import GameError
+
+        game = TupleGame(grid_graph(3, 3), 2, nu=1)
+        with pytest.raises(GameError, match="did not converge"):
+            double_oracle(game, max_iterations=1)

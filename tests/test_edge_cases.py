@@ -1,0 +1,162 @@
+"""Edge-case and failure-injection tests across the whole stack.
+
+Degenerate graphs (single edge), extreme parameters (k = m, ν = 1,
+huge ν), numerically adversarial probabilities, and deliberately broken
+inputs — making sure every layer fails loudly or degrades gracefully.
+"""
+
+import pytest
+
+from repro.core.characterization import is_mixed_nash, verify_best_responses
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp
+from repro.equilibria.solve import solve_game
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.engine import simulate
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.lp import solve_minimax
+
+
+class TestSingleEdgeGraph:
+    """K2: the smallest legal instance — everything must still work."""
+
+    @pytest.fixture
+    def k2(self):
+        return Graph([(0, 1)])
+
+    def test_solve_is_pure(self, k2):
+        game = TupleGame(k2, 1, nu=3)
+        result = solve_game(game)
+        assert result.kind == "pure"
+        assert result.defender_gain == 3.0
+
+    def test_lp_value_is_one(self, k2):
+        assert solve_minimax(TupleGame(k2, 1, nu=1)).value == pytest.approx(1.0)
+
+    def test_double_oracle(self, k2):
+        assert double_oracle(TupleGame(k2, 1, nu=1)).value == pytest.approx(1.0)
+
+    def test_simulation(self, k2):
+        game = TupleGame(k2, 1, nu=2)
+        config = solve_game(game).mixed
+        report = simulate(game, config, trials=100, seed=0)
+        assert report.defender_profit.mean == pytest.approx(2.0)
+
+    def test_rho_is_one(self, k2):
+        assert minimum_edge_cover_size(k2) == 1
+
+
+class TestKEqualsM:
+    """k = m: the defender watches every link; everything is covered."""
+
+    def test_solve(self):
+        graph = path_graph(4)
+        game = TupleGame(graph, graph.m, nu=2)
+        result = solve_game(game)
+        assert result.kind == "pure"
+        config = result.mixed
+        assert expected_profit_tp(config) == pytest.approx(2.0)
+
+    def test_every_attacker_position_is_equivalent(self):
+        graph = star_graph(3)
+        game = TupleGame(graph, graph.m, nu=1)
+        for v in graph.vertices():
+            config = MixedConfiguration(
+                game, [{v: 1.0}], {tuple(graph.sorted_edges()): 1.0}
+            )
+            ok, _ = verify_best_responses(game, config)
+            assert ok
+
+
+class TestManyAttackers:
+    def test_large_nu_scales_linearly(self):
+        graph = complete_bipartite_graph(2, 4)
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, 2, nu=1000)
+        result = solve_game(game)
+        assert result.defender_gain == pytest.approx(2 * 1000 / rho)
+
+    def test_profile_with_heterogeneous_attackers_still_checks(self):
+        graph = path_graph(4)
+        game = TupleGame(graph, 2, nu=3)
+        # Three attackers with *different* distributions on the support.
+        config = MixedConfiguration(
+            game,
+            [{0: 1.0}, {3: 1.0}, {0: 0.5, 3: 0.5}],
+            {((0, 1), (2, 3)): 1.0},
+        )
+        # Full cover: it is an NE (degenerate), and profits add up.
+        ok, _ = verify_best_responses(game, config)
+        assert ok
+        assert expected_profit_tp(config) == pytest.approx(3.0)
+
+
+class TestNumericalEdges:
+    def test_near_one_probability_sum_tolerance(self):
+        graph = path_graph(4)
+        game = TupleGame(graph, 1, nu=1)
+        third = 1.0 / 3.0
+        config = MixedConfiguration(
+            game,
+            [{0: third, 2: third, 3: 1.0 - 2 * third}],
+            {((0, 1),): 0.5, ((2, 3),): 0.5},
+        )
+        assert abs(sum(config.vp_distribution(0).values()) - 1.0) < 1e-12
+
+    def test_tiny_probability_kept_not_dropped(self):
+        graph = path_graph(4)
+        game = TupleGame(graph, 1, nu=1)
+        eps = 1e-12
+        config = MixedConfiguration(
+            game, [{0: 1.0 - eps, 3: eps}], {((0, 1),): 1.0}
+        )
+        assert 3 in config.vp_support(0)
+
+    def test_is_mixed_nash_respects_custom_tolerance(self):
+        graph = complete_bipartite_graph(2, 3)
+        game = TupleGame(graph, 1, nu=1)
+        config = solve_game(game).mixed
+        # Perturb the attacker slightly: fails at tight tolerance, passes
+        # at loose tolerance.
+        dist = dict(config.vp_distribution(0))
+        keys = sorted(dist, key=repr)
+        dist[keys[0]] += 1e-5
+        dist[keys[1]] -= 1e-5
+        perturbed = MixedConfiguration(game, [dist], config.tp_distribution())
+        assert not is_mixed_nash(game, perturbed, tol=1e-9)
+        assert is_mixed_nash(game, perturbed, tol=1e-3)
+
+
+class TestBrokenInputsFailLoudly:
+    def test_pure_configuration_duplicate_edges(self):
+        from repro.graphs.core import GraphError
+
+        game = TupleGame(path_graph(4), 2, nu=1)
+        with pytest.raises(GraphError, match="distinct"):
+            PureConfiguration(game, [0], [(0, 1), (1, 0)])
+
+    def test_mixed_configuration_nan_probability(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        with pytest.raises(GameError):
+            MixedConfiguration(game, [{0: float("nan")}], {((0, 1),): 1.0})
+
+    def test_solver_rejects_disconnected_after_construction(self):
+        # Disconnected graphs are legal for the solver (each component
+        # gets covered), but isolated vertices are not.
+        disconnected = Graph([(0, 1), (2, 3)])
+        game = TupleGame(disconnected, 2, nu=1)
+        result = solve_game(game)
+        assert result.kind == "pure"
+
+    def test_simulate_rejects_negative_trials(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        config = solve_game(game).mixed
+        with pytest.raises(GameError):
+            simulate(game, config, trials=-5)

@@ -1,0 +1,79 @@
+"""Tests for fictitious play (repro.solvers.fictitious_play)."""
+
+import pytest
+
+from repro.core.game import TupleGame
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.fictitious_play import fictitious_play
+from repro.solvers.lp import solve_minimax
+
+
+class TestValueBounds:
+    @pytest.mark.parametrize(
+        "graph, k",
+        [(path_graph(5), 1), (path_graph(5), 2), (complete_bipartite_graph(2, 4), 2),
+         (cycle_graph(6), 1), (petersen_graph(), 2)],
+        ids=["path5-k1", "path5-k2", "k24-k2", "cycle6-k1", "petersen-k2"],
+    )
+    def test_bounds_sandwich_true_value(self, graph, k):
+        game = TupleGame(graph, k, nu=1)
+        true_value = solve_minimax(game).value
+        result = fictitious_play(game, rounds=400)
+        assert result.lower_bound <= true_value + 1e-9
+        assert result.upper_bound >= true_value - 1e-9
+
+    def test_bounds_tighten_with_rounds(self):
+        game = TupleGame(complete_bipartite_graph(2, 4), 2, nu=1)
+        short = fictitious_play(game, rounds=50)
+        long = fictitious_play(game, rounds=800)
+        assert long.gap <= short.gap + 1e-9
+
+    def test_converges_near_value(self):
+        game = TupleGame(path_graph(5), 2, nu=1)
+        true_value = solve_minimax(game).value
+        result = fictitious_play(game, rounds=1500)
+        assert result.value_estimate == pytest.approx(true_value, abs=0.05)
+
+
+class TestMechanics:
+    def test_deterministic(self):
+        game = TupleGame(path_graph(6), 2, nu=1)
+        a = fictitious_play(game, rounds=100)
+        b = fictitious_play(game, rounds=100)
+        assert a.attacker_strategy == b.attacker_strategy
+        assert a.defender_strategy == b.defender_strategy
+
+    def test_strategies_are_distributions(self):
+        game = TupleGame(cycle_graph(6), 2, nu=1)
+        result = fictitious_play(game, rounds=120)
+        assert sum(result.attacker_strategy.values()) == pytest.approx(1.0)
+        assert sum(result.defender_strategy.values()) == pytest.approx(1.0)
+
+    def test_history_length_matches_rounds(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        result = fictitious_play(game, rounds=37)
+        assert result.rounds == 37
+        assert len(result.history) == 37
+
+    def test_early_stop_on_tolerance(self):
+        game = TupleGame(path_graph(4), 2, nu=1)
+        result = fictitious_play(game, rounds=10_000, tolerance=0.2)
+        assert result.rounds < 10_000
+        assert result.gap <= 0.2
+
+    def test_defender_gain_estimate_scales_with_nu(self):
+        game = TupleGame(path_graph(5), 2, nu=4)
+        result = fictitious_play(game, rounds=200)
+        assert result.defender_gain_estimate(4) == pytest.approx(
+            4 * result.value_estimate
+        )
+
+    def test_repr(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        assert "value≈" in repr(fictitious_play(game, rounds=20))

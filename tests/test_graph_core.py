@@ -1,0 +1,163 @@
+"""Unit tests for the Graph data structure (repro.graphs.core)."""
+
+import pytest
+
+from repro.graphs.core import Graph, GraphError, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge(1, 2) == (1, 2)
+
+    def test_strings(self):
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_are_deterministic(self):
+        assert canonical_edge(1, "a") == canonical_edge("a", 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            canonical_edge(3, 3)
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph([(1, 2), (2, 1), (1, 2)])
+        assert g.m == 1
+
+    def test_rejects_isolated_vertices_by_default(self):
+        with pytest.raises(GraphError, match="isolated"):
+            Graph([(1, 2)], vertices=[5])
+
+    def test_allow_isolated_flag(self):
+        g = Graph([(1, 2)], vertices=[5], allow_isolated=True)
+        assert g.n == 3
+        assert g.degree(5) == 0
+
+    def test_rejects_non_pair_edge(self):
+        with pytest.raises(GraphError, match="not a 2-tuple"):
+            Graph([(1, 2, 3)])
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_from_edge_list(self):
+        g = Graph.from_edge_list([[1, 2], [2, 3]])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(3, 2)
+
+
+class TestAccessors:
+    def test_neighbors(self):
+        g = Graph([(1, 2), (2, 3), (2, 4)])
+        assert g.neighbors(2) == frozenset({1, 3, 4})
+        assert g.neighbors(1) == frozenset({2})
+
+    def test_neighbors_of_missing_vertex(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(GraphError, match="not in the graph"):
+            g.neighbors(9)
+
+    def test_degree(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.degree(2) == 2
+        assert g.degree(1) == 1
+
+    def test_has_edge_both_orientations(self):
+        g = Graph([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+
+    def test_has_edge_self_pair_is_false(self):
+        g = Graph([(1, 2)])
+        assert not g.has_edge(1, 1)
+
+    def test_sorted_vertices_and_edges_are_deterministic(self):
+        g = Graph([(3, 1), (2, 3)])
+        assert g.sorted_vertices() == [1, 2, 3]
+        assert g.sorted_edges() == [(1, 3), (2, 3)]
+
+    def test_incident_edges(self):
+        g = Graph([(2, 1), (2, 3), (4, 2)])
+        assert g.incident_edges(2) == [(1, 2), (2, 3), (2, 4)]
+
+    def test_neighborhood_of_set(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood({1, 4}) == frozenset({2, 3})
+        # paper semantics: open neighborhood union
+        assert g.neighborhood({2, 3}) == frozenset({1, 2, 3, 4})
+
+    def test_contains_iter_len(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert 1 in g
+        assert 9 not in g
+        assert list(g) == [1, 2, 3]
+        assert len(g) == 3
+
+
+class TestDerivedGraphs:
+    def test_subgraph_from_edges_vertex_set_is_endpoints_only(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph_from_edges([(1, 2)])
+        assert sub.vertices() == frozenset({1, 2})
+        assert sub.m == 1
+
+    def test_subgraph_from_edges_rejects_foreign_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        with pytest.raises(GraphError, match="not an edge"):
+            g.subgraph_from_edges([(1, 3)])
+
+    def test_induced_subgraph_keeps_isolated(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = g.induced_subgraph({1, 3, 4})
+        assert sub.vertices() == frozenset({1, 3, 4})
+        assert sub.edges() == frozenset({(3, 4)})
+        assert sub.degree(1) == 0
+
+    def test_induced_subgraph_rejects_missing(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(GraphError, match="not in graph"):
+            g.induced_subgraph({1, 7})
+
+
+class TestEqualityAndHash:
+    def test_equal_graphs(self):
+        assert Graph([(1, 2), (2, 3)]) == Graph([(3, 2), (1, 2)])
+
+    def test_unequal_graphs(self):
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    def test_hash_consistency(self):
+        a = Graph([(1, 2), (2, 3)])
+        b = Graph([(2, 3), (2, 1)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Graph([(1, 2)]) != "graph"
+
+
+class TestValidateForGame:
+    def test_accepts_valid_graph(self):
+        Graph([(1, 2)]).validate_for_game()
+
+    def test_rejects_edgeless(self):
+        with pytest.raises(GraphError, match="at least one edge"):
+            Graph().validate_for_game()
+
+    def test_rejects_isolated(self):
+        g = Graph([(1, 2)], vertices=[9], allow_isolated=True)
+        with pytest.raises(GraphError, match="isolated"):
+            g.validate_for_game()
+
+    def test_repr(self):
+        assert repr(Graph([(1, 2)])) == "Graph(n=2, m=1)"

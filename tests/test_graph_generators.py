@@ -1,0 +1,271 @@
+"""Unit tests for the generator zoo (repro.graphs.generators)."""
+
+import pytest
+
+from repro.graphs.core import GraphError
+from repro.graphs.generators import (
+    barbell_graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    complete_multipartite_graph,
+    cycle_graph,
+    double_star_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    random_connected_graph,
+    random_tree,
+    star_graph,
+    wheel_graph,
+)
+from repro.graphs.properties import (
+    bipartition,
+    is_bipartite,
+    is_connected,
+    is_regular,
+    max_degree,
+    min_degree,
+)
+
+
+class TestStructuredFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 1 and g.degree(4) == 1
+        assert g.degree(2) == 2
+        assert is_connected(g)
+
+    def test_path_too_small(self):
+        with pytest.raises(GraphError):
+            path_graph(1)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert (g.n, g.m) == (6, 6)
+        assert is_regular(g) and min_degree(g) == 2
+
+    def test_odd_cycle_not_bipartite(self):
+        assert not is_bipartite(cycle_graph(5))
+        assert is_bipartite(cycle_graph(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert (g.n, g.m) == (5, 10)
+        assert is_regular(g) and max_degree(g) == 4
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert (g.n, g.m) == (5, 6)
+        left, right = bipartition(g)
+        assert {len(left), len(right)} == {2, 3}
+
+    def test_star(self):
+        g = star_graph(4)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 4
+
+    def test_double_star(self):
+        g = double_star_graph(3, 4)
+        assert (g.n, g.m) == (9, 8)
+        assert g.degree(0) == 4  # 3 leaves + bridge
+        assert g.degree(1) == 5
+        assert is_bipartite(g)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_bipartite(g)
+
+    def test_grid_single_row_is_path(self):
+        assert grid_graph(1, 5) == path_graph(5)
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert (g.n, g.m) == (8, 12)
+        assert is_regular(g) and min_degree(g) == 3
+        assert is_bipartite(g)
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert (g.n, g.m) == (10, 15)
+        assert is_regular(g) and min_degree(g) == 3
+        assert not is_bipartite(g)
+
+    def test_circulant(self):
+        g = circulant_graph(8, (1, 3))
+        assert g.n == 8
+        assert is_regular(g) and min_degree(g) == 4
+
+    def test_circulant_rejects_zero_offset(self):
+        with pytest.raises(GraphError):
+            circulant_graph(6, (6,))
+
+
+class TestDenseFamilies:
+    def test_wheel(self):
+        g = wheel_graph(5)
+        assert (g.n, g.m) == (6, 10)
+        assert g.degree(0) == 5
+        assert not is_bipartite(g)
+        assert is_connected(g)
+
+    def test_wheel_too_small(self):
+        with pytest.raises(GraphError):
+            wheel_graph(2)
+
+    def test_complete_multipartite_counts(self):
+        g = complete_multipartite_graph(2, 3, 4)
+        assert g.n == 9
+        assert g.m == 2 * 3 + 2 * 4 + 3 * 4
+
+    def test_complete_multipartite_two_classes_is_bipartite(self):
+        assert complete_multipartite_graph(3, 4) == complete_bipartite_graph(3, 4)
+
+    def test_complete_multipartite_classes_are_independent(self):
+        from repro.graphs.properties import is_independent_set
+
+        g = complete_multipartite_graph(3, 2, 2)
+        assert is_independent_set(g, {0, 1, 2})
+        assert is_independent_set(g, {3, 4})
+
+    def test_complete_multipartite_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            complete_multipartite_graph(3)
+        with pytest.raises(GraphError):
+            complete_multipartite_graph(3, 0)
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        assert g.n == 2 * 4 + 2  # two interior bridge vertices
+        assert g.m == 2 * 6 + 3
+        assert is_connected(g)
+        assert not is_bipartite(g)
+
+    def test_barbell_single_edge_bridge(self):
+        g = barbell_graph(3, 1)
+        assert g.n == 6
+        assert g.m == 2 * 3 + 1
+
+    def test_barbell_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            barbell_graph(2, 1)
+        with pytest.raises(GraphError):
+            barbell_graph(3, 0)
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 4)
+        assert g.n == 9
+        assert g.m == 10 + 4
+        assert g.degree(8) == 1  # tail end
+        assert is_connected(g)
+
+    def test_lollipop_rejects_bad_args(self):
+        with pytest.raises(GraphError):
+            lollipop_graph(2, 2)
+        with pytest.raises(GraphError):
+            lollipop_graph(4, 0)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_a_tree(self):
+        for seed in range(8):
+            g = random_tree(15, seed=seed)
+            assert g.n == 15
+            assert g.m == 14
+            assert is_connected(g)
+            assert is_bipartite(g)
+
+    def test_random_tree_deterministic_per_seed(self):
+        assert random_tree(12, seed=4) == random_tree(12, seed=4)
+
+    def test_random_tree_varies_across_seeds(self):
+        graphs = {random_tree(12, seed=s) for s in range(10)}
+        assert len(graphs) > 1
+
+    def test_random_tree_two_vertices(self):
+        g = random_tree(2, seed=0)
+        assert (g.n, g.m) == (2, 1)
+
+    def test_random_bipartite_no_isolated(self):
+        for seed in range(8):
+            g = random_bipartite_graph(6, 9, 0.1, seed=seed)
+            assert min_degree(g) >= 1
+            assert is_bipartite(g)
+            assert g.n == 15
+
+    def test_random_bipartite_deterministic(self):
+        a = random_bipartite_graph(5, 5, 0.3, seed=2)
+        b = random_bipartite_graph(5, 5, 0.3, seed=2)
+        assert a == b
+
+    def test_random_bipartite_p_one_is_complete(self):
+        g = random_bipartite_graph(3, 4, 1.0, seed=0)
+        assert g == complete_bipartite_graph(3, 4)
+
+    def test_random_bipartite_rejects_bad_p(self):
+        with pytest.raises(GraphError):
+            random_bipartite_graph(3, 3, 1.5)
+
+    def test_gnp_no_isolated(self):
+        for seed in range(8):
+            g = gnp_random_graph(14, 0.05, seed=seed)
+            assert min_degree(g) >= 1
+            assert g.n == 14
+
+    def test_gnp_p_one_is_complete(self):
+        assert gnp_random_graph(5, 1.0, seed=0) == complete_graph(5)
+
+    def test_gnp_deterministic(self):
+        assert gnp_random_graph(10, 0.3, seed=7) == gnp_random_graph(10, 0.3, seed=7)
+
+    def test_random_connected_graph(self):
+        g = random_connected_graph(12, extra_edges=5, seed=3)
+        assert g.n == 12
+        assert g.m == 11 + 5
+        assert is_connected(g)
+
+    def test_random_connected_zero_extra_is_tree(self):
+        g = random_connected_graph(9, extra_edges=0, seed=1)
+        assert g.m == 8
+
+
+class TestPerfectMatchingFamily:
+    def test_planted_matching_present(self):
+        from repro.graphs.generators import random_graph_with_perfect_matching
+        from repro.matching.blossom import matching_number
+
+        for seed in range(6):
+            g = random_graph_with_perfect_matching(5, extra_edges=8, seed=seed)
+            assert g.n == 10
+            assert matching_number(g) == 5  # perfect
+
+    def test_zero_extras_is_the_bare_matching(self):
+        from repro.graphs.generators import random_graph_with_perfect_matching
+
+        g = random_graph_with_perfect_matching(4, extra_edges=0, seed=0)
+        assert g.m == 4
+        assert all(g.has_edge(2 * i, 2 * i + 1) for i in range(4))
+
+    def test_deterministic(self):
+        from repro.graphs.generators import random_graph_with_perfect_matching
+
+        assert random_graph_with_perfect_matching(
+            4, 6, seed=9
+        ) == random_graph_with_perfect_matching(4, 6, seed=9)
+
+    def test_rejects_zero_pairs(self):
+        from repro.graphs.generators import random_graph_with_perfect_matching
+
+        with pytest.raises(GraphError):
+            random_graph_with_perfect_matching(0, 1)

@@ -1,0 +1,91 @@
+"""Unit tests for graph serialization (repro.graphs.io)."""
+
+import pytest
+
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import grid_graph, petersen_graph
+from repro.graphs.io import (
+    format_edge_list,
+    graph_from_json,
+    graph_to_json,
+    load_edge_list,
+    load_graph,
+    parse_edge_list,
+    save_edge_list,
+)
+
+
+class TestEdgeListFormat:
+    def test_parse_simple(self):
+        g = parse_edge_list("1 2\n2 3\n")
+        assert g == Graph([(1, 2), (2, 3)])
+
+    def test_parse_comments_and_blank_lines(self):
+        text = "# header\n1 2\n\n2 3  # trailing comment\n"
+        g = parse_edge_list(text)
+        assert g.m == 2
+
+    def test_parse_string_labels(self):
+        g = parse_edge_list("alpha beta\nbeta gamma\n")
+        assert g.has_edge("alpha", "beta")
+
+    def test_integer_labels_become_ints(self):
+        g = parse_edge_list("10 20\n")
+        assert g.has_vertex(10)
+        assert not g.has_vertex("10")
+
+    def test_mixed_labels_stay_strings(self):
+        g = parse_edge_list("1 a\n")
+        assert g.has_vertex("1")
+        assert g.has_vertex("a")
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(GraphError, match="line 1"):
+            parse_edge_list("1 2 3\n")
+
+    def test_round_trip(self):
+        g = grid_graph(3, 3)
+        assert parse_edge_list(format_edge_list(g)) == g
+
+    def test_format_is_sorted_and_newline_terminated(self):
+        text = format_edge_list(Graph([(2, 1), (1, 3)]))
+        assert text == "1 2\n1 3\n"
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        g = petersen_graph()
+        path = tmp_path / "petersen.edges"
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_load_graph_dispatches_on_extension(self, tmp_path):
+        g = grid_graph(2, 3)
+        edge_path = tmp_path / "g.edges"
+        json_path = tmp_path / "g.json"
+        save_edge_list(g, edge_path)
+        json_path.write_text(graph_to_json(g))
+        assert load_graph(edge_path) == g
+        assert load_graph(json_path) == g
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = grid_graph(2, 4)
+        assert graph_from_json(graph_to_json(g)) == g
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(GraphError, match="invalid JSON"):
+            graph_from_json("{not json")
+
+    def test_rejects_missing_edges_key(self):
+        with pytest.raises(GraphError, match="'edges'"):
+            graph_from_json('{"vertices": [1, 2]}')
+
+    def test_rejects_non_pair_edge(self):
+        with pytest.raises(GraphError, match="not a pair"):
+            graph_from_json('{"edges": [[1, 2, 3]]}')
+
+    def test_rejects_isolated_vertex(self):
+        with pytest.raises(GraphError, match="isolated"):
+            graph_from_json('{"vertices": [1, 2, 9], "edges": [[1, 2]]}')

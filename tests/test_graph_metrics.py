@@ -1,0 +1,114 @@
+"""Unit tests for graph metrics (repro.graphs.metrics)."""
+
+import pytest
+
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.metrics import (
+    average_degree,
+    bfs_distances,
+    degree_histogram,
+    density,
+    diameter,
+    eccentricity,
+    girth,
+    radius,
+)
+
+
+class TestDistances:
+    def test_bfs_on_path(self):
+        distances = bfs_distances(path_graph(5), 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 9)
+
+    def test_bfs_on_disconnected_component(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert bfs_distances(g, 0) == {0: 0, 1: 1}
+
+    def test_eccentricity_center_vs_end(self):
+        g = path_graph(5)
+        assert eccentricity(g, 2) == 2
+        assert eccentricity(g, 0) == 4
+
+    def test_eccentricity_disconnected_raises(self):
+        with pytest.raises(GraphError, match="disconnected"):
+            eccentricity(Graph([(0, 1), (2, 3)]), 0)
+
+    @pytest.mark.parametrize(
+        "graph, expected_diameter, expected_radius",
+        [
+            (path_graph(6), 5, 3),
+            (cycle_graph(8), 4, 4),
+            (complete_graph(5), 1, 1),
+            (star_graph(4), 2, 1),
+            (petersen_graph(), 2, 2),
+            (hypercube_graph(3), 3, 3),
+            (grid_graph(3, 4), 5, 3),
+        ],
+        ids=["path6", "cycle8", "k5", "star4", "petersen", "cube3", "grid34"],
+    )
+    def test_diameter_and_radius(self, graph, expected_diameter, expected_radius):
+        assert diameter(graph) == expected_diameter
+        assert radius(graph) == expected_radius
+
+
+class TestGirth:
+    @pytest.mark.parametrize(
+        "graph, expected",
+        [
+            (cycle_graph(5), 5),
+            (cycle_graph(6), 6),
+            (complete_graph(4), 3),
+            (petersen_graph(), 5),
+            (complete_bipartite_graph(2, 3), 4),
+            (grid_graph(3, 3), 4),
+            (hypercube_graph(3), 4),
+        ],
+        ids=["c5", "c6", "k4", "petersen", "k23", "grid33", "cube3"],
+    )
+    def test_known_girths(self, graph, expected):
+        assert girth(graph) == expected
+
+    def test_forest_has_none(self):
+        assert girth(path_graph(6)) is None
+        assert girth(random_tree(10, seed=1)) is None
+
+    def test_triangle_with_long_cycle(self):
+        # A triangle attached to a C6: girth is 3, not 6.
+        g = Graph(
+            [(0, 1), (1, 2), (2, 0),
+             (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 2)]
+        )
+        assert girth(g) == 3
+
+
+class TestDegreeStatistics:
+    def test_density_extremes(self):
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+        assert density(path_graph(5)) == pytest.approx(2 * 4 / 20)
+
+    def test_density_undefined_tiny(self):
+        with pytest.raises(GraphError):
+            density(Graph([], vertices=[1], allow_isolated=True))
+
+    def test_degree_histogram(self):
+        assert degree_histogram(star_graph(4)) == {1: 4, 4: 1}
+        assert degree_histogram(cycle_graph(5)) == {2: 5}
+
+    def test_average_degree(self):
+        assert average_degree(cycle_graph(7)) == pytest.approx(2.0)
+        assert average_degree(star_graph(5)) == pytest.approx(2 * 5 / 6)

@@ -1,0 +1,169 @@
+"""Unit tests for structural predicates (repro.graphs.properties)."""
+
+import pytest
+
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    bipartition,
+    connected_components,
+    is_bipartite,
+    is_connected,
+    is_edge_cover,
+    is_expander,
+    is_expander_into,
+    is_independent_set,
+    is_matched_in,
+    is_matching,
+    is_vertex_cover,
+    uncovered_vertices,
+    vertices_covered_by_edges,
+)
+
+
+class TestIndependentSet:
+    def test_positive(self, path4):
+        assert is_independent_set(path4, {0, 2})
+        assert is_independent_set(path4, {0, 3})
+
+    def test_negative(self, path4):
+        assert not is_independent_set(path4, {0, 1})
+
+    def test_empty_set_is_independent(self, path4):
+        assert is_independent_set(path4, set())
+
+    def test_rejects_foreign_vertex(self, path4):
+        with pytest.raises(GraphError):
+            is_independent_set(path4, {99})
+
+    def test_complement_of_vertex_cover(self, cycle6):
+        # For C6, {0, 2, 4} is independent and {1, 3, 5} covers.
+        assert is_independent_set(cycle6, {0, 2, 4})
+        assert is_vertex_cover(cycle6, {1, 3, 5})
+
+
+class TestVertexCover:
+    def test_positive(self, path4):
+        assert is_vertex_cover(path4, {1, 2})
+
+    def test_negative(self, path4):
+        assert not is_vertex_cover(path4, {0, 3})
+
+    def test_full_vertex_set_always_covers(self, k4):
+        assert is_vertex_cover(k4, k4.vertices())
+
+
+class TestEdgeCover:
+    def test_positive(self, path4):
+        assert is_edge_cover(path4, [(0, 1), (2, 3)])
+
+    def test_negative(self, path4):
+        assert not is_edge_cover(path4, [(1, 2)])
+
+    def test_uncovered_vertices(self, path4):
+        assert uncovered_vertices(path4, [(1, 2)]) == frozenset({0, 3})
+
+    def test_vertices_covered_by_edges(self):
+        assert vertices_covered_by_edges([(1, 2), (2, 3)]) == frozenset({1, 2, 3})
+
+    def test_rejects_foreign_edge(self, path4):
+        with pytest.raises(GraphError):
+            is_edge_cover(path4, [(0, 3)])
+
+
+class TestMatching:
+    def test_positive(self, path4):
+        assert is_matching(path4, [(0, 1), (2, 3)])
+
+    def test_negative_shared_endpoint(self, path4):
+        assert not is_matching(path4, [(0, 1), (1, 2)])
+
+    def test_is_matched_in(self, path4):
+        assert is_matched_in(path4, {0, 1}, [(0, 1)])
+        assert not is_matched_in(path4, {0, 2}, [(0, 1)])
+
+    def test_is_matched_in_rejects_non_matching(self, path4):
+        with pytest.raises(GraphError, match="not a matching"):
+            is_matched_in(path4, {0}, [(0, 1), (1, 2)])
+
+
+class TestConnectivity:
+    def test_connected(self, path7):
+        assert is_connected(path7)
+        assert len(connected_components(path7)) == 1
+
+    def test_disconnected(self):
+        g = Graph([(1, 2), (3, 4)])
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert frozenset({1, 2}) in comps
+        assert frozenset({3, 4}) in comps
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestBipartition:
+    def test_even_cycle(self, cycle6):
+        left, right = bipartition(cycle6)
+        assert left | right == cycle6.vertices()
+        assert is_independent_set(cycle6, left)
+        assert is_independent_set(cycle6, right)
+
+    def test_odd_cycle_has_none(self, cycle5):
+        assert bipartition(cycle5) is None
+        assert not is_bipartite(cycle5)
+
+    def test_triangle(self):
+        assert bipartition(Graph([(1, 2), (2, 3), (1, 3)])) is None
+
+    def test_star(self):
+        left, right = bipartition(star_graph(4))
+        assert {0} in (set(left), set(right))
+
+    def test_disconnected_bipartite(self):
+        g = Graph([(1, 2), (3, 4)])
+        left, right = bipartition(g)
+        assert is_independent_set(g, left)
+        assert is_independent_set(g, right)
+
+
+class TestExpanders:
+    def test_complete_bipartite_expands(self, k23):
+        left = {0, 1}
+        right = {2, 3, 4}
+        assert is_expander_into(k23, left, right)
+        # The bigger side cannot be matched into the smaller one.
+        assert not is_expander_into(k23, right, left)
+
+    def test_literal_vs_into_distinction(self):
+        """Triangle + pendant: IS={d} passes the *literal* VC-expander
+        reading but fails the effective into-IS condition (DESIGN.md §2) —
+        and indeed admits no matching configuration."""
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        vc = {"a", "b", "c"}
+        independent = {"d"}
+        assert is_expander(g, vc)  # literal reading: holds
+        assert not is_expander_into(g, vc, independent)  # effective: fails
+
+    def test_violator_certificate(self, k23):
+        right = {2, 3, 4}
+        result = is_expander_into(k23, right, {0, 1})
+        assert not result.holds
+        violator = result.violator
+        assert violator is not None
+        neighborhood = k23.neighborhood(violator) & {0, 1}
+        assert len(neighborhood) < len(violator)
+
+    def test_expander_on_petersen(self, petersen):
+        # Petersen is vertex-transitive and 3-regular: any 5-subset of an
+        # independent side expands in the literal sense.
+        result = is_expander(petersen, {0, 1, 2, 3, 4})
+        assert result.holds

@@ -1,0 +1,169 @@
+"""Unit tests for Hall checks and IS/VC partition search
+(repro.matching.hall, repro.matching.partition)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.properties import is_independent_set
+from repro.matching.covers import minimum_edge_cover_size
+from repro.matching.hall import check_hall, find_saturating_matching
+from repro.matching.partition import (
+    bipartite_partition,
+    exact_partition_search,
+    find_partition,
+    greedy_partition,
+    is_valid_partition,
+)
+
+
+class TestCheckHall:
+    def test_holds(self):
+        result = check_hall(["a", "b"], {"a": [1, 2], "b": [2, 3]})
+        assert result.holds
+        assert result.violator is None
+        assert bool(result)
+
+    def test_fails_with_certificate(self):
+        adjacency = {"a": [1], "b": [1], "c": [1, 2]}
+        result = check_hall(["a", "b", "c"], adjacency)
+        assert not result.holds
+        violator = result.violator
+        # The certificate really violates Hall: |N(X)| < |X|.
+        neighborhood = set()
+        for v in violator:
+            neighborhood.update(adjacency[v])
+        assert len(neighborhood) < len(violator)
+
+    def test_find_saturating_matching(self):
+        assert find_saturating_matching(["a"], {"a": [1]}) is not None
+        assert find_saturating_matching(["a", "b"], {"a": [1], "b": [1]}) is None
+
+
+class TestIsValidPartition:
+    def test_bipartite_standard(self, k23):
+        # VC = small side, IS = large side: expander holds.
+        assert is_valid_partition(k23, {2, 3, 4})
+        # IS = small side: VC (large side) cannot match into 2 vertices.
+        assert not is_valid_partition(k23, {0, 1})
+
+    def test_empty_is_invalid(self, path4):
+        assert not is_valid_partition(path4, set())
+
+    def test_non_independent_is_invalid(self, path4):
+        assert not is_valid_partition(path4, {0, 1})
+
+    def test_path4_valid(self, path4):
+        assert is_valid_partition(path4, {0, 3})
+        assert is_valid_partition(path4, {0, 2})
+
+
+class TestBipartitePartition:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), cycle_graph(8), grid_graph(3, 4), star_graph(5),
+         complete_bipartite_graph(3, 5), random_tree(15, seed=3)],
+        ids=["path6", "cycle8", "grid34", "star5", "k35", "tree15"],
+    )
+    def test_always_valid(self, graph):
+        independent, cover = bipartite_partition(graph)
+        assert independent | cover == graph.vertices()
+        assert not independent & cover
+        assert is_valid_partition(graph, independent)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_bipartite(self, seed):
+        g = random_bipartite_graph(5, 8, 0.3, seed=seed)
+        independent, cover = bipartite_partition(g)
+        assert is_valid_partition(g, independent)
+
+
+class TestExactSearch:
+    def test_finds_partition_on_triangle_with_pendant(self):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        partition = exact_partition_search(g)
+        assert partition is not None
+        assert is_valid_partition(g, partition[0])
+
+    def test_none_on_petersen(self):
+        # Petersen: max independent set is 4 < rho = 5, so |IS| = rho is
+        # impossible and no valid partition exists.
+        assert exact_partition_search(petersen_graph()) is None
+
+    def test_none_on_odd_cycle(self):
+        # C5: rho = 3 but the maximum independent set has size 2.
+        assert exact_partition_search(cycle_graph(5)) is None
+
+    def test_complete_graph_k2(self):
+        partition = exact_partition_search(complete_graph(2))
+        assert partition is not None
+
+    def test_complete_graph_k4_none(self):
+        # K4: independent sets have size 1, rho = 2.
+        assert exact_partition_search(complete_graph(4)) is None
+
+    def test_rejects_large_graphs(self):
+        with pytest.raises(ValueError, match="exact search"):
+            exact_partition_search(grid_graph(5, 6))
+
+
+class TestPartitionSizeInvariant:
+    """Every valid partition has |IS| = rho(G) (DESIGN.md §2)."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), path_graph(6), cycle_graph(6), star_graph(4),
+         grid_graph(2, 4), complete_bipartite_graph(2, 4),
+         Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])],
+        ids=["path5", "path6", "cycle6", "star4", "grid24", "k24", "tri+pendant"],
+    )
+    def test_all_valid_partitions_have_is_size_rho(self, graph):
+        rho = minimum_edge_cover_size(graph)
+        vertices = graph.sorted_vertices()
+        found_any = False
+        for size in range(1, graph.n):
+            for subset in combinations(vertices, size):
+                if is_valid_partition(graph, subset):
+                    found_any = True
+                    assert len(subset) == rho
+        assert found_any
+
+
+class TestGreedyAndDispatch:
+    def test_greedy_sound(self):
+        for seed in range(6):
+            g = gnp_random_graph(16, 0.25, seed=seed)
+            partition = greedy_partition(g, seed=seed)
+            if partition is not None:
+                assert is_valid_partition(g, partition[0])
+
+    def test_greedy_deterministic(self):
+        g = gnp_random_graph(14, 0.3, seed=4)
+        assert greedy_partition(g, seed=1) == greedy_partition(g, seed=1)
+
+    def test_find_partition_prefers_bipartite_construction(self):
+        g = grid_graph(4, 5)  # 20 vertices: too big for exact search
+        partition = find_partition(g)
+        assert partition is not None
+        assert is_valid_partition(g, partition[0])
+
+    def test_find_partition_on_small_non_bipartite(self):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        partition = find_partition(g)
+        assert partition is not None
+
+    def test_find_partition_none_for_petersen(self):
+        assert find_partition(petersen_graph()) is None

@@ -1,0 +1,110 @@
+"""Unit tests for Hopcroft–Karp (repro.matching.hopcroft_karp).
+
+Cross-validated against networkx (test-only oracle) on random bipartite
+instances.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_bipartite_graph
+from repro.graphs.properties import bipartition
+from repro.matching.hopcroft_karp import (
+    hopcroft_karp,
+    maximum_bipartite_matching,
+)
+
+
+def matching_is_valid(pairs, adjacency):
+    """Each left vertex matched along an actual edge, partners distinct."""
+    seen_right = set()
+    for left, right in pairs.items():
+        assert right in adjacency[left]
+        assert right not in seen_right
+        seen_right.add(right)
+
+
+class TestSmallCases:
+    def test_perfect_matching(self):
+        adjacency = {"a": [1, 2], "b": [1], "c": [2, 3]}
+        result = hopcroft_karp(["a", "b", "c"], adjacency)
+        assert result.size == 3
+        matching_is_valid(result.pairs, adjacency)
+        assert result.is_saturating(["a", "b", "c"])
+
+    def test_deficient_instance(self):
+        # Two left vertices compete for one right vertex.
+        adjacency = {"a": [1], "b": [1]}
+        result = hopcroft_karp(["a", "b"], adjacency)
+        assert result.size == 1
+        assert len(result.unmatched_left(["a", "b"])) == 1
+
+    def test_requires_augmenting_path_flip(self):
+        # Greedy a->1 must be undone via the augmenting path b-1-a-2.
+        adjacency = {"a": [1, 2], "b": [1]}
+        result = hopcroft_karp(["a", "b"], adjacency)
+        assert result.size == 2
+        assert result.pairs["b"] == 1
+        assert result.pairs["a"] == 2
+
+    def test_empty_adjacency(self):
+        result = hopcroft_karp(["a"], {})
+        assert result.size == 0
+        assert result.unmatched_left(["a"]) == ["a"]
+
+    def test_pairs_right_is_inverse(self):
+        adjacency = {"a": [1], "b": [2]}
+        result = hopcroft_karp(["a", "b"], adjacency)
+        assert result.pairs_right == {1: "a", 2: "b"}
+
+    def test_deterministic(self):
+        adjacency = {i: [10, 11, 12] for i in range(3)}
+        first = hopcroft_karp(range(3), adjacency).pairs
+        second = hopcroft_karp(range(3), adjacency).pairs
+        assert first == second
+
+
+class TestEdgeListWrapper:
+    def test_basic(self):
+        result = maximum_bipartite_matching(
+            ["a", "b"], [1, 2], [("a", 1), ("a", 2), ("b", 1)]
+        )
+        assert result.size == 2
+
+    def test_rejects_edge_violating_bipartition(self):
+        with pytest.raises(ValueError, match="bipartition"):
+            maximum_bipartite_matching(["a"], [1], [(1, "a")])
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_networkx_size(self, seed):
+        rng = random.Random(seed)
+        a, b = rng.randrange(2, 12), rng.randrange(2, 12)
+        g = random_bipartite_graph(a, b, rng.uniform(0.1, 0.7), seed=seed)
+        left, right = bipartition(g)
+        adjacency = {v: sorted(g.neighbors(v), key=repr) for v in left}
+        ours = hopcroft_karp(sorted(left, key=repr), adjacency)
+        nxg = nx.Graph(list(g.edges()))
+        theirs = nx.bipartite.maximum_matching(nxg, top_nodes=left)
+        assert ours.size == len(theirs) // 2
+        matching_is_valid(ours.pairs, adjacency)
+
+
+class TestDeepAugmentingPaths:
+    def test_long_path_graph_no_recursion_error(self):
+        """A 3000-vertex path forces augmenting paths of Θ(n); the
+        iterative DFS must handle it (a naive recursive one would not)."""
+        n = 3000
+        from repro.graphs.generators import path_graph
+        from repro.graphs.properties import bipartition as bp
+
+        g = path_graph(n)
+        left, right = bp(g)
+        # Feed vertices in an adversarial order: ends first.
+        order = sorted(left)
+        adjacency = {v: sorted(g.neighbors(v)) for v in order}
+        result = hopcroft_karp(order, adjacency)
+        assert result.size == n // 2

@@ -1,0 +1,153 @@
+"""Integration tests: full pipelines crossing every package boundary.
+
+These scenarios chain graph generation → partition search → equilibrium
+construction → characterization → LP/fictitious-play cross-checks →
+Monte-Carlo validation, the way a downstream user of the library would.
+"""
+
+import pytest
+
+from repro import (
+    TupleGame,
+    check_characterization,
+    expected_profit_tp,
+    solve_game,
+    verify_best_responses,
+)
+from repro.analysis.gain import fit_slope_through_origin, gain_curve, max_linearity_residual
+from repro.equilibria.reduction import edge_to_tuple, tuple_to_edge
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    grid_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    random_tree,
+)
+from repro.graphs.io import graph_from_json, graph_to_json
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.engine import simulate
+from repro.solvers.fictitious_play import fictitious_play
+from repro.solvers.lp import lp_defender_gain, solve_minimax
+
+
+class TestFullPipelineOnEnterpriseTopology:
+    """A two-tier 'servers vs clients' network (bipartite), the paper's
+    motivating shape: solve, verify three independent ways, simulate."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return random_bipartite_graph(5, 9, 0.35, seed=17)
+
+    def test_solve_verify_simulate(self, network):
+        rho = minimum_edge_cover_size(network)
+        nu = 6
+        k = max(1, rho // 2)
+        game = TupleGame(network, k, nu=nu)
+        result = solve_game(game)
+
+        # 1. Theorem 3.4 characterization.
+        report = check_characterization(game, result.mixed)
+        assert report.is_nash, report.failures
+        # 2. First-principles best responses.
+        ok, gaps = verify_best_responses(game, result.mixed)
+        assert ok, gaps
+        # 3. Exact LP value agrees.
+        if game.tuple_strategy_count() <= 50_000:
+            assert lp_defender_gain(game) == pytest.approx(
+                result.defender_gain, abs=1e-6
+            )
+        # 4. Monte-Carlo confirms equation (2).
+        sim = simulate(game, result.mixed, trials=30_000, seed=23)
+        low, high = sim.defender_profit.confidence_interval()
+        assert low <= result.defender_gain <= high
+
+    def test_gain_law_end_to_end(self, network):
+        rho = minimum_edge_cover_size(network)
+        nu = 4
+        points = [p for p in gain_curve(network, nu) if p.kind == "k-matching"]
+        slope = fit_slope_through_origin(points)
+        assert slope == pytest.approx(nu / rho)
+        assert max_linearity_residual(points, slope) < 1e-9
+
+
+class TestSerializationRoundTripThroughSolver:
+    def test_json_round_trip_preserves_equilibrium(self):
+        g = grid_graph(3, 3)
+        g2 = graph_from_json(graph_to_json(g))
+        game1, game2 = TupleGame(g, 2, nu=3), TupleGame(g2, 2, nu=3)
+        r1, r2 = solve_game(game1), solve_game(game2)
+        assert r1.mixed.tp_support() == r2.mixed.tp_support()
+        assert r1.defender_gain == pytest.approx(r2.defender_gain)
+
+
+class TestThreeSolversAgree:
+    """Structural algorithm, exact LP and fictitious play must all land on
+    the same defender value."""
+
+    @pytest.mark.parametrize(
+        "graph, k",
+        [
+            (complete_bipartite_graph(2, 4), 2),
+            (grid_graph(2, 3), 2),
+            (random_tree(9, seed=4), 2),
+        ],
+        ids=["k24", "grid23", "tree9"],
+    )
+    def test_agreement(self, graph, k):
+        game = TupleGame(graph, k, nu=1)
+        structural = solve_game(game).defender_gain
+        lp_value = solve_minimax(game).value
+        fp = fictitious_play(game, rounds=600)
+        assert lp_value == pytest.approx(structural, abs=1e-6)
+        assert fp.lower_bound - 1e-9 <= lp_value <= fp.upper_bound + 1e-9
+
+
+class TestNonBipartiteStory:
+    def test_petersen_paper_machinery_vs_extensions_vs_lp(self):
+        """The paper's machinery declines Petersen; the perfect-matching
+        extension and the LP baseline both solve it, with equal values."""
+        from repro.equilibria.solve import NoEquilibriumFoundError
+        from repro.solvers.lp import lp_equilibrium
+
+        game = TupleGame(petersen_graph(), 2, nu=3)
+        with pytest.raises(NoEquilibriumFoundError):
+            solve_game(game, allow_extensions=False)
+        result = solve_game(game)
+        assert result.kind == "perfect-matching"
+        config, solution = lp_equilibrium(game)
+        ok, gaps = verify_best_responses(game, config, tol=1e-6)
+        assert ok, gaps
+        assert solution.value == pytest.approx(2 / 5, abs=1e-7)
+        assert result.defender_gain == pytest.approx(3 * solution.value, abs=1e-7)
+
+    def test_triangle_pendant_solves_structurally(self):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        game = TupleGame(g, 1, nu=2)
+        result = solve_game(game)
+        assert result.kind == "k-matching"
+        assert lp_defender_gain(game) == pytest.approx(
+            result.defender_gain, abs=1e-6
+        )
+
+
+class TestScalabilitySmoke:
+    def test_larger_bipartite_instance_under_a_second(self):
+        g = random_bipartite_graph(40, 60, 0.1, seed=5)
+        rho = minimum_edge_cover_size(g)
+        game = TupleGame(g, rho // 2, nu=10)
+        result = solve_game(game)
+        assert result.kind == "k-matching"
+        # Only structural checks that avoid tuple enumeration.
+        from repro.equilibria.kmatching import is_kmatching_nash
+
+        assert is_kmatching_nash(game, result.mixed)
+        assert result.defender_gain == pytest.approx((rho // 2) * 10 / rho)
+
+    def test_long_path_many_k(self):
+        g = grid_graph(1, 60)
+        rho = minimum_edge_cover_size(g)
+        for k in (1, 7, rho - 1, rho):
+            game = TupleGame(g, k, nu=2)
+            result = solve_game(game)
+            assert result.defender_gain > 0

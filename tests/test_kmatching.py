@@ -1,0 +1,158 @@
+"""Tests for k-matching configurations and Lemma 4.1
+(repro.equilibria.kmatching)."""
+
+import pytest
+
+from repro.core.characterization import is_mixed_nash
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp, hit_probability
+from repro.equilibria.kmatching import (
+    is_kmatching_configuration,
+    is_kmatching_nash,
+    kmatching_profile,
+    predicted_defender_gain,
+    predicted_hit_probability,
+    satisfies_cover_conditions,
+    tuple_multiplicity,
+)
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph, path_graph
+from repro.matching.covers import minimum_edge_cover_size
+from tests.conftest import bipartite_zoo, zoo_params
+
+
+class TestTupleMultiplicity:
+    def test_balanced(self):
+        tuples = [((0, 1), (2, 3)), ((0, 1), (4, 5)), ((2, 3), (4, 5))]
+        assert tuple_multiplicity(tuples) == 2
+
+    def test_unbalanced(self):
+        tuples = [((0, 1), (2, 3)), ((0, 1), (4, 5))]
+        assert tuple_multiplicity(tuples) is None
+
+    def test_single_tuple(self):
+        assert tuple_multiplicity([((0, 1), (2, 3))]) == 1
+
+    def test_empty(self):
+        assert tuple_multiplicity([]) is None
+
+
+class TestDefinition41Clauses:
+    """Each clause of Definition 4.1 is rejected independently."""
+
+    @pytest.fixture
+    def game(self):
+        return TupleGame(path_graph(6), k=2, nu=2)
+
+    def test_clause_1_dependent_support(self, game):
+        # {0, 1} adjacent: clause (1) fails.
+        config = MixedConfiguration.uniform(
+            game, [0, 1], [[(0, 1), (2, 3)], [(2, 3), (4, 5)], [(0, 1), (4, 5)]]
+        )
+        assert not is_kmatching_configuration(game, config)
+
+    def test_clause_2_vertex_with_two_cover_edges(self, game):
+        # Vertex 2 is incident to both (1,2) and (2,3) in E(D(tp)).
+        config = MixedConfiguration.uniform(
+            game, [2, 5], [[(1, 2), (4, 5)], [(2, 3), (4, 5)], [(1, 2), (2, 3)]]
+        )
+        assert not is_kmatching_configuration(game, config)
+
+    def test_clause_3_unbalanced_tuples(self, game):
+        # Edge (0,1) appears twice, (2,3) twice, (4,5) twice? Build a
+        # genuinely unbalanced set: (0,1) twice, others once.
+        config = MixedConfiguration.uniform(
+            game, [0, 3], [[(0, 1), (2, 3)], [(0, 1), (4, 5)]]
+        )
+        # support vertices 0,3 independent; vertex 0 in edge (0,1) only,
+        # vertex 3 in (2,3) only -> clauses 1-2 hold, clause 3 fails.
+        assert tuple_multiplicity(config.tp_support()) is None
+        assert not is_kmatching_configuration(game, config)
+
+    def test_all_clauses_hold(self, game):
+        config = MixedConfiguration.uniform(
+            game, [0, 2, 4], [[(0, 1), (2, 3)], [(2, 3), (4, 5)], [(0, 1), (4, 5)]]
+        )
+        assert is_kmatching_configuration(game, config)
+
+
+class TestLemma41:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_solver_output_is_kmatching_nash(self, graph):
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, rho):
+            game = TupleGame(graph, k, nu=3)
+            config = solve_game(game).mixed
+            assert is_kmatching_configuration(game, config)
+            assert satisfies_cover_conditions(game, config)
+            assert is_kmatching_nash(game, config)
+            assert is_mixed_nash(game, config)
+
+    def test_claim_43_hit_probability(self):
+        graph = complete_bipartite_graph(3, 5)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, rho):
+            game = TupleGame(graph, k, nu=2)
+            config = solve_game(game).mixed
+            predicted = predicted_hit_probability(game, config)
+            assert predicted == pytest.approx(k / rho)
+            for v in config.vp_support_union():
+                assert hit_probability(config, v) == pytest.approx(predicted)
+
+    def test_corollary_47_gain(self):
+        graph = grid_graph(3, 3)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, rho):
+            game = TupleGame(graph, k, nu=7)
+            config = solve_game(game).mixed
+            assert expected_profit_tp(config) == pytest.approx(
+                predicted_defender_gain(game, config)
+            )
+            assert predicted_defender_gain(game, config) == pytest.approx(
+                k * 7 / rho
+            )
+
+
+class TestKMatchingProfile:
+    def test_validates_and_builds(self):
+        game = TupleGame(path_graph(4), k=1, nu=2)
+        config = kmatching_profile(game, [0, 2], [[(0, 1)], [(2, 3)]])
+        assert is_kmatching_nash(game, config)
+
+    def test_rejects_bad_configuration(self):
+        game = TupleGame(path_graph(4), k=1, nu=1)
+        with pytest.raises(GameError, match="Definition 4.1"):
+            kmatching_profile(game, [0, 1], [[(0, 1)], [(2, 3)]])
+
+    def test_rejects_cover_violation(self):
+        game = TupleGame(path_graph(4), k=1, nu=1)
+        # {0}: independent, one edge — but (0,1) covers nothing at 2,3.
+        with pytest.raises(GameError, match="cover"):
+            kmatching_profile(game, [0], [[(0, 1)]])
+
+    def test_validate_false_skips_checks(self):
+        game = TupleGame(path_graph(4), k=1, nu=1)
+        config = kmatching_profile(game, [0], [[(0, 1)]], validate=False)
+        assert config.prob_vp(0, 0) == 1.0
+
+
+class TestIsKMatchingNashUniformity:
+    def test_rejects_non_uniform_defender(self):
+        game = TupleGame(path_graph(4), k=1, nu=1)
+        config = MixedConfiguration(
+            game, [{0: 0.5, 2: 0.5}], {((0, 1),): 0.6, ((2, 3),): 0.4}
+        )
+        assert is_kmatching_configuration(game, config)
+        assert not is_kmatching_nash(game, config)
+
+    def test_rejects_attacker_on_partial_support(self):
+        game = TupleGame(path_graph(4), k=1, nu=2)
+        config = MixedConfiguration(
+            game,
+            [{0: 1.0}, {0: 0.5, 2: 0.5}],
+            {((0, 1),): 0.5, ((2, 3),): 0.5},
+        )
+        # Union support is {0, 2} but player 0 only plays 0: equation (4)
+        # of Lemma 4.1 requires all players uniform on the same support.
+        assert not is_kmatching_nash(game, config)

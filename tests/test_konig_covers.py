@@ -1,0 +1,147 @@
+"""Unit tests for König covers and Gallai edge covers
+(repro.matching.konig, repro.matching.covers)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_bipartite_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.properties import (
+    is_edge_cover,
+    is_independent_set,
+    is_matching,
+    is_vertex_cover,
+)
+from repro.matching.blossom import matching_number, maximum_matching
+from repro.matching.covers import (
+    extend_matching_to_edge_cover,
+    has_edge_cover_of_size,
+    minimum_edge_cover,
+    minimum_edge_cover_size,
+)
+from repro.matching.konig import konig_vertex_cover, minimum_vertex_cover_bipartite
+
+
+def brute_force_min_vertex_cover(graph):
+    vertices = graph.sorted_vertices()
+    for size in range(graph.n + 1):
+        for subset in combinations(vertices, size):
+            if is_vertex_cover(graph, subset):
+                return set(subset)
+    raise AssertionError("unreachable")
+
+
+def brute_force_min_edge_cover_size(graph):
+    edges = graph.sorted_edges()
+    for size in range(1, graph.m + 1):
+        for subset in combinations(edges, size):
+            if is_edge_cover(graph, subset):
+                return size
+    raise AssertionError("no edge cover exists")
+
+
+class TestKonig:
+    def test_star(self):
+        result = konig_vertex_cover(star_graph(5))
+        assert result.cover == frozenset({0})
+
+    def test_cover_size_equals_matching(self):
+        for seed in range(10):
+            g = random_bipartite_graph(5, 6, 0.35, seed=seed)
+            result = konig_vertex_cover(g)
+            assert is_vertex_cover(g, result.cover)
+            assert is_independent_set(g, result.independent_set)
+            assert len(result.cover) == matching_number(g)
+            assert result.cover | result.independent_set == g.vertices()
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(6), cycle_graph(8), grid_graph(2, 4),
+         complete_bipartite_graph(3, 3), random_tree(9, seed=1)],
+        ids=["path6", "cycle8", "grid24", "k33", "tree9"],
+    )
+    def test_minimum_against_brute_force(self, graph):
+        cover = minimum_vertex_cover_bipartite(graph)
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) == len(brute_force_min_vertex_cover(graph))
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(GraphError, match="bipartite"):
+            konig_vertex_cover(cycle_graph(5))
+
+    def test_matching_saturates_cover_into_complement(self):
+        """The property Algorithm A relies on: the König matching gives
+        every cover vertex a partner in the independent set."""
+        for seed in range(10):
+            g = random_bipartite_graph(6, 7, 0.3, seed=seed)
+            result = konig_vertex_cover(g)
+            pairs = dict(result.matching.pairs)
+            pairs.update({r: l for l, r in result.matching.pairs.items()})
+            for v in result.cover:
+                assert v in pairs
+                assert pairs[v] in result.independent_set
+
+
+class TestEdgeCovers:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), cycle_graph(5), cycle_graph(6), star_graph(4),
+         petersen_graph(), grid_graph(3, 3), random_tree(8, seed=2)],
+        ids=["path5", "cycle5", "cycle6", "star4", "petersen", "grid33", "tree8"],
+    )
+    def test_gallai_identity(self, graph):
+        cover = minimum_edge_cover(graph)
+        assert is_edge_cover(graph, cover)
+        assert len(cover) == graph.n - matching_number(graph)
+        assert minimum_edge_cover_size(graph) == len(cover)
+
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(4), cycle_graph(5), star_graph(3), grid_graph(2, 3)],
+        ids=["path4", "cycle5", "star3", "grid23"],
+    )
+    def test_minimum_against_brute_force(self, graph):
+        assert minimum_edge_cover_size(graph) == brute_force_min_edge_cover_size(graph)
+
+    def test_extend_preserves_matching_edges(self):
+        g = path_graph(6)
+        matching = maximum_matching(g)
+        cover = extend_matching_to_edge_cover(g, matching)
+        assert matching <= cover
+
+    def test_star_cover_takes_all_leaves(self):
+        cover = minimum_edge_cover(star_graph(4))
+        assert len(cover) == 4
+
+    def test_rejects_graph_with_isolated_vertex(self):
+        g = Graph([(1, 2)], vertices=[9], allow_isolated=True)
+        with pytest.raises(GraphError):
+            minimum_edge_cover(g)
+
+
+class TestHasEdgeCoverOfSize:
+    def test_monotone_window(self):
+        g = path_graph(5)  # rho = 5 - 2 = 3, m = 4
+        assert not has_edge_cover_of_size(g, 2)
+        assert has_edge_cover_of_size(g, 3)
+        assert has_edge_cover_of_size(g, 4)
+        assert not has_edge_cover_of_size(g, 5)  # only 4 distinct edges
+
+    def test_rejects_nonpositive(self):
+        assert not has_edge_cover_of_size(path_graph(4), 0)
+        assert not has_edge_cover_of_size(path_graph(4), -1)
+
+    def test_single_edge_graph(self):
+        g = Graph([(1, 2)])
+        assert has_edge_cover_of_size(g, 1)
+        assert not has_edge_cover_of_size(g, 2)

@@ -1,0 +1,123 @@
+"""Tests for Edge-model matching NE and Algorithm A
+(repro.equilibria.matching_ne)."""
+
+import pytest
+
+from repro.core.characterization import check_characterization, is_mixed_nash
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp, hit_probability
+from repro.equilibria.matching_ne import (
+    algorithm_a,
+    build_matching_cover,
+    is_matching_configuration,
+    matching_equilibrium,
+)
+from repro.graphs.core import Graph
+from repro.graphs.generators import petersen_graph
+from repro.graphs.properties import is_edge_cover
+from repro.matching.partition import bipartite_partition
+from tests.conftest import bipartite_zoo, zoo_params
+
+
+class TestBuildMatchingCover:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_cover_structure(self, graph):
+        independent, cover_side = bipartite_partition(graph)
+        cover = build_matching_cover(graph, independent, cover_side)
+        assert is_edge_cover(graph, cover)
+        # Each IS vertex incident to exactly one cover edge.
+        for v in independent:
+            assert sum(1 for e in cover if v in e) == 1
+        # Every edge has exactly one IS endpoint.
+        for u, w in cover:
+            assert (u in independent) != (w in independent)
+        # |cover| = |IS| follows from the two facts above.
+        assert len(cover) == len(independent)
+
+    def test_rejects_non_partition(self, path4):
+        with pytest.raises(GameError, match="partition"):
+            build_matching_cover(path4, {0, 1}, {1, 2, 3})
+
+    def test_rejects_dependent_is(self, path4):
+        with pytest.raises(GameError, match="independent"):
+            build_matching_cover(path4, {0, 1}, {2, 3})
+
+    def test_rejects_empty_is(self, path4):
+        with pytest.raises(GameError, match="non-empty"):
+            build_matching_cover(path4, set(), {0, 1, 2, 3})
+
+    def test_rejects_expander_violation_with_certificate(self, k23):
+        # IS = small side {0,1}: the 3-side cannot match into it.
+        with pytest.raises(GameError, match="Hall violator"):
+            build_matching_cover(k23, {0, 1}, {2, 3, 4})
+
+
+class TestAlgorithmA:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_produces_matching_nash_equilibrium(self, graph):
+        game = TupleGame(graph, k=1, nu=3)
+        independent, cover_side = bipartite_partition(graph)
+        config = algorithm_a(game, independent, cover_side)
+        assert is_matching_configuration(game, config)
+        assert is_mixed_nash(game, config)
+
+    def test_hit_probability_is_one_over_is(self, k24):
+        game = TupleGame(k24, k=1, nu=2)
+        independent, cover_side = bipartite_partition(k24)
+        config = algorithm_a(game, independent, cover_side)
+        for v in config.vp_support_union():
+            assert hit_probability(config, v) == pytest.approx(1 / len(independent))
+
+    def test_defender_gain_formula(self, grid34):
+        game = TupleGame(grid34, k=1, nu=4)
+        independent, cover_side = bipartite_partition(grid34)
+        config = algorithm_a(game, independent, cover_side)
+        assert expected_profit_tp(config) == pytest.approx(4 / len(independent))
+
+    def test_rejects_tuple_model_game(self, k24):
+        game = TupleGame(k24, k=2, nu=1)
+        independent, cover_side = bipartite_partition(k24)
+        with pytest.raises(GameError, match="Edge model"):
+            algorithm_a(game, independent, cover_side)
+
+
+class TestMatchingEquilibriumEntryPoint:
+    def test_bipartite(self, grid34):
+        game = TupleGame(grid34, k=1, nu=2)
+        config = matching_equilibrium(game)
+        assert is_mixed_nash(game, config)
+
+    def test_non_bipartite_with_partition(self):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        game = TupleGame(g, k=1, nu=1)
+        config = matching_equilibrium(game)
+        assert is_matching_configuration(game, config)
+        assert is_mixed_nash(game, config)
+
+    def test_petersen_raises(self):
+        game = TupleGame(petersen_graph(), k=1, nu=1)
+        with pytest.raises(GameError, match="no IS/VC partition"):
+            matching_equilibrium(game)
+
+
+class TestIsMatchingConfiguration:
+    def test_rejects_dependent_support(self, path4):
+        game = TupleGame(path_graph_4 := path4, k=1, nu=1)
+        config = MixedConfiguration.uniform(
+            game, [0, 1], [[(0, 1)], [(2, 3)]]
+        )
+        assert not is_matching_configuration(game, config)
+
+    def test_rejects_vertex_with_two_support_edges(self, path4):
+        game = TupleGame(path4, k=1, nu=1)
+        config = MixedConfiguration.uniform(
+            game, [1], [[(0, 1)], [(1, 2)]]
+        )
+        assert not is_matching_configuration(game, config)
+
+    def test_only_defined_on_edge_model(self, path4):
+        game = TupleGame(path4, k=2, nu=1)
+        config = MixedConfiguration.uniform(game, [0], [[(0, 1), (2, 3)]])
+        with pytest.raises(GameError, match="Edge model"):
+            is_matching_configuration(game, config)

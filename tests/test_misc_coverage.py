@@ -1,0 +1,113 @@
+"""Targeted tests for members the main suites exercise only indirectly:
+result-object ergonomics, the generic minimax engine, weighted attacker
+profits, and the DefenderFamily base contract."""
+
+import pytest
+
+from repro.core.game import GameError, TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.core import GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.models.families import DefenderFamily, KTupleFamily
+from repro.solvers.lp import minimax_over_strategies
+from repro.weighted import WeightedTupleGame, weighted_lp_equilibrium
+
+
+class TestGenericMinimaxEngine:
+    def test_tiny_hand_built_duel(self):
+        """Defender strategies {a,b} / {b,c} over vertices {a,b,c}:
+        vertex b is always hit, so the attacker mixes a/c and the value is
+        1/2 (each strategy covers exactly one of them)."""
+        strategies = ["left", "right"]
+        coverage = {"left": {"a", "b"}, "right": {"b", "c"}}
+        solution = minimax_over_strategies(
+            ["a", "b", "c"], strategies, lambda s: coverage[s]
+        )
+        assert solution.value == pytest.approx(0.5)
+        assert solution.defender["left"] == pytest.approx(0.5)
+        assert solution.attacker.get("b", 0.0) == pytest.approx(0.0)
+
+    def test_rejects_empty_sides(self):
+        with pytest.raises(GameError, match="non-empty"):
+            minimax_over_strategies([], ["s"], lambda s: set())
+        with pytest.raises(GameError, match="non-empty"):
+            minimax_over_strategies(["v"], [], lambda s: set())
+
+    def test_strategies_covering_everything_give_value_one(self):
+        solution = minimax_over_strategies(
+            ["a", "b"], ["all"], lambda s: {"a", "b"}
+        )
+        assert solution.value == pytest.approx(1.0)
+
+
+class TestWeightedAttackerProfit:
+    def test_conservation_of_weighted_value(self):
+        """Each attacker's escape profit plus the defender's catch value
+        from that attacker equals its expected staked weight."""
+        graph = complete_bipartite_graph(2, 3)
+        weights = {0: 2.0, 1: 1.0, 2: 3.0, 3: 1.0, 4: 2.0}
+        game = WeightedTupleGame(graph, 1, weights, nu=3)
+        config, _ = weighted_lp_equilibrium(game)
+        total_staked = sum(
+            sum(p * weights[v] for v, p in config.vp_distribution(i).items())
+            for i in range(game.nu)
+        )
+        escapes = sum(
+            game.expected_profit_attacker(config, i) for i in range(game.nu)
+        )
+        assert escapes + game.expected_profit_defender(config) == pytest.approx(
+            total_staked
+        )
+
+    def test_repr(self):
+        graph = path_graph(3)
+        game = WeightedTupleGame(graph, 1, {0: 1.0, 1: 1.0, 2: 1.0})
+        assert "WeightedTupleGame" in repr(game)
+
+
+class TestDefenderFamilyContract:
+    def test_base_is_abstract(self):
+        family = DefenderFamily(2)
+        with pytest.raises(NotImplementedError):
+            list(family.strategies(path_graph(3)))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(GraphError, match="positive integer"):
+            DefenderFamily(0)
+        with pytest.raises(GraphError):
+            DefenderFamily("two")
+
+    def test_validate_passes_when_non_empty(self):
+        KTupleFamily(2).validate(cycle_graph(4))
+
+    def test_validate_raises_when_empty(self):
+        with pytest.raises(GraphError, match="empty"):
+            KTupleFamily(9).validate(path_graph(3))
+
+    def test_repr(self):
+        assert repr(KTupleFamily(3)) == "KTupleFamily(k=3)"
+
+
+class TestResultObjectErgonomics:
+    def test_reprs_do_not_crash_and_carry_key_facts(self):
+        from repro.matching.konig import konig_vertex_cover
+        from repro.matching.hall import is_expander_into
+        from repro.solvers.double_oracle import double_oracle
+        from repro.solvers.ranges import attacker_vertex_ranges
+        from repro.simulation.engine import simulate
+
+        graph = complete_bipartite_graph(2, 3)
+        game = TupleGame(graph, 1, nu=2)
+        config = solve_game(game).mixed
+
+        assert "cover_size=2" in repr(konig_vertex_cover(graph))
+        assert "holds=True" in repr(
+            is_expander_into(graph, {0, 1}, {2, 3, 4})
+        )
+        assert "pools=" in repr(double_oracle(game))
+        assert "coordinates=5" in repr(attacker_vertex_ranges(game))
+        assert "trials=50" in repr(simulate(game, config, trials=50, seed=1))

@@ -1,0 +1,197 @@
+"""Tests for the generalized defender models (repro.models)."""
+
+from itertools import combinations
+from math import comb
+
+import pytest
+
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import tuple_vertices
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.models.families import (
+    KPathFamily,
+    KStarFamily,
+    KTupleFamily,
+    enumerate_k_edge_paths,
+)
+from repro.models.game import (
+    GeneralizedGame,
+    covering_strategy,
+    pure_nash_exists_generalized,
+)
+from repro.solvers.lp import solve_minimax
+
+
+class TestKTupleFamily:
+    def test_matches_binomial_count(self):
+        g = cycle_graph(6)
+        for k in (1, 2, 3):
+            assert len(list(KTupleFamily(k).strategies(g))) == comb(6, k)
+
+    def test_empty_when_k_exceeds_m(self):
+        assert list(KTupleFamily(5).strategies(path_graph(4))) == []
+        with pytest.raises(GraphError, match="empty"):
+            KTupleFamily(5).validate(path_graph(4))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(GraphError):
+            KTupleFamily(0)
+
+
+class TestPathEnumeration:
+    def test_path_graph_counts(self):
+        # P5 has exactly 5-k simple paths with k edges.
+        g = path_graph(5)
+        for k in (1, 2, 3, 4):
+            assert len(list(enumerate_k_edge_paths(g, k))) == 5 - k
+
+    def test_cycle_counts(self):
+        # C_n has n paths of k edges for every 1 <= k < n.
+        g = cycle_graph(6)
+        for k in (1, 2, 3, 4, 5):
+            assert len(list(enumerate_k_edge_paths(g, k))) == 6
+
+    def test_k1_equals_edges(self):
+        g = petersen_graph()
+        paths = set(enumerate_k_edge_paths(g, 1))
+        assert paths == {(e,) for e in g.edges()}
+
+    def test_paths_are_simple(self):
+        g = complete_graph(5)
+        for path in enumerate_k_edge_paths(g, 3):
+            assert len(tuple_vertices(path)) == 4  # k+1 distinct vertices
+
+    def test_no_duplicates(self):
+        g = grid_graph(3, 3)
+        paths = list(enumerate_k_edge_paths(g, 3))
+        assert len(paths) == len(set(paths))
+
+    def test_star_has_no_long_paths(self):
+        # In a star every simple path has at most 2 edges.
+        g = star_graph(5)
+        assert list(enumerate_k_edge_paths(g, 3)) == []
+        assert len(list(enumerate_k_edge_paths(g, 2))) == comb(5, 2)
+
+
+class TestKStarFamily:
+    def test_leaf_capped_at_degree(self):
+        g = star_graph(4)
+        strategies = list(KStarFamily(2).strategies(g))
+        # Center contributes C(4,2)=6 two-edge stars; each leaf's capped
+        # single-edge star duplicates a center edge... but the center's
+        # size-2 subsets don't include single edges, so the 4 leaf
+        # singletons survive dedup.
+        assert len(strategies) == 6 + 4
+
+    def test_single_edge_dedup(self):
+        g = path_graph(3)  # edges (0,1), (1,2)
+        strategies = set(KStarFamily(1).strategies(g))
+        assert strategies == {((0, 1),), ((1, 2),)}
+
+    def test_all_share_a_center(self):
+        g = grid_graph(3, 3)
+        for strategy in KStarFamily(3).strategies(g):
+            vertex_sets = [set(e) for e in strategy]
+            common = set.intersection(*vertex_sets) if len(vertex_sets) > 1 else {1}
+            assert common
+
+
+class TestGeneralizedGame:
+    def test_construction_and_counts(self):
+        game = GeneralizedGame(cycle_graph(6), KPathFamily(2), nu=2)
+        assert game.strategy_count() == 6
+        assert "path" in repr(game)
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(GameError, match="empty"):
+            GeneralizedGame(star_graph(4), KPathFamily(3))
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(GameError, match="attacker"):
+            GeneralizedGame(cycle_graph(5), KTupleFamily(1), nu=0)
+
+    def test_strategy_limit(self):
+        with pytest.raises(GameError, match="strategy limit"):
+            GeneralizedGame(complete_graph(8), KTupleFamily(3), strategy_limit=5)
+
+    def test_tuple_family_value_matches_tuple_model_lp(self):
+        graph = complete_bipartite_graph(2, 4)
+        for k in (1, 2, 3):
+            generalized = GeneralizedGame(graph, KTupleFamily(k), nu=1)
+            tuple_model = TupleGame(graph, k, nu=1)
+            assert generalized.solve_minimax().value == pytest.approx(
+                solve_minimax(tuple_model).value, abs=1e-9
+            )
+
+
+class TestShapeHierarchy:
+    """paths ⊆ tuples forces value(path) <= value(tuple)."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(6), grid_graph(2, 3), complete_bipartite_graph(2, 3),
+         petersen_graph()],
+        ids=["cycle6", "grid23", "k23", "petersen"],
+    )
+    def test_path_value_at_most_tuple_value(self, graph):
+        for k in (2, 3):
+            path_game = GeneralizedGame(graph, KPathFamily(k), nu=1)
+            tuple_game = GeneralizedGame(graph, KTupleFamily(k), nu=1)
+            assert (
+                path_game.solve_minimax().value
+                <= tuple_game.solve_minimax().value + 1e-9
+            )
+
+    def test_strict_gap_exists_somewhere(self):
+        # On a long path graph, contiguity genuinely hurts the defender.
+        graph = path_graph(8)
+        k = 3
+        path_value = GeneralizedGame(graph, KPathFamily(k), nu=1).solve_minimax().value
+        tuple_value = GeneralizedGame(graph, KTupleFamily(k), nu=1).solve_minimax().value
+        assert path_value < tuple_value - 1e-6
+
+    def test_cycle_path_defender_value(self):
+        # On C_n a contiguous k-path covers k+1 vertices vs 2k for
+        # disjoint edges: value (k+1)/n vs min(2k/n, ...).
+        n, k = 8, 2
+        graph = cycle_graph(n)
+        path_value = GeneralizedGame(graph, KPathFamily(k), nu=1).solve_minimax().value
+        assert path_value == pytest.approx((k + 1) / n, abs=1e-7)
+
+
+class TestGeneralizedPureNash:
+    def test_covering_path_iff_pure_ne(self):
+        # P4 has a covering path with 3 edges (the whole path).
+        game = GeneralizedGame(path_graph(4), KPathFamily(3), nu=1)
+        assert pure_nash_exists_generalized(game)
+        strategy = covering_strategy(game)
+        assert tuple_vertices(strategy) == game.graph.vertices()
+
+    def test_no_covering_path_on_star(self):
+        game = GeneralizedGame(star_graph(4), KPathFamily(2), nu=1)
+        assert not pure_nash_exists_generalized(game)
+
+    def test_star_family_covers_star_graph(self):
+        game = GeneralizedGame(star_graph(4), KStarFamily(4), nu=1)
+        assert pure_nash_exists_generalized(game)
+
+    def test_tuple_family_threshold_matches_theorem_31(self):
+        from repro.matching.covers import minimum_edge_cover_size
+
+        graph = grid_graph(2, 3)
+        rho = minimum_edge_cover_size(graph)
+        assert not pure_nash_exists_generalized(
+            GeneralizedGame(graph, KTupleFamily(rho - 1), nu=1)
+        )
+        assert pure_nash_exists_generalized(
+            GeneralizedGame(graph, KTupleFamily(rho), nu=1)
+        )

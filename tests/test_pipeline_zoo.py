@@ -1,0 +1,117 @@
+"""Full-pipeline sweep over the dense/exotic generator zoo.
+
+Wheels, barbells, lollipops and complete multipartite graphs stress the
+solver dispatch differently from the bipartite zoo: cliques bound the
+independent set hard, bridges create asymmetry, hubs concentrate
+coverage.  For each instance and several budgets this sweep records which
+construction (if any) solves it and cross-checks the resulting value
+against the exact LP.
+"""
+
+import pytest
+
+from repro.core.characterization import verify_best_responses
+from repro.core.game import TupleGame
+from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_multipartite_graph,
+    lollipop_graph,
+    wheel_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.lp import solve_minimax
+
+ZOO = [
+    pytest.param(wheel_graph(5), id="wheel5"),
+    pytest.param(wheel_graph(6), id="wheel6"),
+    pytest.param(barbell_graph(3, 1), id="barbell3-1"),
+    pytest.param(barbell_graph(4, 3), id="barbell4-3"),
+    pytest.param(lollipop_graph(4, 3), id="lollipop4-3"),
+    pytest.param(lollipop_graph(5, 2), id="lollipop5-2"),
+    pytest.param(complete_multipartite_graph(2, 2, 2), id="k222"),
+    pytest.param(complete_multipartite_graph(1, 2, 3), id="k123"),
+]
+
+
+@pytest.mark.parametrize("graph", ZOO)
+def test_pure_regime_always_solves(graph):
+    rho = minimum_edge_cover_size(graph)
+    game = TupleGame(graph, rho, nu=2)
+    result = solve_game(game)
+    assert result.kind == "pure"
+    assert result.defender_gain == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("graph", ZOO)
+def test_mixed_regime_solutions_are_equilibria_and_match_lp(graph):
+    rho = minimum_edge_cover_size(graph)
+    for k in sorted({1, rho - 1}):
+        if k < 1 or k >= rho:
+            continue
+        game = TupleGame(graph, k, nu=1)
+        lp_value = solve_minimax(game).value
+        try:
+            result = solve_game(game)
+        except NoEquilibriumFoundError:
+            # Honest refusal; the LP value still exists.
+            assert 0.0 < lp_value <= 1.0
+            continue
+        ok, gaps = verify_best_responses(game, result.mixed, tol=1e-9)
+        assert ok, (result.kind, gaps)
+        assert result.defender_gain == pytest.approx(lp_value, abs=1e-7)
+
+
+@pytest.mark.parametrize("graph", ZOO)
+def test_double_oracle_matches_lp(graph):
+    rho = minimum_edge_cover_size(graph)
+    k = max(1, rho - 1)
+    game = TupleGame(graph, k, nu=1)
+    assert double_oracle(game).value == pytest.approx(
+        solve_minimax(game).value, abs=1e-7
+    )
+
+
+def test_wheel_optimal_attacker_is_uniform_hub_included():
+    """Counter-intuitive wheel fact: unlike a star (whose hub is on
+    *every* edge and therefore never attacked), the wheel's hub is on only
+    half the edges; the unique optimal attacker is uniform over all n+1
+    vertices — the polytope probe shows every vertex is *required* with
+    probability exactly 1/(n+1)."""
+    from repro.solvers.ranges import attacker_vertex_ranges
+
+    graph = wheel_graph(6)
+    game = TupleGame(graph, 1, nu=1)
+    ranges = attacker_vertex_ranges(game)
+    for v in graph.vertices():
+        low, high = ranges.ranges[v]
+        assert low == pytest.approx(1 / 7, abs=1e-6)
+        assert high == pytest.approx(1 / 7, abs=1e-6)
+    assert len(ranges.required()) == 7
+
+
+def test_complete_multipartite_balanced_solves_via_extensions():
+    """K_{2,2,2} (the octahedron) is 4-regular with a perfect matching:
+    the mixed regime must be solved by an extension family."""
+    graph = complete_multipartite_graph(2, 2, 2)
+    rho = minimum_edge_cover_size(graph)
+    game = TupleGame(graph, rho - 1, nu=1)
+    result = solve_game(game)
+    assert result.kind in ("perfect-matching", "uniform-k-matching", "k-matching")
+    ok, _ = verify_best_responses(game, result.mixed)
+    assert ok
+
+
+def test_barbell_bridge_asymmetry():
+    """Barbell graphs have no valid partition (cliques kill independence)
+    and an odd component structure; whatever the solver decides, the
+    decision must be consistent with the LP."""
+    graph = barbell_graph(4, 3)
+    game = TupleGame(graph, 2, nu=1)
+    lp_value = solve_minimax(game).value
+    try:
+        result = solve_game(game)
+        assert result.defender_gain == pytest.approx(lp_value, abs=1e-7)
+    except NoEquilibriumFoundError:
+        assert lp_value > 0

@@ -1,0 +1,138 @@
+"""Unit tests for the profit functionals (repro.core.profits).
+
+Hand-computed cases for equations (1) and (2) plus the mass/hit
+identities of Section 2.
+"""
+
+import pytest
+
+from repro.core.configuration import MixedConfiguration, PureConfiguration
+from repro.core.game import TupleGame
+from repro.core.profits import (
+    all_hit_probabilities,
+    all_vertex_masses,
+    edge_mass,
+    expected_profit_tp,
+    expected_profit_vp,
+    hit_probability,
+    pure_profit_tp,
+    pure_profit_vp,
+    tuple_mass,
+    vertex_mass,
+)
+from repro.graphs.generators import path_graph
+
+
+@pytest.fixture
+def game():
+    # P4: edges (0,1), (1,2), (2,3); k = 2; two attackers.
+    return TupleGame(path_graph(4), k=2, nu=2)
+
+
+class TestPureProfits:
+    def test_attacker_caught(self, game):
+        config = PureConfiguration(game, [0, 2], [(0, 1), (1, 2)])
+        assert pure_profit_vp(config, 0) == 0  # on endpoint 0
+        assert pure_profit_vp(config, 1) == 0  # on endpoint 2
+        assert pure_profit_tp(config) == 2
+
+    def test_attacker_escapes(self, game):
+        config = PureConfiguration(game, [3, 3], [(0, 1), (1, 2)])
+        assert pure_profit_vp(config, 0) == 1
+        assert pure_profit_tp(config) == 0
+
+    def test_mixed_outcomes(self, game):
+        config = PureConfiguration(game, [0, 3], [(0, 1), (1, 2)])
+        assert pure_profit_vp(config, 0) == 0
+        assert pure_profit_vp(config, 1) == 1
+        assert pure_profit_tp(config) == 1
+
+
+class TestMassesAndHits:
+    def test_vertex_mass_sums_attackers(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 0.5, 3: 0.5}, {0: 1.0}],
+            {((0, 1), (2, 3)): 1.0},
+        )
+        assert vertex_mass(config, 0) == pytest.approx(1.5)
+        assert vertex_mass(config, 3) == pytest.approx(0.5)
+        assert vertex_mass(config, 1) == 0.0
+        masses = all_vertex_masses(config)
+        assert sum(masses.values()) == pytest.approx(game.nu)
+
+    def test_edge_mass(self, game):
+        config = MixedConfiguration(
+            game, [{0: 1.0}, {1: 1.0}], {((0, 1), (2, 3)): 1.0}
+        )
+        assert edge_mass(config, (0, 1)) == pytest.approx(2.0)
+        assert edge_mass(config, (1, 0)) == pytest.approx(2.0)
+        assert edge_mass(config, (2, 3)) == 0.0
+
+    def test_tuple_mass_counts_shared_vertex_once(self, game):
+        """V(t) is a *set*: a vertex shared by two tuple edges counts once."""
+        config = MixedConfiguration(
+            game, [{1: 1.0}, {1: 1.0}], {((0, 1), (1, 2)): 1.0}
+        )
+        # tuple covers {0, 1, 2}; all mass (2.0) sits on the shared vertex 1
+        assert tuple_mass(config, ((0, 1), (1, 2))) == pytest.approx(2.0)
+
+    def test_hit_probability(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 1.0}, {0: 1.0}],
+            {((0, 1), (1, 2)): 0.25, ((1, 2), (2, 3)): 0.75},
+        )
+        assert hit_probability(config, 0) == pytest.approx(0.25)
+        assert hit_probability(config, 1) == pytest.approx(1.0)
+        assert hit_probability(config, 3) == pytest.approx(0.75)
+        hits = all_hit_probabilities(config)
+        assert hits[0] == pytest.approx(0.25)
+        assert hits[3] == pytest.approx(0.75)
+
+    def test_hit_probability_off_support_vertex(self, game):
+        config = MixedConfiguration(
+            game, [{0: 1.0}, {0: 1.0}], {((0, 1), (2, 3)): 1.0}
+        )
+        assert all_hit_probabilities(config)[2] == pytest.approx(1.0)
+
+
+class TestExpectedProfits:
+    def test_equation_1_hand_case(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 0.5, 3: 0.5}, {1: 1.0}],
+            {((0, 1), (1, 2)): 0.5, ((1, 2), (2, 3)): 0.5},
+        )
+        # Hit(0) = 0.5, Hit(3) = 0.5, Hit(1) = 1.0
+        assert expected_profit_vp(config, 0) == pytest.approx(0.5 * 0.5 + 0.5 * 0.5)
+        assert expected_profit_vp(config, 1) == pytest.approx(0.0)
+
+    def test_equation_2_hand_case(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 0.5, 3: 0.5}, {1: 1.0}],
+            {((0, 1), (1, 2)): 0.5, ((1, 2), (2, 3)): 0.5},
+        )
+        # t1 covers {0,1,2}: mass 0.5 + 1.0; t2 covers {1,2,3}: mass 1.0 + 0.5
+        assert expected_profit_tp(config) == pytest.approx(0.5 * 1.5 + 0.5 * 1.5)
+
+    def test_profit_conservation(self, game):
+        """Defender catches + attacker escapes = ν in expectation, because
+        each attacker is either caught or not."""
+        config = MixedConfiguration(
+            game,
+            [{0: 0.3, 2: 0.7}, {1: 0.6, 3: 0.4}],
+            {((0, 1), (1, 2)): 0.2, ((1, 2), (2, 3)): 0.8},
+        )
+        escapes = sum(expected_profit_vp(config, i) for i in range(game.nu))
+        assert expected_profit_tp(config) + escapes == pytest.approx(game.nu)
+
+    def test_degenerate_mixed_equals_pure(self, game):
+        pure = PureConfiguration(game, [0, 3], [(0, 1), (1, 2)])
+        mixed = MixedConfiguration.from_pure(pure)
+        assert expected_profit_tp(mixed) == pytest.approx(pure_profit_tp(pure))
+        for i in range(game.nu):
+            assert expected_profit_vp(mixed, i) == pytest.approx(
+                pure_profit_vp(pure, i)
+            )

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Each property here is a theorem of the paper (or a structural fact the
+design relies on) quantified over random graphs/games rather than a fixed
+zoo.
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterization import is_mixed_nash, verify_best_responses
+from repro.core.game import TupleGame
+from repro.core.profits import expected_profit_tp, expected_profit_vp, hit_probability
+from repro.core.pure import find_pure_nash, is_pure_nash, pure_nash_exists
+from repro.core.tuples import canonical_tuple
+from repro.equilibria.kmatching import is_kmatching_nash
+from repro.equilibria.reduction import edge_to_tuple, tuple_to_edge
+from repro.equilibria.solve import solve_game
+from repro.graphs.core import Graph
+from repro.graphs.generators import gnp_random_graph, random_bipartite_graph, random_tree
+from repro.graphs.io import graph_from_json, graph_to_json, parse_edge_list, format_edge_list
+from repro.graphs.properties import (
+    is_edge_cover,
+    is_independent_set,
+    is_matching,
+    is_vertex_cover,
+)
+from repro.matching.blossom import matching_number, maximum_matching
+from repro.matching.covers import minimum_edge_cover, minimum_edge_cover_size
+from repro.matching.konig import konig_vertex_cover
+from repro.matching.partition import bipartite_partition, is_valid_partition
+
+# Strategy: random graphs from seeds — keeps shrinking meaningful while
+# reusing the deterministic generators.
+seeds = st.integers(min_value=0, max_value=10_000)
+small_n = st.integers(min_value=2, max_value=24)
+densities = st.floats(min_value=0.05, max_value=0.8)
+
+relaxed = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@relaxed
+@given(n=small_n, p=densities, seed=seeds)
+def test_blossom_matches_networkx_and_is_valid(n, p, seed):
+    g = gnp_random_graph(n, p, seed=seed)
+    ours = maximum_matching(g)
+    assert is_matching(g, ours)
+    nxg = nx.Graph(list(g.edges()))
+    assert len(ours) == len(nx.max_weight_matching(nxg, maxcardinality=True))
+
+
+@relaxed
+@given(n=small_n, p=densities, seed=seeds)
+def test_gallai_identity(n, p, seed):
+    g = gnp_random_graph(n, p, seed=seed)
+    cover = minimum_edge_cover(g)
+    assert is_edge_cover(g, cover)
+    assert len(cover) == g.n - matching_number(g)
+
+
+@relaxed
+@given(a=st.integers(2, 8), b=st.integers(2, 8), p=densities, seed=seeds)
+def test_konig_cover_is_minimum_and_partition_valid(a, b, p, seed):
+    g = random_bipartite_graph(a, b, p, seed=seed)
+    result = konig_vertex_cover(g)
+    assert is_vertex_cover(g, result.cover)
+    assert is_independent_set(g, result.independent_set)
+    assert len(result.cover) == matching_number(g)
+    assert is_valid_partition(g, result.independent_set)
+
+
+@relaxed
+@given(a=st.integers(2, 8), b=st.integers(2, 8), p=densities, seed=seeds)
+def test_valid_partition_is_size_equals_rho(a, b, p, seed):
+    """DESIGN.md §2: |IS| = rho(G) for every valid partition we build."""
+    g = random_bipartite_graph(a, b, p, seed=seed)
+    independent, _ = bipartite_partition(g)
+    assert len(independent) == minimum_edge_cover_size(g)
+
+
+@relaxed
+@given(n=small_n, p=densities, seed=seeds, k_offset=st.integers(-2, 3))
+def test_theorem_31_pure_ne_iff_k_geq_rho(n, p, seed, k_offset):
+    g = gnp_random_graph(n, p, seed=seed)
+    rho = minimum_edge_cover_size(g)
+    k = max(1, min(g.m, rho + k_offset))
+    game = TupleGame(g, k, nu=2)
+    exists = pure_nash_exists(game)
+    assert exists == (k >= rho)
+    config = find_pure_nash(game)
+    if exists:
+        assert config is not None
+        assert is_pure_nash(game, config)
+    else:
+        assert config is None
+
+
+@relaxed
+@given(a=st.integers(2, 6), b=st.integers(2, 7), p=densities, seed=seeds,
+       nu=st.integers(1, 6))
+def test_solver_output_is_nash_across_bipartite_instances(a, b, p, seed, nu):
+    g = random_bipartite_graph(a, b, p, seed=seed)
+    rho = minimum_edge_cover_size(g)
+    for k in {1, max(1, rho // 2), max(1, rho - 1)}:
+        game = TupleGame(g, k, nu=nu)
+        result = solve_game(game)
+        assert is_mixed_nash(game, result.mixed)
+        if result.kind == "k-matching":
+            assert result.defender_gain == (
+                __import__("pytest").approx(k * nu / rho)
+            )
+
+
+@relaxed
+@given(a=st.integers(2, 6), b=st.integers(2, 7), p=densities, seed=seeds)
+def test_reduction_round_trip_preserves_equilibrium(a, b, p, seed):
+    g = random_bipartite_graph(a, b, p, seed=seed)
+    rho = minimum_edge_cover_size(g)
+    if rho < 3:
+        return  # no interesting mixed regime
+    k = rho - 1
+    game = TupleGame(g, k, nu=2)
+    config = solve_game(game).mixed
+    if solve_game(game).kind != "k-matching":
+        return
+    edge_config = tuple_to_edge(game, config)
+    assert is_mixed_nash(game.edge_game(), edge_config)
+    lifted = edge_to_tuple(game.edge_game(), edge_config, k)
+    assert is_kmatching_nash(game, lifted)
+    # Gain law both ways.
+    assert abs(
+        expected_profit_tp(config) - k * expected_profit_tp(edge_config)
+    ) < 1e-9
+
+
+@relaxed
+@given(a=st.integers(2, 6), b=st.integers(2, 6), p=densities, seed=seeds)
+def test_equilibrium_profit_conservation_and_uniform_hits(a, b, p, seed):
+    g = random_bipartite_graph(a, b, p, seed=seed)
+    rho = minimum_edge_cover_size(g)
+    if rho < 2:
+        return
+    game = TupleGame(g, 1, nu=3)
+    config = solve_game(game).mixed
+    if solve_game(game).kind != "k-matching":
+        return
+    hits = {hit_probability(config, v) for v in config.vp_support_union()}
+    assert max(hits) - min(hits) < 1e-12
+    escapes = sum(expected_profit_vp(config, i) for i in range(3))
+    assert abs(expected_profit_tp(config) + escapes - 3) < 1e-9
+
+
+@relaxed
+@given(n=st.integers(2, 30), seed=seeds)
+def test_random_tree_solves_everywhere(n, seed):
+    """Trees are bipartite: Theorem 5.1 applies for every k."""
+    g = random_tree(n, seed=seed)
+    rho = minimum_edge_cover_size(g)
+    for k in {1, max(1, rho - 1), min(rho, g.m)}:
+        game = TupleGame(g, k, nu=1)
+        result = solve_game(game)
+        ok, gaps = verify_best_responses(game, result.mixed)
+        assert ok, gaps
+
+
+@relaxed
+@given(n=small_n, p=densities, seed=seeds)
+def test_graph_io_round_trips(n, p, seed):
+    g = gnp_random_graph(n, p, seed=seed)
+    assert parse_edge_list(format_edge_list(g)) == g
+    assert graph_from_json(graph_to_json(g)) == g
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=12,
+        unique_by=lambda e: frozenset(e),
+    )
+)
+def test_canonical_tuple_is_idempotent_and_order_free(edges):
+    # Deduplicate by unordered pair already via unique_by.
+    canon = canonical_tuple(edges)
+    assert canonical_tuple(canon) == canon
+    assert canonical_tuple(reversed(list(edges))) == canon

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) for the extension subsystems:
+double oracle, serialization, weighted games, rosters, path families."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import TupleGame
+from repro.core.serialize import configuration_from_json, configuration_to_json
+from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
+from repro.graphs.generators import (
+    cycle_graph,
+    gnp_random_graph,
+    random_bipartite_graph,
+    random_tree,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.models.families import enumerate_k_edge_paths
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.lp import solve_minimax
+from repro.weighted import WeightedTupleGame, weighted_minimax
+
+seeds = st.integers(min_value=0, max_value=10_000)
+relaxed = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@relaxed
+@given(n=st.integers(4, 14), p=st.floats(0.15, 0.6), seed=seeds,
+       k=st.integers(1, 3))
+def test_double_oracle_always_matches_full_lp(n, p, seed, k):
+    graph = gnp_random_graph(n, p, seed=seed)
+    k = min(k, graph.m)
+    game = TupleGame(graph, k, nu=1)
+    if game.tuple_strategy_count() > 20_000:
+        return
+    full = solve_minimax(game).value
+    result = double_oracle(game)
+    assert abs(result.value - full) < 1e-7
+    assert result.certified_gap <= 1e-7
+
+
+@relaxed
+@given(a=st.integers(2, 6), b=st.integers(2, 7), p=st.floats(0.2, 0.7),
+       seed=seeds, nu=st.integers(1, 4))
+def test_serialization_round_trips_solver_output(a, b, p, seed, nu):
+    graph = random_bipartite_graph(a, b, p, seed=seed)
+    rho = minimum_edge_cover_size(graph)
+    k = max(1, rho - 1)
+    game = TupleGame(graph, k, nu=nu)
+    config = solve_game(game).mixed
+    restored = configuration_from_json(configuration_to_json(config))
+    assert restored.game == game
+    # Re-validation renormalizes, which may shift values by one ULP.
+    assert restored.tp_support() == config.tp_support()
+    for t, p in config.tp_distribution().items():
+        assert restored.prob_tp(t) == pytest.approx(p, abs=1e-12)
+    for i in range(nu):
+        assert restored.vp_distribution(i) == pytest.approx(
+            config.vp_distribution(i)
+        )
+
+
+@relaxed
+@given(a=st.integers(2, 5), b=st.integers(2, 6), p=st.floats(0.3, 0.8),
+       seed=seeds, scale=st.floats(0.5, 5.0))
+def test_weighted_value_scales_homogeneously(a, b, p, seed, scale):
+    graph = random_bipartite_graph(a, b, p, seed=seed)
+    k = min(2, graph.m)
+    unit = {v: 1.0 for v in graph.vertices()}
+    scaled = {v: scale for v in graph.vertices()}
+    base = weighted_minimax(WeightedTupleGame(graph, k, unit))
+    lifted = weighted_minimax(WeightedTupleGame(graph, k, scaled))
+    assert lifted.value == pytest.approx(scale * base.value, rel=1e-6)
+
+
+@relaxed
+@given(a=st.integers(2, 5), b=st.integers(2, 6), p=st.floats(0.3, 0.8),
+       seed=seeds, length_factor=st.integers(1, 9))
+def test_roster_prefix_discrepancy_bounded(a, b, p, seed, length_factor):
+    from repro.analysis.schedule import compile_roster, roster_discrepancy
+
+    graph = random_bipartite_graph(a, b, p, seed=seed)
+    rho = minimum_edge_cover_size(graph)
+    if rho < 2:
+        return
+    game = TupleGame(graph, rho - 1, nu=1)
+    config = solve_game(game).mixed
+    support = len(config.tp_support())
+    roster = compile_roster(config, length=support * length_factor + 1)
+    assert roster_discrepancy(roster, config) <= 1.0 + 1e-9
+
+
+@relaxed
+@given(n=st.integers(4, 10), k=st.integers(1, 4))
+def test_cycle_path_counts_are_n(n, k):
+    if k >= n:
+        return
+    assert len(list(enumerate_k_edge_paths(cycle_graph(n), k))) == n
+
+
+@relaxed
+@given(n=st.integers(3, 20), seed=seeds, k=st.integers(1, 5))
+def test_tree_path_counts_match_pair_distances(n, seed, k):
+    """In a tree, k-edge simple paths correspond 1:1 to vertex pairs at
+    distance exactly k."""
+    from repro.graphs.metrics import bfs_distances
+
+    tree = random_tree(n, seed=seed)
+    expected = 0
+    order = tree.sorted_vertices()
+    for i, v in enumerate(order):
+        distances = bfs_distances(tree, v)
+        expected += sum(
+            1 for u in order[i + 1:] if distances.get(u) == k
+        )
+    actual = len(list(enumerate_k_edge_paths(tree, k)))
+    assert actual == expected
+
+
+@relaxed
+@given(n=st.integers(4, 12), p=st.floats(0.2, 0.6), seed=seeds)
+def test_solver_never_lies_about_equilibria(n, p, seed):
+    """Whatever kind solve_game returns, the profile passes the
+    first-principles best-response check."""
+    from repro.core.characterization import verify_best_responses
+
+    graph = gnp_random_graph(n, p, seed=seed)
+    rho = minimum_edge_cover_size(graph)
+    for k in {1, max(1, rho - 1), min(rho, graph.m)}:
+        game = TupleGame(graph, k, nu=2)
+        try:
+            result = solve_game(game)
+        except NoEquilibriumFoundError:
+            continue
+        ok, gaps = verify_best_responses(game, result.mixed)
+        assert ok, (result.kind, gaps)
+
+
+@relaxed
+@given(pairs=st.integers(2, 10), extra=st.integers(0, 20), seed=seeds,
+       k=st.integers(1, 5))
+def test_perfect_matching_equilibrium_on_random_matchable_graphs(
+    pairs, extra, seed, k
+):
+    """The extension family's headline property: any graph with a perfect
+    matching admits the cyclic-window equilibrium for every k up to n/2,
+    with gain exactly 2k*nu/n."""
+    from repro.core.characterization import verify_best_responses
+    from repro.core.profits import expected_profit_tp
+    from repro.equilibria.families import perfect_matching_equilibrium
+    from repro.graphs.generators import random_graph_with_perfect_matching
+
+    graph = random_graph_with_perfect_matching(pairs, extra, seed=seed)
+    k = min(k, pairs)
+    game = TupleGame(graph, k, nu=2)
+    config = perfect_matching_equilibrium(game)
+    ok, gaps = verify_best_responses(game, config)
+    assert ok, gaps
+    assert abs(expected_profit_tp(config) - 2 * k * 2 / graph.n) < 1e-9
+
+
+@relaxed
+@given(pairs=st.integers(2, 8), extra=st.integers(0, 15), seed=seeds)
+def test_double_oracle_value_on_matchable_graphs_is_2k_over_n(
+    pairs, extra, seed
+):
+    """Independent confirmation of the extended gain law: on any graph
+    with a perfect matching the duel value is at most 2k/n (the window
+    schedule guarantees it) and the LP/double-oracle value matches when
+    rho = n/2."""
+    from repro.graphs.generators import random_graph_with_perfect_matching
+    from repro.matching.covers import minimum_edge_cover_size
+
+    graph = random_graph_with_perfect_matching(pairs, extra, seed=seed)
+    rho = minimum_edge_cover_size(graph)
+    assert rho == pairs  # perfect matching => rho = n/2
+    k = max(1, pairs - 1)
+    game = TupleGame(graph, k, nu=1)
+    value = double_oracle(game).value
+    assert value <= k / rho + 1e-7

@@ -1,0 +1,145 @@
+"""Tests for pure Nash equilibria — Theorem 3.1, Corollaries 3.2/3.3
+(repro.core.pure)."""
+
+import pytest
+
+from repro.core.configuration import PureConfiguration
+from repro.core.game import TupleGame
+from repro.core.pure import (
+    edge_cover_of_size,
+    find_pure_nash,
+    is_pure_nash,
+    pure_nash_exists,
+)
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    double_star_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.properties import is_edge_cover
+from repro.matching.covers import minimum_edge_cover_size
+from tests.conftest import general_zoo, zoo_params
+
+
+class TestTheorem31Sufficiency:
+    """k >= rho(G): a pure NE exists and our construction is one."""
+
+    @pytest.mark.parametrize("graph", zoo_params(general_zoo()))
+    def test_constructed_profile_is_pure_nash(self, graph):
+        rho = minimum_edge_cover_size(graph)
+        for k in {rho, min(rho + 1, graph.m), graph.m}:
+            game = TupleGame(graph, k, nu=3)
+            assert pure_nash_exists(game)
+            config = find_pure_nash(game)
+            assert config is not None
+            assert len(config.tuple_choice) == k
+            assert is_edge_cover(graph, config.tuple_choice)
+            assert is_pure_nash(game, config)
+
+
+class TestTheorem31Necessity:
+    """k < rho(G): no pure NE — verified by first principles on small
+    instances (every pure profile admits a profitable deviation)."""
+
+    @pytest.mark.parametrize(
+        "graph, k",
+        [
+            (path_graph(4), 1),
+            (star_graph(3), 2),
+            (cycle_graph(5), 2),
+            (complete_bipartite_graph(2, 3), 2),
+        ],
+        ids=["path4-k1", "star3-k2", "cycle5-k2", "k23-k2"],
+    )
+    def test_every_profile_has_deviation(self, graph, k):
+        from itertools import combinations, product
+
+        game = TupleGame(graph, k, nu=1)
+        assert not pure_nash_exists(game)
+        assert find_pure_nash(game) is None
+        for vertex in graph.sorted_vertices():
+            for tuple_choice in combinations(graph.sorted_edges(), k):
+                config = PureConfiguration(game, [vertex], tuple_choice)
+                assert not is_pure_nash(game, config), (vertex, tuple_choice)
+
+    def test_existence_threshold_exact(self):
+        graph = double_star_graph(3, 4)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, graph.m + 1):
+            game = TupleGame(graph, k, nu=2)
+            assert pure_nash_exists(game) == (k >= rho)
+
+
+class TestCorollary33:
+    """n >= 2k + 1 implies no pure NE."""
+
+    @pytest.mark.parametrize("graph", zoo_params(general_zoo()))
+    def test_no_pure_ne_below_half_n(self, graph):
+        for k in range(1, graph.m + 1):
+            if graph.n >= 2 * k + 1:
+                assert not pure_nash_exists(TupleGame(graph, k, nu=1))
+
+
+class TestEdgeCoverOfSize:
+    def test_exact_size_and_distinctness(self):
+        graph = grid_graph(2, 3)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(rho, graph.m + 1):
+            cover = edge_cover_of_size(TupleGame(graph, k, nu=1))
+            assert cover is not None
+            assert len(cover) == k
+            assert len(set(cover)) == k
+            assert is_edge_cover(graph, cover)
+
+    def test_none_below_threshold(self):
+        graph = grid_graph(2, 3)
+        assert edge_cover_of_size(TupleGame(graph, 1, nu=1)) is None
+
+
+class TestIsPureNashDirect:
+    def test_accepts_full_cover(self):
+        game = TupleGame(path_graph(4), k=2, nu=2)
+        config = PureConfiguration(game, [0, 2], [(0, 1), (2, 3)])
+        assert is_pure_nash(game, config)
+
+    def test_rejects_when_attacker_can_escape(self):
+        game = TupleGame(path_graph(4), k=2, nu=1)
+        # Tuple (0,1),(1,2) leaves vertex 3 uncovered; attacker at 0 is
+        # caught and would deviate.
+        config = PureConfiguration(game, [0], [(0, 1), (1, 2)])
+        assert not is_pure_nash(game, config)
+
+    def test_rejects_when_defender_misses_attackers(self):
+        game = TupleGame(path_graph(4), k=1, nu=2)
+        # Both attackers on vertex 3; defender watches (0,1).
+        config = PureConfiguration(game, [3, 3], [(0, 1)])
+        assert not is_pure_nash(game, config)
+
+    def test_k1_single_edge_graph(self):
+        game = TupleGame(Graph([(1, 2)]), k=1, nu=1)
+        config = PureConfiguration(game, [1], [(1, 2)])
+        assert is_pure_nash(game, config)
+
+    def test_rejects_config_from_other_game(self):
+        from repro.core.game import GameError
+
+        game_a = TupleGame(path_graph(4), k=2, nu=1)
+        game_b = TupleGame(path_graph(4), k=2, nu=2)
+        config = PureConfiguration(game_b, [0, 1], [(0, 1), (2, 3)])
+        with pytest.raises(GameError, match="different game"):
+            is_pure_nash(game_a, config)
+
+
+class TestPetersenBoundary:
+    def test_petersen_threshold_is_five(self):
+        graph = petersen_graph()
+        assert not pure_nash_exists(TupleGame(graph, 4, nu=1))
+        game = TupleGame(graph, 5, nu=1)
+        assert pure_nash_exists(game)
+        config = find_pure_nash(game)
+        assert is_pure_nash(game, config)

@@ -1,0 +1,100 @@
+"""Tests for optimal-strategy-polytope probing (repro.solvers.ranges)."""
+
+import pytest
+
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import hit_probability
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from repro.solvers.ranges import attacker_vertex_ranges, defender_edge_ranges
+
+
+class TestAttackerRanges:
+    def test_star_attacker_avoids_center(self):
+        """On a star the center is hit by every edge; no optimal attacker
+        ever stands there, and the leaves are interchangeable."""
+        g = star_graph(4)
+        game = TupleGame(g, 1, nu=1)
+        ranges = attacker_vertex_ranges(game)
+        low, high = ranges.ranges[0]  # center
+        assert high == pytest.approx(0.0, abs=1e-6)
+        for leaf in range(1, 5):
+            leaf_low, leaf_high = ranges.ranges[leaf]
+            assert leaf_high > 0.2
+        assert 0 not in ranges.usable()
+
+    def test_cycle_symmetry(self):
+        """C6 is vertex-transitive: every vertex is usable, none is
+        required (mass can concentrate on alternating triples)."""
+        game = TupleGame(cycle_graph(6), 1, nu=1)
+        ranges = attacker_vertex_ranges(game)
+        assert len(ranges.usable()) == 6
+        assert ranges.required() == []
+
+    def test_bounds_contain_structural_equilibrium(self):
+        g = complete_bipartite_graph(2, 4)
+        game = TupleGame(g, 2, nu=1)
+        config = solve_game(game).mixed
+        ranges = attacker_vertex_ranges(game)
+        for v in g.vertices():
+            low, high = ranges.ranges[v]
+            p = config.prob_vp(0, v)
+            assert low - 1e-6 <= p <= high + 1e-6
+
+    def test_value_matches_k_over_rho(self):
+        g = complete_bipartite_graph(2, 4)
+        game = TupleGame(g, 2, nu=1)
+        ranges = attacker_vertex_ranges(game)
+        assert ranges.value == pytest.approx(2 / minimum_edge_cover_size(g))
+
+
+class TestDefenderRanges:
+    def test_path_endpoint_edges_are_required(self):
+        """On P4 with k=1, every optimal schedule must sometimes scan the
+        two end edges (they are the only cover of the endpoints)."""
+        game = TupleGame(path_graph(4), 1, nu=1)
+        ranges = defender_edge_ranges(game)
+        required = ranges.required()
+        assert (0, 1) in required
+        assert (2, 3) in required
+
+    def test_bounds_contain_structural_marginals(self):
+        g = complete_bipartite_graph(2, 3)
+        game = TupleGame(g, 2, nu=1)
+        config = solve_game(game).mixed
+        ranges = defender_edge_ranges(game)
+        for e in g.edges():
+            marginal = sum(
+                p for t, p in config.tp_distribution().items() if e in t
+            )
+            low, high = ranges.ranges[e]
+            assert low - 1e-6 <= marginal <= high + 1e-6
+
+    def test_star_every_optimal_schedule_is_uniformish(self):
+        """Star K_{1,3}, k=1: hit(leaf_i) = p(edge_i) and the minimum must
+        be v* = 1/3 with only unit mass available — every optimal schedule
+        is exactly uniform, so all ranges collapse to [1/3, 1/3]."""
+        game = TupleGame(star_graph(3), 1, nu=1)
+        ranges = defender_edge_ranges(game)
+        for low, high in ranges.ranges.values():
+            assert low == pytest.approx(1 / 3, abs=1e-6)
+            assert high == pytest.approx(1 / 3, abs=1e-6)
+
+
+class TestErgonomics:
+    def test_limit_guard(self):
+        game = TupleGame(complete_bipartite_graph(4, 5), 8, nu=1)
+        with pytest.raises(GameError, match="probing limit"):
+            attacker_vertex_ranges(game, tuple_limit=10)
+        with pytest.raises(GameError, match="probing limit"):
+            defender_edge_ranges(game, tuple_limit=10)
+
+    def test_repr(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        assert "value=" in repr(attacker_vertex_ranges(game))

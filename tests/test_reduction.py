@@ -1,0 +1,115 @@
+"""Tests for the Theorem 4.5 reduction (repro.equilibria.reduction)."""
+
+import pytest
+
+from repro.core.characterization import is_mixed_nash
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp
+from repro.equilibria.kmatching import is_kmatching_nash
+from repro.equilibria.matching_ne import is_matching_configuration, matching_equilibrium
+from repro.equilibria.reduction import edge_to_tuple, gain_ratio, tuple_to_edge
+from repro.graphs.generators import complete_bipartite_graph, grid_graph
+from repro.matching.covers import minimum_edge_cover_size
+from tests.conftest import bipartite_zoo, zoo_params
+
+
+class TestLemma48EdgeToTuple:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_lifts_to_kmatching_nash(self, graph):
+        edge_game = TupleGame(graph, 1, nu=3)
+        edge_config = matching_equilibrium(edge_game)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(2, rho):
+            lifted = edge_to_tuple(edge_game, edge_config, k)
+            target = TupleGame(graph, k, nu=3)
+            assert lifted.game == target
+            assert is_kmatching_nash(target, lifted)
+
+    def test_gain_scales_by_k(self):
+        graph = grid_graph(3, 4)
+        edge_game = TupleGame(graph, 1, nu=5)
+        edge_config = matching_equilibrium(edge_game)
+        base_gain = expected_profit_tp(edge_config)
+        for k in range(2, minimum_edge_cover_size(graph)):
+            lifted = edge_to_tuple(edge_game, edge_config, k)
+            assert expected_profit_tp(lifted) == pytest.approx(k * base_gain)
+            assert gain_ratio(
+                TupleGame(graph, k, nu=5), lifted, edge_game, edge_config
+            ) == pytest.approx(k)
+
+    def test_rejects_non_edge_model_source(self, k24):
+        game = TupleGame(k24, 2, nu=1)
+        from repro.equilibria.solve import solve_game
+
+        config = solve_game(game).mixed
+        with pytest.raises(GameError, match="k=1"):
+            edge_to_tuple(game, config, 3)
+
+    def test_rejects_non_matching_configuration(self, path4):
+        from repro.core.configuration import MixedConfiguration
+
+        edge_game = TupleGame(path4, 1, nu=1)
+        bad = MixedConfiguration.uniform(edge_game, [0, 1], [[(0, 1)], [(2, 3)]])
+        with pytest.raises(GameError, match="Definition 2.2"):
+            edge_to_tuple(edge_game, bad, 2)
+
+
+class TestLemma46TupleToEdge:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_flattens_to_matching_nash(self, graph):
+        from repro.equilibria.solve import solve_game
+
+        rho = minimum_edge_cover_size(graph)
+        for k in range(2, rho):
+            game = TupleGame(graph, k, nu=2)
+            config = solve_game(game).mixed
+            flattened = tuple_to_edge(game, config)
+            edge_game = game.edge_game()
+            assert flattened.game == edge_game
+            assert is_matching_configuration(edge_game, flattened)
+            assert is_mixed_nash(edge_game, flattened)
+
+    def test_rejects_non_kmatching_input(self, path4):
+        from repro.core.configuration import MixedConfiguration
+
+        game = TupleGame(path4, 2, nu=1)
+        bad = MixedConfiguration.uniform(game, [0, 1], [[(0, 1), (2, 3)]])
+        with pytest.raises(GameError, match="Definition 4.1"):
+            tuple_to_edge(game, bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_edge_tuple_edge_is_identity_on_supports(self, graph):
+        edge_game = TupleGame(graph, 1, nu=2)
+        original = matching_equilibrium(edge_game)
+        rho = minimum_edge_cover_size(graph)
+        for k in range(2, rho):
+            lifted = edge_to_tuple(edge_game, original, k)
+            back = tuple_to_edge(TupleGame(graph, k, nu=2), lifted)
+            assert back.tp_support_edges() == original.tp_support_edges()
+            assert back.vp_support_union() == original.vp_support_union()
+
+    def test_gain_relation_both_directions(self):
+        graph = complete_bipartite_graph(3, 5)
+        edge_game = TupleGame(graph, 1, nu=4)
+        original = matching_equilibrium(edge_game)
+        k = 3
+        lifted = edge_to_tuple(edge_game, original, k)
+        back = tuple_to_edge(TupleGame(graph, k, nu=4), lifted)
+        assert expected_profit_tp(lifted) == pytest.approx(
+            k * expected_profit_tp(back)
+        )
+
+
+class TestGainRatioErrors:
+    def test_zero_denominator(self, path4):
+        from repro.core.configuration import MixedConfiguration
+
+        edge_game = TupleGame(path4, 1, nu=1)
+        # Attacker on 3, defender on (0,1): defender gain is 0.
+        silly = MixedConfiguration.uniform(edge_game, [3], [[(0, 1)]])
+        game = TupleGame(path4, 2, nu=1)
+        config = MixedConfiguration.uniform(game, [0], [[(0, 1), (2, 3)]])
+        with pytest.raises(GameError, match="ratio undefined"):
+            gain_ratio(game, config, edge_game, silly)

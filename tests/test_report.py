@@ -1,0 +1,60 @@
+"""Tests for the one-shot security report (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import security_report
+from repro.equilibria.solve import NoEquilibriumFoundError
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    grid_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestSecurityReport:
+    def test_contains_all_sections(self):
+        report = security_report(grid_graph(2, 3), k=2, nu=3, trials=2_000)
+        assert "1. Topology" in report
+        assert "2. Defender power profile" in report
+        assert "3. Operating point k = 2" in report
+        assert "4. Optimal-polytope analysis" in report
+
+    def test_topology_facts(self):
+        report = security_report(grid_graph(2, 3), k=2, nu=1, trials=0)
+        assert "minimum edge cover rho(G)" in report
+        assert "bipartite" in report
+
+    def test_simulation_confirmed(self):
+        report = security_report(
+            complete_bipartite_graph(2, 3), k=2, nu=2, trials=5_000, seed=4
+        )
+        assert "confirmed" in report
+
+    def test_trials_zero_skips_simulation(self):
+        report = security_report(grid_graph(2, 3), k=2, nu=1, trials=0)
+        assert "simulation" not in report
+
+    def test_star_report_flags_safe_center(self):
+        report = security_report(star_graph(4), k=1, nu=1, trials=0)
+        # The hub is hit by every edge; no rational attacker stands there.
+        assert "hosts no rational attacker uses  : [0]" in report
+
+    def test_pure_operating_point(self):
+        report = security_report(grid_graph(2, 2), k=2, nu=2, trials=0)
+        assert "equilibrium kind : pure" in report
+
+    def test_petersen_via_extension_kind(self):
+        report = security_report(petersen_graph(), k=2, nu=2, trials=0)
+        assert "perfect-matching" in report
+
+    def test_unsolvable_operating_point_raises(self):
+        house = Graph([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+        with pytest.raises(NoEquilibriumFoundError):
+            security_report(house, k=1, nu=1, trials=0)
+
+    def test_polytope_skipped_on_large_strategy_space(self):
+        graph = grid_graph(4, 5)
+        report = security_report(graph, k=8, nu=1, trials=0)
+        assert "skipped" in report

@@ -1,0 +1,111 @@
+"""Tests for configuration serialization (repro.core.serialize)."""
+
+import json
+
+import pytest
+
+from repro.core.characterization import is_mixed_nash
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import expected_profit_tp
+from repro.core.serialize import (
+    configuration_from_json,
+    configuration_to_json,
+    solve_result_to_json,
+)
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph, path_graph
+
+
+@pytest.fixture
+def equilibrium():
+    game = TupleGame(grid_graph(2, 3), 2, nu=3)
+    return game, solve_game(game).mixed
+
+
+class TestRoundTrip:
+    def test_preserves_distributions(self, equilibrium):
+        game, config = equilibrium
+        restored = configuration_from_json(configuration_to_json(config))
+        assert restored.game == game
+        assert restored.tp_distribution() == config.tp_distribution()
+        for i in range(game.nu):
+            assert restored.vp_distribution(i) == config.vp_distribution(i)
+
+    def test_restored_equilibrium_is_still_nash(self, equilibrium):
+        game, config = equilibrium
+        restored = configuration_from_json(configuration_to_json(config))
+        assert is_mixed_nash(restored.game, restored)
+        assert expected_profit_tp(restored) == pytest.approx(
+            expected_profit_tp(config)
+        )
+
+    def test_string_vertices(self):
+        from repro.graphs.core import Graph
+
+        game = TupleGame(Graph([("a", "b"), ("b", "c")]), 1, nu=1)
+        config = MixedConfiguration(
+            game, [{"a": 0.5, "c": 0.5}], {(("a", "b"),): 0.5, (("b", "c"),): 0.5}
+        )
+        restored = configuration_from_json(configuration_to_json(config))
+        assert restored.prob_vp(0, "a") == pytest.approx(0.5)
+
+    def test_deterministic_output(self, equilibrium):
+        _, config = equilibrium
+        assert configuration_to_json(config) == configuration_to_json(config)
+
+
+class TestValidationOnLoad:
+    def test_rejects_bad_json(self):
+        with pytest.raises(GameError, match="invalid JSON"):
+            configuration_from_json("{oops")
+
+    def test_rejects_wrong_format_tag(self):
+        with pytest.raises(GameError, match="unrecognized"):
+            configuration_from_json(json.dumps({"format": "something.else"}))
+
+    def test_rejects_missing_sections(self, equilibrium):
+        _, config = equilibrium
+        payload = json.loads(configuration_to_json(config))
+        del payload["tuple_player"]
+        with pytest.raises(GameError, match="missing 'tuple_player'"):
+            configuration_from_json(json.dumps(payload))
+
+    def test_rejects_tampered_probabilities(self, equilibrium):
+        _, config = equilibrium
+        payload = json.loads(configuration_to_json(config))
+        payload["tuple_player"][0]["probability"] = 0.9999
+        with pytest.raises(GameError, match="sum to 1"):
+            configuration_from_json(json.dumps(payload))
+
+    def test_rejects_foreign_edge_in_tuple(self, equilibrium):
+        _, config = equilibrium
+        payload = json.loads(configuration_to_json(config))
+        payload["tuple_player"][0]["edges"][0] = [0, 5]
+        with pytest.raises(GameError):
+            configuration_from_json(json.dumps(payload))
+
+    def test_rejects_malformed_game(self, equilibrium):
+        _, config = equilibrium
+        payload = json.loads(configuration_to_json(config))
+        del payload["game"]["k"]
+        with pytest.raises(GameError, match="malformed game"):
+            configuration_from_json(json.dumps(payload))
+
+
+class TestSolveResultDocument:
+    def test_contains_solve_metadata(self):
+        game = TupleGame(complete_bipartite_graph(2, 4), 2, nu=5)
+        result = solve_game(game)
+        payload = json.loads(solve_result_to_json(result))
+        assert payload["solve"]["kind"] == "k-matching"
+        assert payload["solve"]["defender_gain"] == pytest.approx(2.5)
+        assert payload["solve"]["partition"] is not None
+        # The embedded configuration is loadable on its own.
+        restored = configuration_from_json(json.dumps(payload))
+        assert is_mixed_nash(restored.game, restored)
+
+    def test_pure_result_has_no_partition(self):
+        game = TupleGame(path_graph(4), 2, nu=1)
+        payload = json.loads(solve_result_to_json(solve_game(game)))
+        assert payload["solve"]["partition"] is None

@@ -1,0 +1,166 @@
+"""Tests for the Monte-Carlo engine and estimators (repro.simulation)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.configuration import MixedConfiguration
+from repro.core.game import GameError, TupleGame
+from repro.core.profits import (
+    expected_profit_tp,
+    expected_profit_vp,
+    hit_probability,
+)
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph, path_graph
+from repro.simulation.engine import Sampler, simulate
+from repro.simulation.estimators import RunningStat, wilson_interval
+
+
+class TestRunningStat:
+    def test_mean_and_variance(self):
+        stat = RunningStat()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for x in data:
+            stat.push(x)
+        assert stat.count == 8
+        assert stat.mean == pytest.approx(5.0)
+        # Unbiased sample variance of the classic dataset.
+        assert stat.variance == pytest.approx(32.0 / 7.0)
+        assert stat.stddev == pytest.approx(math.sqrt(32.0 / 7.0))
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = random.Random(3)
+        data = [rng.gauss(0, 2) for _ in range(500)]
+        stat = RunningStat()
+        for x in data:
+            stat.push(x)
+        assert stat.mean == pytest.approx(float(np.mean(data)), abs=1e-12)
+        assert stat.variance == pytest.approx(float(np.var(data, ddof=1)), abs=1e-9)
+
+    def test_degenerate_cases(self):
+        stat = RunningStat()
+        assert stat.variance == 0.0
+        assert stat.stderr == float("inf")
+        stat.push(1.5)
+        assert stat.variance == 0.0
+        assert stat.mean == 1.5
+
+    def test_confidence_interval_contains_mean(self):
+        stat = RunningStat()
+        for x in [1.0, 2.0, 3.0]:
+            stat.push(x)
+        low, high = stat.confidence_interval()
+        assert low <= stat.mean <= high
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low <= 0.3 <= high
+        assert 0.0 <= low < high <= 1.0
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = wilson_interval(0, 50)
+        assert low == pytest.approx(0.0, abs=1e-12) and high < 0.2
+        low, high = wilson_interval(50, 50)
+        assert low > 0.8 and high == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestSampler:
+    def test_frequencies_approach_distribution(self):
+        sampler = Sampler({"a": 0.2, "b": 0.8})
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(20_000)]
+        assert draws.count("b") / len(draws) == pytest.approx(0.8, abs=0.02)
+
+    def test_degenerate_distribution(self):
+        sampler = Sampler({"only": 1.0})
+        rng = random.Random(1)
+        assert all(sampler.sample(rng) == "only" for _ in range(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GameError):
+            Sampler({})
+
+
+class TestSimulate:
+    def test_deterministic_per_seed(self, k24_game):
+        config = solve_game(k24_game).mixed
+        a = simulate(k24_game, config, trials=500, seed=42)
+        b = simulate(k24_game, config, trials=500, seed=42)
+        assert a.defender_profit.mean == b.defender_profit.mean
+        assert a.catches == b.catches
+
+    def test_seed_changes_outcome(self, k24_game):
+        config = solve_game(k24_game).mixed
+        a = simulate(k24_game, config, trials=500, seed=1)
+        b = simulate(k24_game, config, trials=500, seed=2)
+        assert a.defender_profit.mean != b.defender_profit.mean
+
+    def test_defender_mean_matches_equation_2(self, k24_game):
+        config = solve_game(k24_game).mixed
+        report = simulate(k24_game, config, trials=40_000, seed=11)
+        low, high = report.defender_profit.confidence_interval()
+        assert low <= expected_profit_tp(config) <= high
+
+    def test_attacker_means_match_equation_1(self):
+        game = TupleGame(grid_graph(2, 3), 2, nu=3)
+        config = solve_game(game).mixed
+        report = simulate(game, config, trials=30_000, seed=5)
+        for i in range(game.nu):
+            low, high = report.attacker_profit[i].confidence_interval()
+            assert low <= expected_profit_vp(config, i) <= high
+
+    def test_empirical_hit_probabilities(self):
+        game = TupleGame(path_graph(6), 2, nu=1)
+        config = solve_game(game).mixed
+        report = simulate(game, config, trials=30_000, seed=9)
+        for v in config.vp_support_union():
+            assert report.empirical_hit_probability(v) == pytest.approx(
+                hit_probability(config, v), abs=0.02
+            )
+
+    def test_catch_rate_and_interval(self, k24_game):
+        config = solve_game(k24_game).mixed
+        report = simulate(k24_game, config, trials=10_000, seed=3)
+        for i in range(k24_game.nu):
+            rate = report.catch_rate(i)
+            low, high = report.catch_rate_interval(i)
+            assert low <= rate <= high
+            # At the equilibrium each attacker is caught w.p. k/rho = 0.5.
+            assert rate == pytest.approx(0.5, abs=0.03)
+
+    def test_non_uniform_profile(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        config = MixedConfiguration(
+            game, [{0: 0.25, 3: 0.75}], {((0, 1),): 0.1, ((2, 3),): 0.9}
+        )
+        report = simulate(game, config, trials=40_000, seed=13)
+        low, high = report.defender_profit.confidence_interval()
+        assert low <= expected_profit_tp(config) <= high
+
+    def test_rejects_zero_trials(self, k24_game):
+        config = solve_game(k24_game).mixed
+        with pytest.raises(GameError, match="at least one trial"):
+            simulate(k24_game, config, trials=0)
+
+    def test_rejects_foreign_config(self, k24_game):
+        other = TupleGame(path_graph(4), 1, nu=1)
+        config = solve_game(other).mixed
+        with pytest.raises(GameError, match="different game"):
+            simulate(k24_game, config, trials=10)

@@ -1,0 +1,111 @@
+"""Tests for the one-call solver (repro.equilibria.solve)."""
+
+import pytest
+
+from repro.core.characterization import is_mixed_nash
+from repro.core.game import TupleGame
+from repro.core.pure import is_pure_nash
+from repro.equilibria.solve import NoEquilibriumFoundError, SolveResult, solve_game
+from repro.graphs.core import Graph
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    petersen_graph,
+)
+from repro.matching.covers import minimum_edge_cover_size
+from tests.conftest import bipartite_zoo, general_zoo, zoo_params
+
+
+class TestRegimeDispatch:
+    @pytest.mark.parametrize("graph", zoo_params(bipartite_zoo()))
+    def test_bipartite_graphs_solve_for_every_k(self, graph):
+        """Theorem 5.1: bipartite instances always solve, and the regimes
+        tile exactly at rho(G)."""
+        rho = minimum_edge_cover_size(graph)
+        for k in range(1, graph.m + 1):
+            game = TupleGame(graph, k, nu=2)
+            result = solve_game(game)
+            if k >= rho:
+                assert result.kind == "pure"
+                assert result.pure is not None
+                assert is_pure_nash(game, result.pure)
+                assert result.defender_gain == pytest.approx(2.0)
+            else:
+                assert result.kind == "k-matching"
+                assert result.partition is not None
+                assert is_mixed_nash(game, result.mixed)
+                assert result.defender_gain == pytest.approx(2 * k / rho)
+
+    @pytest.mark.parametrize("graph", zoo_params(general_zoo()))
+    def test_pure_regime_always_solves(self, graph):
+        rho = minimum_edge_cover_size(graph)
+        game = TupleGame(graph, rho, nu=1)
+        result = solve_game(game)
+        assert result.kind == "pure"
+
+    def test_petersen_paper_machinery_raises(self):
+        game = TupleGame(petersen_graph(), 3, nu=1)
+        with pytest.raises(NoEquilibriumFoundError, match="no\\s+IS/VC partition"):
+            solve_game(game, allow_extensions=False)
+
+    def test_petersen_solves_via_perfect_matching_extension(self):
+        game = TupleGame(petersen_graph(), 3, nu=5)
+        result = solve_game(game)
+        assert result.kind == "perfect-matching"
+        assert is_mixed_nash(game, result.mixed)
+        # rho = n/2 = 5, so the gain law extends: k * nu / rho.
+        assert result.defender_gain == pytest.approx(3 * 5 / 5)
+
+    def test_odd_cycle_paper_machinery_raises(self):
+        game = TupleGame(cycle_graph(7), 2, nu=1)
+        with pytest.raises(NoEquilibriumFoundError):
+            solve_game(game, allow_extensions=False)
+
+    def test_odd_cycle_solves_via_uniform_kmatchings(self):
+        game = TupleGame(cycle_graph(7), 2, nu=1)
+        result = solve_game(game)
+        assert result.kind == "uniform-k-matching"
+        assert is_mixed_nash(game, result.mixed)
+
+    def test_house_graph_defeats_every_construction(self):
+        # C5 plus one chord: no partition, no perfect matching (odd n),
+        # and too asymmetric for uniform k-matchings to equalize hits.
+        house = Graph([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+        game = TupleGame(house, 1, nu=1)
+        with pytest.raises(NoEquilibriumFoundError, match="extension families"):
+            solve_game(game)
+
+    def test_non_bipartite_with_partition_solves(self):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("a", "d")])
+        rho = minimum_edge_cover_size(g)
+        assert rho == 2
+        game = TupleGame(g, 1, nu=2)
+        result = solve_game(game)
+        assert result.kind == "k-matching"
+        assert is_mixed_nash(game, result.mixed)
+
+
+class TestSolveResult:
+    def test_gain_matches_formula(self):
+        graph = complete_bipartite_graph(2, 5)
+        rho = minimum_edge_cover_size(graph)  # 5
+        game = TupleGame(graph, 3, nu=10)
+        result = solve_game(game)
+        assert result.defender_gain == pytest.approx(3 * 10 / rho)
+
+    def test_repr(self):
+        game = TupleGame(complete_bipartite_graph(2, 3), 1, nu=1)
+        assert "k-matching" in repr(solve_game(game))
+
+    def test_pure_result_has_no_partition(self):
+        game = TupleGame(complete_bipartite_graph(2, 3), 3, nu=1)
+        result = solve_game(game)
+        assert result.kind == "pure"
+        assert result.partition is None
+
+    def test_deterministic_across_calls(self):
+        game = TupleGame(complete_bipartite_graph(3, 4), 2, nu=2)
+        a = solve_game(game)
+        b = solve_game(game)
+        assert a.mixed.tp_support() == b.mixed.tp_support()
+        assert a.mixed.vp_support_union() == b.mixed.vp_support_union()

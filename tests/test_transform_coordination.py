@@ -1,0 +1,155 @@
+"""Tests for graph transforms and coordination analysis
+(repro.graphs.transform, repro.analysis.coordination)."""
+
+import pytest
+
+from repro.analysis.coordination import (
+    coordinated_hit_probability,
+    coordination_gap,
+    simulate_uncoordinated,
+    uncoordinated_hit_probability,
+)
+from repro.core.game import GameError, TupleGame
+from repro.equilibria.solve import solve_game
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+from repro.graphs.properties import is_bipartite, is_connected
+from repro.graphs.transform import complement, disjoint_union, relabel, subdivide
+from repro.matching.covers import minimum_edge_cover_size
+
+
+class TestRelabel:
+    def test_shifts_labels(self):
+        g = relabel(path_graph(3), lambda v: v + 10)
+        assert g.has_edge(10, 11)
+        assert g.has_edge(11, 12)
+
+    def test_preserves_structure(self):
+        g = relabel(petersen_graph(), str)
+        assert (g.n, g.m) == (10, 15)
+        assert not is_bipartite(g)
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(GraphError, match="injective"):
+            relabel(path_graph(4), lambda v: v % 2)
+
+
+class TestDisjointUnion:
+    def test_counts_add(self):
+        g = disjoint_union(cycle_graph(4), path_graph(3))
+        assert g.n == 7
+        assert g.m == 6
+        assert not is_connected(g)
+
+    def test_overlapping_labels_are_separated(self):
+        g = disjoint_union(path_graph(3), path_graph(3))
+        assert g.n == 6
+
+    def test_union_solves_componentwise(self):
+        g = disjoint_union(complete_bipartite_graph(2, 3), path_graph(4))
+        rho = minimum_edge_cover_size(g)
+        game = TupleGame(g, rho, nu=2)
+        assert solve_game(game).kind == "pure"
+
+
+class TestSubdivide:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(5), petersen_graph(), complete_graph(4), star_graph(3)],
+        ids=["c5", "petersen", "k4", "star3"],
+    )
+    def test_result_is_bipartite(self, graph):
+        divided = subdivide(graph)
+        assert divided.n == graph.n + graph.m
+        assert divided.m == 2 * graph.m
+        assert is_bipartite(divided)
+
+    def test_relay_vertices_have_degree_two(self):
+        divided = subdivide(cycle_graph(5))
+        for v in divided.vertices():
+            if isinstance(v, tuple):
+                assert divided.degree(v) == 2
+
+    def test_rejects_edgeless(self):
+        with pytest.raises(GraphError):
+            subdivide(Graph())
+
+    def test_subdivided_topology_always_solves(self):
+        """The mitigation story: Petersen resists the paper's machinery,
+        but its subdivision is bipartite and solves with k-matching NE for
+        every k below threshold (Theorem 5.1)."""
+        from repro.core.characterization import is_mixed_nash
+
+        divided = subdivide(petersen_graph())
+        rho = minimum_edge_cover_size(divided)
+        for k in (1, rho // 2, rho - 1):
+            game = TupleGame(divided, k, nu=2)
+            result = solve_game(game, allow_extensions=False)
+            assert result.kind == "k-matching"
+            assert is_mixed_nash(game, result.mixed)
+
+
+class TestComplement:
+    def test_path_complement(self):
+        g = complement(path_graph(4))
+        assert g.has_edge(0, 2)
+        assert g.has_edge(0, 3)
+        assert g.has_edge(1, 3)
+        assert not g.has_edge(0, 1)
+        assert g.m == 6 - 3
+
+    def test_complement_of_complete_is_edgeless(self):
+        g = complement(complete_graph(4))
+        assert g.m == 0
+        assert g.n == 4
+
+    def test_double_complement_is_identity(self):
+        g = cycle_graph(6)
+        assert complement(complement(g)) == g
+
+
+class TestCoordination:
+    def test_k1_no_gap(self):
+        g = complete_bipartite_graph(2, 4)
+        assert coordination_gap(g, 1) == pytest.approx(0.0)
+
+    def test_gap_positive_for_k2_and_up(self):
+        g = complete_bipartite_graph(2, 5)
+        rho = minimum_edge_cover_size(g)
+        for k in range(2, rho + 1):
+            assert coordination_gap(g, k) > 0
+
+    def test_closed_forms(self):
+        g = complete_bipartite_graph(2, 4)  # rho = 4
+        assert coordinated_hit_probability(g, 2) == pytest.approx(0.5)
+        assert uncoordinated_hit_probability(g, 2) == pytest.approx(
+            1 - (3 / 4) ** 2
+        )
+
+    def test_coordinated_caps_at_one(self):
+        g = path_graph(4)
+        assert coordinated_hit_probability(g, 99) == 1.0
+
+    def test_simulation_matches_closed_form(self):
+        g = complete_bipartite_graph(2, 5)
+        k = 3
+        simulated = simulate_uncoordinated(g, k, trials=40_000, seed=5)
+        assert simulated == pytest.approx(
+            uncoordinated_hit_probability(g, k), abs=0.02
+        )
+
+    def test_simulation_rejects_bad_trials(self):
+        with pytest.raises(GameError):
+            simulate_uncoordinated(path_graph(4), 1, trials=0)
+
+    def test_gap_grows_with_k(self):
+        g = complete_bipartite_graph(2, 8)  # rho = 8
+        gaps = [coordination_gap(g, k) for k in range(1, 8)]
+        assert gaps == sorted(gaps)

@@ -1,0 +1,120 @@
+"""Unit tests for edge tuples and the game object
+(repro.core.tuples, repro.core.game)."""
+
+from math import comb
+
+import pytest
+
+from repro.core.game import GameError, TupleGame
+from repro.core.tuples import (
+    all_tuples,
+    canonical_tuple,
+    count_tuples,
+    tuple_edges,
+    tuple_vertices,
+)
+from repro.graphs.core import Graph, GraphError
+from repro.graphs.generators import cycle_graph, path_graph, petersen_graph
+
+
+class TestCanonicalTuple:
+    def test_sorts_edges(self):
+        assert canonical_tuple([(3, 2), (1, 0)]) == ((0, 1), (2, 3))
+
+    def test_canonicalizes_edge_orientation(self):
+        assert canonical_tuple([(2, 1)]) == ((1, 2),)
+
+    def test_order_independent(self):
+        assert canonical_tuple([(0, 1), (2, 3)]) == canonical_tuple([(2, 3), (0, 1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GraphError, match="distinct"):
+            canonical_tuple([(0, 1), (1, 0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError, match="at least one"):
+            canonical_tuple([])
+
+    def test_vertices_and_edges(self):
+        t = canonical_tuple([(0, 1), (1, 2)])
+        assert tuple_vertices(t) == frozenset({0, 1, 2})
+        assert tuple_edges(t) == frozenset({(0, 1), (1, 2)})
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        g = cycle_graph(5)
+        for k in range(1, 6):
+            tuples = list(all_tuples(g, k))
+            assert len(tuples) == comb(5, k)
+            assert count_tuples(g, k) == len(tuples)
+            assert len(set(tuples)) == len(tuples)  # all distinct
+
+    def test_each_tuple_has_k_distinct_edges(self):
+        g = path_graph(5)
+        for t in all_tuples(g, 2):
+            assert len(t) == 2
+            assert len(set(t)) == 2
+
+    def test_rejects_bad_k(self):
+        g = path_graph(4)
+        with pytest.raises(GraphError):
+            list(all_tuples(g, 0))
+        with pytest.raises(GraphError):
+            list(all_tuples(g, 4))  # m = 3
+        with pytest.raises(GraphError):
+            count_tuples(g, 99)
+
+
+class TestTupleGame:
+    def test_basic_properties(self):
+        game = TupleGame(path_graph(4), k=2, nu=3)
+        assert (game.n, game.m, game.k, game.nu) == (4, 3, 2, 3)
+        assert game.vertex_strategies == frozenset({0, 1, 2, 3})
+        assert game.tuple_strategy_count() == 3
+
+    def test_default_single_attacker(self):
+        assert TupleGame(path_graph(3), k=1).nu == 1
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(GameError, match="1 <= k <= m"):
+            TupleGame(path_graph(4), k=0)
+        with pytest.raises(GameError, match="1 <= k <= m"):
+            TupleGame(path_graph(4), k=4)
+
+    def test_rejects_non_integer_k(self):
+        with pytest.raises(GameError):
+            TupleGame(path_graph(4), k=1.5)
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(GameError, match="vertex player"):
+            TupleGame(path_graph(4), k=1, nu=0)
+
+    def test_rejects_invalid_graph(self):
+        with pytest.raises(GameError, match="invalid game graph"):
+            TupleGame(Graph([(1, 2)], vertices=[7], allow_isolated=True), k=1)
+
+    def test_edge_game(self):
+        game = TupleGame(petersen_graph(), k=3, nu=4)
+        edge = game.edge_game()
+        assert edge.k == 1
+        assert edge.nu == 4
+        assert edge.graph == game.graph
+        assert edge.is_edge_model()
+        assert not game.is_edge_model()
+
+    def test_edge_game_override_nu(self):
+        game = TupleGame(path_graph(4), k=2, nu=4)
+        assert game.edge_game(nu=1).nu == 1
+
+    def test_equality_and_hash(self):
+        a = TupleGame(path_graph(4), k=2, nu=3)
+        b = TupleGame(path_graph(4), k=2, nu=3)
+        c = TupleGame(path_graph(4), k=1, nu=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "game"
+
+    def test_repr(self):
+        assert "k=2" in repr(TupleGame(path_graph(4), k=2, nu=3))

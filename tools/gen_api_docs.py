@@ -1,0 +1,88 @@
+"""Generate docs/api.md from the package's docstrings.
+
+Walks every module under ``repro``, lists the ``__all__`` exports with the
+first line of their docstrings, and writes a deterministic markdown index.
+
+Usage::
+
+    python tools/gen_api_docs.py           # rewrite docs/api.md
+    python tools/gen_api_docs.py --check   # exit 1 if docs/api.md is stale
+
+The test suite runs the ``--check`` mode, so the committed API index can
+never drift from the code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+import repro
+
+OUTPUT = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+HEADER = """# API reference
+
+One line per public symbol, generated from docstrings by
+`tools/gen_api_docs.py` (regenerate after changing any public API;
+`tests/test_api_docs.py` fails if this file is stale).
+"""
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    line = doc.strip().splitlines()[0] if doc.strip() else "(undocumented)"
+    return line.rstrip(".")
+
+
+def iter_modules():
+    yield "repro", repro
+    names = sorted(
+        name for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    )
+    for name in names:
+        yield name, importlib.import_module(name)
+
+
+def render() -> str:
+    sections = [HEADER]
+    for name, module in iter_modules():
+        exports = list(getattr(module, "__all__", []))
+        if not exports:
+            continue
+        sections.append(f"\n## `{name}`\n")
+        module_line = first_line(module)
+        sections.append(f"{module_line}.\n")
+        for export in exports:
+            member = getattr(module, export)
+            if inspect.isfunction(member):
+                kind = "function"
+            elif inspect.isclass(member):
+                kind = "class"
+            else:
+                kind = "value"
+            sections.append(f"- **`{export}`** ({kind}) — {first_line(member)}.")
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main() -> int:
+    content = render()
+    if "--check" in sys.argv:
+        if not OUTPUT.exists() or OUTPUT.read_text() != content:
+            print(f"{OUTPUT} is stale; run python tools/gen_api_docs.py",
+                  file=sys.stderr)
+            return 1
+        print(f"{OUTPUT} is up to date")
+        return 0
+    OUTPUT.parent.mkdir(exist_ok=True)
+    OUTPUT.write_text(content)
+    print(f"wrote {OUTPUT} ({len(content.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
