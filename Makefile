@@ -1,0 +1,31 @@
+# Developer/CI entry points.  Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH, so no editable install is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench obs-check api-docs api-docs-check ci
+
+## tier-1 test suite (the gate every PR must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## regenerate the experiment tables + benchmark telemetry
+## (writes benchmarks/results/*.{txt,json}, bench_summary.json, BENCH_OBS.json)
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+## smoke-check the observability layer (tracing + metrics + exports)
+obs-check:
+	$(PYTHON) tools/check_obs.py
+
+## regenerate docs/api.md from docstrings
+api-docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+## fail if docs/api.md is stale
+api-docs-check:
+	$(PYTHON) tools/gen_api_docs.py --check
+
+## the full CI gate: instrumentation smoke test, docs freshness, tier-1 tests
+ci: obs-check api-docs-check test

@@ -7,14 +7,23 @@ Usage examples (after ``pip install -e .``)::
     repro-defender pure network.edges -k 8
     repro-defender gain network.edges --nu 4 --lp
     repro-defender simulate network.edges -k 2 --nu 3 --trials 20000
+    repro-defender stats network.edges -k 2 --trace
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
+
+Every subcommand accepts the observability flags ``--quiet``,
+``--verbose``, ``--log-json`` and ``--trace`` (before or after the
+subcommand); see ``docs/observability.md``.  All normal output flows
+through one :func:`_emit` helper, so ``--quiet`` silences it and
+``--log-json`` turns each message into a JSON line without touching the
+default plain-text format.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -29,13 +38,73 @@ from repro.graphs.io import load_graph
 from repro.graphs.properties import is_bipartite
 from repro.matching.blossom import matching_number
 from repro.matching.covers import minimum_edge_cover_size
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.simulation.engine import simulate
 
 __all__ = ["main", "build_parser"]
 
 
+class _OutputConfig:
+    """Process-global CLI output switches set by :func:`main`."""
+
+    __slots__ = ("quiet", "json_mode")
+
+    def __init__(self) -> None:
+        self.quiet = False
+        self.json_mode = False
+
+
+_OUTPUT = _OutputConfig()
+
+
+def _emit(text: object = "", *, err: bool = False) -> None:
+    """Single exit point for CLI output.
+
+    Plain ``print`` by default (so default output is byte-identical to a
+    direct print); ``--quiet`` suppresses stdout messages; ``--log-json``
+    wraps every message in a one-line JSON event.  Errors (``err=True``)
+    go to stderr and are never silenced.
+    """
+    if _OUTPUT.quiet and not err:
+        return
+    stream = sys.stderr if err else sys.stdout
+    if _OUTPUT.json_mode:
+        event = "error" if err else "output"
+        print(json.dumps({"event": event, "text": str(text)}), file=stream)
+    else:
+        print(text, file=stream)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, default) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--quiet", action="store_true", default=default,
+        help="suppress normal output (errors still print)",
+    )
+    group.add_argument(
+        "--verbose", action="store_true", default=default,
+        help="emit info-level structured logs on stderr",
+    )
+    group.add_argument(
+        "--log-json", action="store_true", default=default,
+        help="output and logs as JSON lines instead of plain text",
+    )
+    group.add_argument(
+        "--trace", action="store_true", default=default,
+        help="collect spans and print the timing trace after the command",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    # Subparsers copy their namespace over the top-level one (bpo-29670),
+    # so the per-subcommand copies of the flags must SUPPRESS their
+    # defaults or they would clobber flags given before the subcommand.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_flags(obs_parent, default=argparse.SUPPRESS)
+
     parser = argparse.ArgumentParser(
         prog="repro-defender",
         description=(
@@ -43,77 +112,81 @@ def build_parser() -> argparse.ArgumentParser:
             "('The Power of the Defender', ICDCS 2006)."
         ),
     )
+    _add_obs_flags(parser, default=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_graph(p: argparse.ArgumentParser) -> None:
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text, parents=[obs_parent])
         p.add_argument("graph", help="edge-list or .json graph file")
+        return p
 
-    p_info = sub.add_parser("info", help="structural summary of a graph")
-    add_graph(p_info)
+    add_command("info", "structural summary of a graph")
 
-    p_pure = sub.add_parser("pure", help="pure NE existence and construction")
-    add_graph(p_pure)
+    p_pure = add_command("pure", "pure NE existence and construction")
     p_pure.add_argument("-k", type=int, required=True, help="defender power")
     p_pure.add_argument("--nu", type=int, default=1, help="number of attackers")
 
-    p_solve = sub.add_parser("solve", help="compute an equilibrium")
-    add_graph(p_solve)
+    p_solve = add_command("solve", "compute an equilibrium")
     p_solve.add_argument("-k", type=int, required=True)
     p_solve.add_argument("--nu", type=int, default=1)
     p_solve.add_argument("--seed", type=int, default=0)
 
-    p_gain = sub.add_parser("gain", help="defender gain vs k sweep")
-    add_graph(p_gain)
+    p_gain = add_command("gain", "defender gain vs k sweep")
     p_gain.add_argument("--nu", type=int, default=1)
     p_gain.add_argument("--lp", action="store_true", help="cross-check with exact LP")
     p_gain.add_argument("--seed", type=int, default=0)
 
-    p_sim = sub.add_parser("simulate", help="Monte-Carlo validation of an equilibrium")
-    add_graph(p_sim)
+    p_sim = add_command("simulate", "Monte-Carlo validation of an equilibrium")
     p_sim.add_argument("-k", type=int, required=True)
     p_sim.add_argument("--nu", type=int, default=1)
     p_sim.add_argument("--trials", type=int, default=10_000)
     p_sim.add_argument("--seed", type=int, default=0)
 
-    p_report = sub.add_parser("report", help="full security report for a network")
-    add_graph(p_report)
+    p_report = add_command("report", "full security report for a network")
     p_report.add_argument("-k", type=int, required=True)
     p_report.add_argument("--nu", type=int, default=1)
     p_report.add_argument("--trials", type=int, default=20_000)
     p_report.add_argument("--seed", type=int, default=0)
 
-    p_export = sub.add_parser(
-        "export", help="solve and write the scan schedule as a JSON document"
+    p_export = add_command(
+        "export", "solve and write the scan schedule as a JSON document"
     )
-    add_graph(p_export)
     p_export.add_argument("-k", type=int, required=True)
     p_export.add_argument("--nu", type=int, default=1)
     p_export.add_argument("--seed", type=int, default=0)
     p_export.add_argument("-o", "--output", required=True,
                           help="path for the JSON schedule document")
 
-    p_shapes = sub.add_parser(
-        "shapes", help="compare defender shapes (tuple vs path vs star)"
+    p_shapes = add_command(
+        "shapes", "compare defender shapes (tuple vs path vs star)"
     )
-    add_graph(p_shapes)
     p_shapes.add_argument("-k", type=int, required=True)
 
-    p_ranges = sub.add_parser(
+    p_ranges = add_command(
         "ranges",
-        help="probe the optimal polytopes: usable attack hosts, "
-             "mandatory scan links",
+        "probe the optimal polytopes: usable attack hosts, "
+        "mandatory scan links",
     )
-    add_graph(p_ranges)
     p_ranges.add_argument("-k", type=int, required=True)
 
-    p_adaptive = sub.add_parser(
-        "redteam", help="run a no-regret red-team drill against the "
-                        "equilibrium schedule"
+    p_adaptive = add_command(
+        "redteam", "run a no-regret red-team drill against the "
+                   "equilibrium schedule"
     )
-    add_graph(p_adaptive)
     p_adaptive.add_argument("-k", type=int, required=True)
     p_adaptive.add_argument("--rounds", type=int, default=8_000)
     p_adaptive.add_argument("--seed", type=int, default=0)
+
+    p_stats = add_command(
+        "stats", "run a traced solve and print the metrics snapshot"
+    )
+    p_stats.add_argument("-k", type=int, required=True)
+    p_stats.add_argument("--nu", type=int, default=1)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        dest="fmt", help="snapshot format (default: text)",
+    )
 
     return parser
 
@@ -127,7 +200,7 @@ def _cmd_info(graph: Graph) -> int:
     table.add_row(["maximum matching ν(G)", matching_number(graph)])
     table.add_row(["minimum edge cover ρ(G)", rho])
     table.add_row(["pure NE exists iff k ≥", rho])
-    print(table.render())
+    _emit(table.render())
     return 0
 
 
@@ -135,14 +208,14 @@ def _cmd_pure(graph: Graph, k: int, nu: int) -> int:
     game = TupleGame(graph, k, nu)
     if not pure_nash_exists(game):
         rho = minimum_edge_cover_size(graph)
-        print(
+        _emit(
             f"no pure NE: k={k} < minimum edge cover ρ(G)={rho} (Theorem 3.1)"
         )
         return 1
     pure = find_pure_nash(game)
     assert pure is not None
-    print(f"pure NE exists (Theorem 3.1); defender gain = ν = {nu}")
-    print("defender cover:", " ".join(f"{u}-{v}" for u, v in pure.tuple_choice))
+    _emit(f"pure NE exists (Theorem 3.1); defender gain = ν = {nu}")
+    _emit("defender cover: " + " ".join(f"{u}-{v}" for u, v in pure.tuple_choice))
     return 0
 
 
@@ -151,17 +224,17 @@ def _cmd_solve(graph: Graph, k: int, nu: int, seed: int) -> int:
     try:
         result = solve_game(game, seed=seed)
     except NoEquilibriumFoundError as exc:
-        print(f"no structural equilibrium: {exc}")
+        _emit(f"no structural equilibrium: {exc}")
         return 1
-    print(f"equilibrium kind : {result.kind}")
-    print(f"defender gain    : {result.defender_gain:.6f}")
+    _emit(f"equilibrium kind : {result.kind}")
+    _emit(f"defender gain    : {result.defender_gain:.6f}")
     if result.kind == "k-matching":
         config = result.mixed
         support = sorted(config.vp_support_union(), key=vertex_sort_key)
         hit = hit_probability(config, support[0])
-        print(f"attacker support : {support}")
-        print(f"defender tuples  : {len(config.tp_support())}")
-        print(f"hit probability  : {hit:.6f} (= k/ρ(G))")
+        _emit(f"attacker support : {support}")
+        _emit(f"defender tuples  : {len(config.tp_support())}")
+        _emit(f"hit probability  : {hit:.6f} (= k/ρ(G))")
     return 0
 
 
@@ -174,11 +247,11 @@ def _cmd_gain(graph: Graph, nu: int, lp: bool, seed: int) -> int:
         if lp:
             row.append("-" if p.lp_gain is None else p.lp_gain)
         table.add_row(row)
-    print(table.render(title=f"defender gain vs k (nu={nu})"))
+    _emit(table.render(title=f"defender gain vs k (nu={nu})"))
     mixed = [p for p in points if p.kind == "k-matching"]
     if mixed:
         slope = fit_slope_through_origin(mixed)
-        print(f"fitted slope through origin: {slope:.6f} "
+        _emit(f"fitted slope through origin: {slope:.6f} "
               f"(theory: ν/ρ = {nu / minimum_edge_cover_size(graph):.6f})")
     return 0
 
@@ -188,19 +261,19 @@ def _cmd_simulate(graph: Graph, k: int, nu: int, trials: int, seed: int) -> int:
     try:
         result = solve_game(game, seed=seed)
     except NoEquilibriumFoundError as exc:
-        print(f"no structural equilibrium: {exc}")
+        _emit(f"no structural equilibrium: {exc}")
         return 1
     report = simulate(game, result.mixed, trials=trials, seed=seed)
     analytic = expected_profit_tp(result.mixed)
     low, high = report.defender_profit.confidence_interval()
-    print(f"equilibrium kind        : {result.kind}")
-    print(f"analytic defender gain  : {analytic:.6f}")
-    print(
+    _emit(f"equilibrium kind        : {result.kind}")
+    _emit(f"analytic defender gain  : {analytic:.6f}")
+    _emit(
         f"simulated defender gain : {report.defender_profit.mean:.6f} "
         f"(95% CI [{low:.6f}, {high:.6f}], {trials} trials)"
     )
     inside = low <= analytic <= high
-    print(f"analytic value inside CI: {'yes' if inside else 'no'}")
+    _emit(f"analytic value inside CI: {'yes' if inside else 'no'}")
     return 0
 
 
@@ -208,9 +281,9 @@ def _cmd_report(graph: Graph, k: int, nu: int, trials: int, seed: int) -> int:
     from repro.analysis.report import security_report
 
     try:
-        print(security_report(graph, k, nu=nu, trials=trials, seed=seed))
+        _emit(security_report(graph, k, nu=nu, trials=trials, seed=seed))
     except NoEquilibriumFoundError as exc:
-        print(f"no structural equilibrium at the operating point: {exc}")
+        _emit(f"no structural equilibrium at the operating point: {exc}")
         return 1
     return 0
 
@@ -223,10 +296,10 @@ def _cmd_export(graph: Graph, k: int, nu: int, seed: int, output: str) -> int:
     try:
         result = solve_game(TupleGame(graph, k, nu), seed=seed)
     except NoEquilibriumFoundError as exc:
-        print(f"no structural equilibrium: {exc}")
+        _emit(f"no structural equilibrium: {exc}")
         return 1
     Path(output).write_text(solve_result_to_json(result) + "\n")
-    print(f"wrote {result.kind} schedule (gain {result.defender_gain:.4f}) "
+    _emit(f"wrote {result.kind} schedule (gain {result.defender_gain:.4f}) "
           f"to {output}")
     return 0
 
@@ -250,7 +323,7 @@ def _cmd_shapes(graph: Graph, k: int) -> int:
             family.name, game.strategy_count(), value,
             f"{100 * value / reference:.1f}%",
         ])
-    print(table.render(title=f"defender shape comparison at k={k}"))
+    _emit(table.render(title=f"defender shape comparison at k={k}"))
     return 0
 
 
@@ -260,23 +333,23 @@ def _cmd_ranges(graph: Graph, k: int) -> int:
     game = TupleGame(graph, k, nu=1)
     attacker = attacker_vertex_ranges(game)
     defender = defender_edge_ranges(game)
-    print(f"duel value (per attacker): {attacker.value:.6f}\n")
+    _emit(f"duel value (per attacker): {attacker.value:.6f}\n")
 
     v_table = Table(["host", "attack prob min", "attack prob max"])
     for v in graph.sorted_vertices():
         low, high = attacker.ranges[v]
         v_table.add_row([str(v), low, high])
-    print(v_table.render(title="attacker probability ranges over all optima"))
+    _emit(v_table.render(title="attacker probability ranges over all optima"))
 
     e_table = Table(["link", "scan prob min", "scan prob max"])
     for e in graph.sorted_edges():
         low, high = defender.ranges[e]
         e_table.add_row([f"{e[0]}-{e[1]}", low, high])
-    print()
-    print(e_table.render(title="defender marginal scan ranges over all optima"))
+    _emit()
+    _emit(e_table.render(title="defender marginal scan ranges over all optima"))
     mandatory = defender.required()
     if mandatory:
-        print("\nmandatory links (positive in every optimal schedule): "
+        _emit("\nmandatory links (positive in every optimal schedule): "
               + ", ".join(f"{u}-{v}" for u, v in mandatory))
     return 0
 
@@ -289,53 +362,108 @@ def _cmd_redteam(graph: Graph, k: int, rounds: int, seed: int) -> int:
     try:
         result = solve_game(game)
     except NoEquilibriumFoundError as exc:
-        print(f"no structural equilibrium: {exc}")
+        _emit(f"no structural equilibrium: {exc}")
         return 1
     drill = regret_matching_attack(game, result.mixed, rounds=rounds, seed=seed)
     rho = _rho(graph)
     value = min(1.0, k / rho)
     gap = exploit_gap(drill, value)
-    print(f"schedule            : {result.kind} equilibrium")
-    print(f"rounds probed       : {drill.rounds}")
-    print(f"red-team escape rate: {drill.escape_rate:.4f}")
-    print(f"theoretical cap     : {1 - value:.4f} (1 - k/rho)")
-    print(f"exploit gap         : {gap:+.4f}")
+    _emit(f"schedule            : {result.kind} equilibrium")
+    _emit(f"rounds probed       : {drill.rounds}")
+    _emit(f"red-team escape rate: {drill.escape_rate:.4f}")
+    _emit(f"theoretical cap     : {1 - value:.4f} (1 - k/rho)")
+    _emit(f"exploit gap         : {gap:+.4f}")
     verdict = "schedule holds" if gap < 0.05 else "SCHEDULE EXPLOITED"
-    print(f"verdict             : {verdict}")
+    _emit(f"verdict             : {verdict}")
     return 0
+
+
+def _cmd_stats(graph: Graph, k: int, nu: int, seed: int, fmt: str) -> int:
+    """Run a fully traced solve and print the observability snapshot."""
+    obs_tracing.enable_tracing(True)
+    obs_tracing.clear_trace()
+    game = TupleGame(graph, k, nu)
+    kind: Optional[str] = None
+    gain: Optional[float] = None
+    code = 0
+    try:
+        result = solve_game(game, seed=seed)
+        kind, gain = result.kind, result.defender_gain
+    except NoEquilibriumFoundError as exc:
+        _emit(f"no structural equilibrium: {exc}")
+        code = 1
+    registry = obs_metrics.get_registry()
+    if fmt == "json":
+        _emit(registry.to_json())
+        return code
+    if fmt == "prom":
+        _emit(registry.to_prometheus().rstrip("\n"))
+        return code
+    if kind is not None:
+        _emit(f"equilibrium kind : {kind}")
+        _emit(f"defender gain    : {gain:.6f}")
+    _emit("\n== trace ==")
+    _emit(obs_tracing.render_trace())
+    _emit("\n== metrics snapshot ==")
+    _emit(obs_metrics.render_snapshot(registry.snapshot()))
+    return code
+
+
+def _dispatch(args: argparse.Namespace, graph: Graph) -> int:
+    if args.command == "info":
+        return _cmd_info(graph)
+    if args.command == "pure":
+        return _cmd_pure(graph, args.k, args.nu)
+    if args.command == "solve":
+        return _cmd_solve(graph, args.k, args.nu, args.seed)
+    if args.command == "gain":
+        return _cmd_gain(graph, args.nu, args.lp, args.seed)
+    if args.command == "simulate":
+        return _cmd_simulate(graph, args.k, args.nu, args.trials, args.seed)
+    if args.command == "report":
+        return _cmd_report(graph, args.k, args.nu, args.trials, args.seed)
+    if args.command == "export":
+        return _cmd_export(graph, args.k, args.nu, args.seed, args.output)
+    if args.command == "shapes":
+        return _cmd_shapes(graph, args.k)
+    if args.command == "ranges":
+        return _cmd_ranges(graph, args.k)
+    if args.command == "redteam":
+        return _cmd_redteam(graph, args.k, args.rounds, args.seed)
+    if args.command == "stats":
+        return _cmd_stats(graph, args.k, args.nu, args.seed, args.fmt)
+    raise GameError(f"unknown command {args.command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    _OUTPUT.quiet = bool(getattr(args, "quiet", False))
+    _OUTPUT.json_mode = bool(getattr(args, "log_json", False))
+    if getattr(args, "verbose", False):
+        obs_log.configure(level="info")
+    if _OUTPUT.json_mode:
+        obs_log.configure(json_mode=True)
+    trace = bool(getattr(args, "trace", False))
+    if trace:
+        obs_tracing.enable_tracing(True)
+        obs_tracing.clear_trace()
+
     try:
         graph = load_graph(args.graph)
-        if args.command == "info":
-            return _cmd_info(graph)
-        if args.command == "pure":
-            return _cmd_pure(graph, args.k, args.nu)
-        if args.command == "solve":
-            return _cmd_solve(graph, args.k, args.nu, args.seed)
-        if args.command == "gain":
-            return _cmd_gain(graph, args.nu, args.lp, args.seed)
-        if args.command == "simulate":
-            return _cmd_simulate(graph, args.k, args.nu, args.trials, args.seed)
-        if args.command == "report":
-            return _cmd_report(graph, args.k, args.nu, args.trials, args.seed)
-        if args.command == "export":
-            return _cmd_export(graph, args.k, args.nu, args.seed, args.output)
-        if args.command == "shapes":
-            return _cmd_shapes(graph, args.k)
-        if args.command == "ranges":
-            return _cmd_ranges(graph, args.k)
-        if args.command == "redteam":
-            return _cmd_redteam(graph, args.k, args.rounds, args.seed)
-        parser.error(f"unknown command {args.command!r}")
+        code = _dispatch(args, graph)
+        if trace and args.command != "stats":
+            _emit("\n== trace ==")
+            _emit(obs_tracing.render_trace())
+        return code
     except (GameError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _emit(f"error: {exc}", err=True)
         return 2
-    return 0
+    finally:
+        if trace or args.command == "stats":
+            obs_tracing.enable_tracing(False)
 
 
 if __name__ == "__main__":

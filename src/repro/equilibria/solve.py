@@ -34,6 +34,9 @@ from repro.core.pure import find_pure_nash
 from repro.equilibria.atuple import algorithm_a_tuple
 from repro.matching.covers import minimum_edge_cover_size
 from repro.matching.partition import Partition, find_partition
+from repro.obs import get_logger, metrics, tracing
+
+_log = get_logger("repro.equilibria.solve")
 
 __all__ = ["SolveResult", "solve_game", "NoEquilibriumFoundError"]
 
@@ -101,6 +104,27 @@ def solve_game(
         graphs beyond the exact-search size it may be a false negative of
         the greedy partition heuristic.
     """
+    metrics.counter("equilibria.solve.count").inc()
+    with tracing.span("equilibria.solve", n=game.graph.n, k=game.k,
+                      nu=game.nu), \
+            metrics.timer("equilibria.solve.seconds"):
+        try:
+            result = _solve_game_impl(game, seed, allow_extensions)
+        except NoEquilibriumFoundError:
+            metrics.counter("equilibria.solve.kind.none.count").inc()
+            raise
+    # Record which strategy of the solve cascade fired.
+    metrics.counter(f"equilibria.solve.kind.{result.kind}.count").inc()
+    _log.info(
+        "equilibria.solved", kind=result.kind, k=game.k, nu=game.nu,
+        defender_gain=result.defender_gain,
+    )
+    return result
+
+
+def _solve_game_impl(
+    game: TupleGame, seed: int, allow_extensions: bool
+) -> SolveResult:
     rho = minimum_edge_cover_size(game.graph)
     if game.k >= rho:
         pure = find_pure_nash(game)

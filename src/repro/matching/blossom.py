@@ -23,6 +23,7 @@ from collections import deque
 from typing import Dict, FrozenSet, List, Set
 
 from repro.graphs.core import Edge, Graph, Vertex, canonical_edge
+from repro.obs import metrics, tracing
 
 __all__ = ["maximum_matching", "matching_number"]
 
@@ -140,18 +141,27 @@ def maximum_matching(graph: Graph) -> FrozenSet[Edge]:
 
     state = _BlossomState(n, adj)
 
-    # Greedy warm start halves the number of expensive BFS phases.
-    for u, v in graph.sorted_edges():
-        iu, iv = index[u], index[v]
-        if state.match[iu] == -1 and state.match[iv] == -1:
-            state.match[iu] = iv
-            state.match[iv] = iu
+    searches = 0
+    augmentations = 0
+    with tracing.span("blossom.matching", n=n, m=graph.m), \
+            metrics.timer("blossom.matching.seconds"):
+        # Greedy warm start halves the number of expensive BFS phases.
+        for u, v in graph.sorted_edges():
+            iu, iv = index[u], index[v]
+            if state.match[iu] == -1 and state.match[iv] == -1:
+                state.match[iu] = iv
+                state.match[iv] = iu
 
-    for v in range(n):
-        if state.match[v] == -1:
-            finish = state.find_augmenting_path(v)
-            if finish != -1:
-                state.augment(finish)
+        for v in range(n):
+            if state.match[v] == -1:
+                searches += 1
+                finish = state.find_augmenting_path(v)
+                if finish != -1:
+                    augmentations += 1
+                    state.augment(finish)
+    metrics.counter("blossom.matchings.count").inc()
+    metrics.counter("blossom.searches.count").inc(searches)
+    metrics.counter("blossom.augmentations.count").inc(augmentations)
 
     matched: Set[Edge] = set()
     for i in range(n):

@@ -24,6 +24,7 @@ from collections import deque
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set
 
 from repro.graphs.core import vertex_sort_key
+from repro.obs import metrics, tracing
 
 __all__ = ["MatchingResult", "hopcroft_karp", "maximum_bipartite_matching"]
 
@@ -157,10 +158,19 @@ def hopcroft_karp(
                 rights.pop()
         return False
 
-    while bfs():
-        for v in left_order:
-            if v not in match_left:
-                try_augment(v)
+    phases = 0
+    augmentations = 0
+    with tracing.span("hopcroft_karp.matching", left=len(left_order)), \
+            metrics.timer("hopcroft_karp.matching.seconds"):
+        while bfs():
+            phases += 1
+            for v in left_order:
+                if v not in match_left:
+                    if try_augment(v):
+                        augmentations += 1
+    metrics.counter("hopcroft_karp.matchings.count").inc()
+    metrics.counter("hopcroft_karp.phases.count").inc(phases)
+    metrics.counter("hopcroft_karp.augmentations.count").inc(augmentations)
 
     return MatchingResult(match_left)
 

@@ -1,0 +1,75 @@
+"""repro.obs — structured observability for the solver stack.
+
+A cross-cutting, zero-dependency layer with three pieces (see
+``docs/observability.md`` for conventions and examples):
+
+* :mod:`repro.obs.log` — structured logging (``key=value`` or JSON
+  lines, env/CLI-configurable level, silent by default);
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and timing histograms, exportable as JSON or Prometheus-style
+  text; the always-on instrumentation of the solvers, matching kernels
+  and simulation engine feeds it;
+* :mod:`repro.obs.tracing` — nested spans (``span("lp.solve", ...)`` /
+  ``@traced``) that show where the wall-clock of a solve goes; opt-in
+  and near-free when disabled.
+
+Quickstart::
+
+    from repro.obs import enable_tracing, get_registry, render_trace, span
+
+    enable_tracing()
+    with span("my.workload", n=12):
+        ...                       # solver calls nest their own spans
+    print(render_trace())
+    print(get_registry().to_json())
+"""
+
+from repro.obs.log import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    render_snapshot,
+    timer,
+)
+from repro.obs.tracing import (
+    Span,
+    clear_trace,
+    enable_tracing,
+    get_trace,
+    render_trace,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "StructuredLogger",
+    "configure",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "render_snapshot",
+    "timer",
+    "Span",
+    "clear_trace",
+    "enable_tracing",
+    "get_trace",
+    "render_trace",
+    "span",
+    "traced",
+    "tracing_enabled",
+]

@@ -1,0 +1,169 @@
+"""Zero-dependency structured logging for the solver stack.
+
+A deliberately tiny alternative to :mod:`logging`: loggers emit one
+*event* per call as either a ``key=value`` line or a JSON object, so the
+output is grep-able and machine-parseable without a parsing library.
+There are no handlers, filters or hierarchies — one process-global
+configuration (level, format, stream) governs every logger, and the
+level check is a single integer comparison so disabled log sites cost
+essentially nothing on hot paths.
+
+Configuration sources, in priority order:
+
+1. :func:`configure` (what the CLI's ``--verbose`` / ``--log-json``
+   flags call);
+2. the environment — ``REPRO_LOG_LEVEL`` (``debug`` / ``info`` /
+   ``warning`` / ``error``) and ``REPRO_LOG_FORMAT`` (``text`` /
+   ``json``), read once at import;
+3. defaults: level ``warning``, text format, ``sys.stderr`` — silent
+   unless something is actually wrong, so default CLI output is
+   untouched.
+
+Example::
+
+    from repro.obs import get_logger
+    log = get_logger("repro.solvers.double_oracle")
+    log.info("converged", iterations=12, gap=0.0)
+    # -> level=info logger=repro.solvers.double_oracle event=converged \
+    #    iterations=12 gap=0.0
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional, TextIO
+
+__all__ = [
+    "LEVELS",
+    "StructuredLogger",
+    "get_logger",
+    "configure",
+    "logging_config",
+]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+"""Numeric severity of each level name, lowest (most verbose) first."""
+
+
+class _Config:
+    """The single process-global logging configuration."""
+
+    __slots__ = ("level", "json_mode", "stream")
+
+    def __init__(self) -> None:
+        env_level = os.environ.get("REPRO_LOG_LEVEL", "warning").lower()
+        self.level: int = LEVELS.get(env_level, LEVELS["warning"])
+        self.json_mode: bool = (
+            os.environ.get("REPRO_LOG_FORMAT", "text").lower() == "json"
+        )
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at call time
+
+
+_CONFIG = _Config()
+_LOGGERS: Dict[str, "StructuredLogger"] = {}
+
+
+def configure(
+    level: Optional[str] = None,
+    json_mode: Optional[bool] = None,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Adjust the global logging configuration.
+
+    Any argument left ``None`` keeps its current value.  ``level`` is a
+    name from :data:`LEVELS`; an unknown name raises ``ValueError``.
+    """
+    if level is not None:
+        try:
+            _CONFIG.level = LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+            ) from None
+    if json_mode is not None:
+        _CONFIG.json_mode = bool(json_mode)
+    if stream is not None:
+        _CONFIG.stream = stream
+
+
+def logging_config() -> Dict[str, object]:
+    """The effective configuration (level name, json flag) — for tests."""
+    level_name = next(
+        (name for name, num in LEVELS.items() if num == _CONFIG.level),
+        str(_CONFIG.level),
+    )
+    return {"level": level_name, "json": _CONFIG.json_mode}
+
+
+def _format_value(value: object) -> str:
+    """Render one field value for the key=value format."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if any(ch.isspace() for ch in text) or "=" in text or not text:
+        return json.dumps(text)
+    return text
+
+
+class StructuredLogger:
+    """A named emitter of structured log events.
+
+    Obtain instances via :func:`get_logger`; one instance per name is
+    cached for the life of the process.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def is_enabled_for(self, level: str) -> bool:
+        """True when events at ``level`` would currently be emitted."""
+        return LEVELS[level] >= _CONFIG.level
+
+    def _emit(self, level: str, event: str, fields: Dict[str, object]) -> None:
+        stream = _CONFIG.stream or sys.stderr
+        if _CONFIG.json_mode:
+            record = {"level": level, "logger": self.name, "event": event}
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+        else:
+            parts = [f"level={level}", f"logger={self.name}", f"event={event}"]
+            parts.extend(f"{k}={_format_value(v)}" for k, v in fields.items())
+            stream.write(" ".join(parts) + "\n")
+
+    def debug(self, event: str, **fields: object) -> None:
+        """Emit a debug-level event."""
+        if LEVELS["debug"] >= _CONFIG.level:
+            self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        """Emit an info-level event."""
+        if LEVELS["info"] >= _CONFIG.level:
+            self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        """Emit a warning-level event."""
+        if LEVELS["warning"] >= _CONFIG.level:
+            self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        """Emit an error-level event."""
+        if LEVELS["error"] >= _CONFIG.level:
+            self._emit("error", event, fields)
+
+    def __repr__(self) -> str:
+        return f"StructuredLogger({self.name!r})"
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) structured logger for ``name``.
+
+    Names conventionally mirror module paths (``repro.solvers.lp``).
+    """
+    try:
+        return _LOGGERS[name]
+    except KeyError:
+        return _LOGGERS.setdefault(name, StructuredLogger(name))

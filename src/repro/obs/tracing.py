@@ -1,0 +1,228 @@
+"""Span-based tracing: where the wall-clock of a solve actually goes.
+
+A *span* is a named, timed section of work with key=value attributes:
+``span("lp.solve", strategies=40, vertices=12)``.  Spans nest — the
+double-oracle loop's span contains one ``lp.solve`` span per restricted
+duel plus the oracle spans — and the resulting tree shows, per solve,
+which layer of the stack consumed the time.  ``repro-defender stats``
+and ``--trace`` print exactly this tree.
+
+Tracing is **opt-in and near-free when off** (the default):
+:func:`span` returns a shared no-op context manager and
+:func:`traced`-wrapped functions fall through with a single boolean
+check, so instrumented hot paths cost a few nanoseconds per call when
+nobody is looking.  Enable with :func:`enable_tracing` (the CLI's
+``--trace`` flag, or ``REPRO_TRACE=1`` in the environment).
+
+When tracing is on, every finished span also feeds the global metrics
+registry: a histogram named ``span.<name>.seconds`` (the ``span.``
+prefix keeps trace-derived timings apart from the always-on timers of
+the instrumented code).  Completed root spans accumulate per-thread in
+a trace buffer; :func:`get_trace` returns them and
+:func:`render_trace` formats the indented tree.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from functools import wraps
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "span",
+    "traced",
+    "enable_tracing",
+    "tracing_enabled",
+    "get_trace",
+    "clear_trace",
+    "render_trace",
+]
+
+_enabled = os.environ.get("REPRO_TRACE", "") not in ("", "0", "false", "no")
+
+
+class _TraceBuffer(threading.local):
+    """Per-thread span stack and finished-root-span buffer."""
+
+    def __init__(self) -> None:
+        self.stack: List["Span"] = []
+        self.roots: List["Span"] = []
+
+
+_BUFFER = _TraceBuffer()
+
+
+class Span:
+    """One named, timed section of work.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name (``component.operation``).
+    attributes:
+        The key=value annotations passed at creation.
+    duration_s:
+        Wall-clock seconds from entry to exit (0.0 while open).
+    status:
+        ``"ok"``, or ``"error"`` when the block raised.
+    children:
+        Spans opened (and closed) while this one was the innermost.
+    """
+
+    __slots__ = ("name", "attributes", "start", "duration_s", "status", "children")
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start = 0.0
+        self.duration_s = 0.0
+        self.status = "ok"
+        self.children: List["Span"] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+            f"children={len(self.children)}, status={self.status!r})"
+        )
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Live span context: pushes on enter, records and pops on exit."""
+
+    __slots__ = ("span_obj",)
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.span_obj = Span(name, attributes)
+
+    def __enter__(self) -> Span:
+        self.span_obj.start = perf_counter()
+        _BUFFER.stack.append(self.span_obj)
+        return self.span_obj
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        current = self.span_obj
+        current.duration_s = perf_counter() - current.start
+        if exc_type is not None:
+            current.status = "error"
+        stack = _BUFFER.stack
+        # Exception-safety: unwind every span abandoned above this one.
+        while stack and stack[-1] is not current:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(current)
+        else:
+            _BUFFER.roots.append(current)
+        _metrics.histogram(f"span.{current.name}.seconds").observe(
+            current.duration_s
+        )
+        return False
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Turn span collection on or off process-wide."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def tracing_enabled() -> bool:
+    """True when spans are currently being collected."""
+    return _enabled
+
+
+def span(name: str, **attributes: object):
+    """Open a traced span: ``with span("lp.solve", vertices=n): ...``.
+
+    Returns a context manager; the ``as`` target is the live
+    :class:`Span` (or ``None`` while tracing is disabled, which is the
+    near-free fast path).
+    """
+    if not _enabled:
+        return _NULL_CONTEXT
+    return _SpanContext(name, attributes)
+
+
+def traced(name_or_fn=None, **attributes: object):
+    """Decorator tracing every call of a function as one span.
+
+    Usable bare (``@traced`` — the span is named after the function) or
+    with arguments (``@traced("lp.solve", layer="solver")``).  When
+    tracing is disabled the wrapper is a single boolean check on top of
+    the call.
+    """
+
+    def decorate(fn: Callable, span_name: Optional[str] = None) -> Callable:
+        label = span_name or fn.__qualname__
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _SpanContext(label, dict(attributes)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)
+
+
+def get_trace() -> List[Span]:
+    """The completed root spans collected on this thread, oldest first."""
+    return list(_BUFFER.roots)
+
+
+def clear_trace() -> None:
+    """Discard this thread's collected spans and any open span stack."""
+    _BUFFER.stack.clear()
+    _BUFFER.roots.clear()
+
+
+def _render_span(s: Span, depth: int, lines: List[str]) -> None:
+    attrs = " ".join(f"{k}={v}" for k, v in s.attributes.items())
+    flag = "" if s.status == "ok" else "  [ERROR]"
+    lines.append(
+        "  " * depth
+        + f"{s.name}  {s.duration_s * 1000:.3f} ms"
+        + (f"  ({attrs})" if attrs else "")
+        + flag
+    )
+    for child in s.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_trace(spans: Optional[List[Span]] = None) -> str:
+    """Indented text rendering of a span forest.
+
+    Defaults to this thread's collected roots (:func:`get_trace`).
+    """
+    if spans is None:
+        spans = get_trace()
+    if not spans:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for root in spans:
+        _render_span(root, 0, lines)
+    return "\n".join(lines)

@@ -23,7 +23,10 @@ from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
+from repro.obs import get_logger, metrics, tracing
 from repro.simulation.estimators import RunningStat, wilson_interval
+
+_log = get_logger("repro.simulation.engine")
 
 __all__ = ["Sampler", "SimulationReport", "simulate"]
 
@@ -122,20 +125,32 @@ def simulate(
     }
 
     report = SimulationReport(game.nu)
-    for _ in range(trials):
-        chosen_tuple = tuple_sampler.sample(rng)
-        covered = coverage[chosen_tuple]
-        for v in covered:
-            report.hit_counts[v] = report.hit_counts.get(v, 0) + 1
-        caught = 0
-        for i, sampler in enumerate(attacker_samplers):
-            vertex = sampler.sample(rng)
-            if vertex in covered:
-                caught += 1
-                report.catches[i] += 1
-                report.attacker_profit[i].push(0.0)
-            else:
-                report.attacker_profit[i].push(1.0)
-        report.defender_profit.push(float(caught))
-        report.trials += 1
+    with tracing.span("simulation.run", trials=trials, nu=game.nu), \
+            metrics.timer("simulation.run.seconds") as timing:
+        for _ in range(trials):
+            chosen_tuple = tuple_sampler.sample(rng)
+            covered = coverage[chosen_tuple]
+            for v in covered:
+                report.hit_counts[v] = report.hit_counts.get(v, 0) + 1
+            caught = 0
+            for i, sampler in enumerate(attacker_samplers):
+                vertex = sampler.sample(rng)
+                if vertex in covered:
+                    caught += 1
+                    report.catches[i] += 1
+                    report.attacker_profit[i].push(0.0)
+                else:
+                    report.attacker_profit[i].push(1.0)
+            report.defender_profit.push(float(caught))
+            report.trials += 1
+    metrics.counter("simulation.runs.count").inc()
+    metrics.counter("simulation.trials.count").inc(trials)
+    # One defender draw plus one draw per attacker, every trial.
+    metrics.counter("simulation.draws.count").inc(trials * (game.nu + 1))
+    if timing.elapsed > 0.0:
+        metrics.gauge("simulation.trials_per_sec").set(trials / timing.elapsed)
+    _log.info(
+        "simulation.finished", trials=trials,
+        defender_mean=report.defender_profit.mean, seconds=timing.elapsed,
+    )
     return report

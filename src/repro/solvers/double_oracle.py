@@ -23,15 +23,19 @@ Lemma 4.8).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from time import perf_counter
+from typing import Dict, List, Optional, Set
 
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
+from repro.obs import get_logger, metrics, tracing
 from repro.solvers.best_response import best_tuple, greedy_tuple
 from repro.solvers.lp import LPSolution, minimax_over_strategies
 
 __all__ = ["DoubleOracleResult", "double_oracle"]
+
+_log = get_logger("repro.solvers.double_oracle")
 
 
 class DoubleOracleResult:
@@ -49,6 +53,9 @@ class DoubleOracleResult:
     certified_gap:
         ``defender_oracle_payoff − attacker_oracle_payoff`` at
         termination; ≤ tolerance certifies the value is exact.
+    gap_history:
+        The certified gap after each outer iteration, oldest first —
+        the convergence trajectory that the scaling experiments plot.
     """
 
     __slots__ = (
@@ -57,6 +64,7 @@ class DoubleOracleResult:
         "defender_pool_size",
         "attacker_pool_size",
         "certified_gap",
+        "gap_history",
     )
 
     def __init__(
@@ -66,12 +74,14 @@ class DoubleOracleResult:
         defender_pool_size: int,
         attacker_pool_size: int,
         certified_gap: float,
+        gap_history: Optional[List[float]] = None,
     ) -> None:
         self.solution = solution
         self.iterations = iterations
         self.defender_pool_size = defender_pool_size
         self.attacker_pool_size = attacker_pool_size
         self.certified_gap = certified_gap
+        self.gap_history = list(gap_history) if gap_history is not None else []
 
     @property
     def value(self) -> float:
@@ -118,38 +128,62 @@ def double_oracle(
 
     solution = None
     gap = float("inf")
-    for iteration in range(1, max_iterations + 1):
-        solution = minimax_over_strategies(
-            attacker_pool, defender_pool, tuple_vertices
-        )
-
-        # Defender oracle: best tuple against the attacker's mixture over
-        # the *full* vertex set (off-pool vertices have mass 0).
-        attacker_mix: Dict[Vertex, float] = dict(solution.attacker)
-        best_def, def_payoff = best_tuple(graph, attacker_mix, game.k, method=method)
-
-        # Attacker oracle: min-hit vertex against the defender's mixture.
-        hit: Dict[Vertex, float] = {v: 0.0 for v in vertices}
-        for t, p in solution.defender.items():
-            for v in tuple_vertices(t):
-                hit[v] += p
-        best_att = min(vertices, key=lambda v: (hit[v], repr(v)))
-        att_payoff = hit[best_att]
-
-        gap = def_payoff - att_payoff
-        improved = False
-        if def_payoff > solution.value + tolerance and best_def not in defender_seen:
-            defender_pool.append(best_def)
-            defender_seen.add(best_def)
-            improved = True
-        if att_payoff < solution.value - tolerance and best_att not in attacker_seen:
-            attacker_pool.append(best_att)
-            attacker_seen.add(best_att)
-            improved = True
-        if not improved:
-            return DoubleOracleResult(
-                solution, iteration, len(defender_pool), len(attacker_pool), gap
+    gap_history: List[float] = []
+    oracle_timer = metrics.histogram("double_oracle.oracle.seconds")
+    with tracing.span("double_oracle.solve", n=graph.n, m=graph.m, k=game.k):
+        for iteration in range(1, max_iterations + 1):
+            solution = minimax_over_strategies(
+                attacker_pool, defender_pool, tuple_vertices
             )
+
+            # Defender oracle: best tuple against the attacker's mixture over
+            # the *full* vertex set (off-pool vertices have mass 0).
+            attacker_mix: Dict[Vertex, float] = dict(solution.attacker)
+            with tracing.span("double_oracle.oracle.best_response"):
+                oracle_start = perf_counter()
+                best_def, def_payoff = best_tuple(
+                    graph, attacker_mix, game.k, method=method
+                )
+                oracle_timer.observe(perf_counter() - oracle_start)
+
+            # Attacker oracle: min-hit vertex against the defender's mixture.
+            hit: Dict[Vertex, float] = {v: 0.0 for v in vertices}
+            for t, p in solution.defender.items():
+                for v in tuple_vertices(t):
+                    hit[v] += p
+            best_att = min(vertices, key=lambda v: (hit[v], repr(v)))
+            att_payoff = hit[best_att]
+
+            gap = def_payoff - att_payoff
+            gap_history.append(gap)
+            _log.debug(
+                "double_oracle.iteration", i=iteration, value=solution.value,
+                gap=gap, defender_pool=len(defender_pool),
+                attacker_pool=len(attacker_pool),
+            )
+            improved = False
+            if def_payoff > solution.value + tolerance and best_def not in defender_seen:
+                defender_pool.append(best_def)
+                defender_seen.add(best_def)
+                improved = True
+            if att_payoff < solution.value - tolerance and best_att not in attacker_seen:
+                attacker_pool.append(best_att)
+                attacker_seen.add(best_att)
+                improved = True
+            if not improved:
+                metrics.counter("double_oracle.runs.count").inc()
+                metrics.counter("double_oracle.iterations.count").inc(iteration)
+                metrics.gauge("double_oracle.pool.defender").set(len(defender_pool))
+                metrics.gauge("double_oracle.pool.attacker").set(len(attacker_pool))
+                metrics.gauge("double_oracle.gap").set(gap)
+                _log.info(
+                    "double_oracle.converged", iterations=iteration,
+                    value=solution.value, gap=gap,
+                )
+                return DoubleOracleResult(
+                    solution, iteration, len(defender_pool),
+                    len(attacker_pool), gap, gap_history,
+                )
 
     raise GameError(
         f"double oracle did not converge within {max_iterations} iterations "

@@ -22,9 +22,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.game import TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex, vertex_sort_key
+from repro.obs import get_logger, metrics, tracing
 from repro.solvers.best_response import best_tuple
 
 __all__ = ["FictitiousPlayResult", "fictitious_play"]
+
+_log = get_logger("repro.solvers.fictitious_play")
 
 
 class FictitiousPlayResult:
@@ -44,6 +47,9 @@ class FictitiousPlayResult:
         The empirical mixtures (support only).
     history:
         Per-round ``(lower, upper)`` bound pairs, for convergence plots.
+    residual_history:
+        Per-round sandwich widths ``upper − lower`` (derived from
+        ``history``) — the convergence residual trajectory.
     """
 
     __slots__ = (
@@ -74,6 +80,11 @@ class FictitiousPlayResult:
     @property
     def value_estimate(self) -> float:
         return (self.lower_bound + self.upper_bound) / 2.0
+
+    @property
+    def residual_history(self) -> List[float]:
+        """Per-round convergence residuals ``upper − lower``."""
+        return [upper - lower for lower, upper in self.history]
 
     @property
     def gap(self) -> float:
@@ -110,6 +121,29 @@ def fictitious_play(
     tolerance:
         Optional early stop once ``upper − lower ≤ tolerance``.
     """
+    graph = game.graph
+    vertices = graph.sorted_vertices()
+
+    with tracing.span("fictitious_play.run", n=graph.n, k=game.k,
+                      max_rounds=rounds), \
+            metrics.timer("fictitious_play.run.seconds"):
+        result = _run_fictitious_play(game, rounds, method, tolerance)
+    metrics.counter("fictitious_play.runs.count").inc()
+    metrics.counter("fictitious_play.rounds.count").inc(result.rounds)
+    metrics.gauge("fictitious_play.residual").set(result.gap)
+    _log.info(
+        "fictitious_play.finished", rounds=result.rounds,
+        value=result.value_estimate, residual=result.gap,
+    )
+    return result
+
+
+def _run_fictitious_play(
+    game: TupleGame,
+    rounds: int,
+    method: str,
+    tolerance: Optional[float],
+) -> FictitiousPlayResult:
     graph = game.graph
     vertices = graph.sorted_vertices()
 

@@ -28,6 +28,9 @@ from scipy.optimize import linprog
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, all_tuples, tuple_vertices
+from repro.obs import get_logger, metrics, tracing
+
+_log = get_logger("repro.solvers.lp")
 
 __all__ = [
     "LPSolution",
@@ -117,6 +120,21 @@ def minimax_over_strategies(vertices, strategies, coverage_of) -> LPSolution:
 
 def _solve_matrix_duel(coverage, vertices, strategies) -> LPSolution:
     """Solve both LPs for a 0/1 coverage matrix and package the optima."""
+    t_count, n = coverage.shape
+    metrics.counter("lp.solve.count").inc()
+    metrics.histogram("lp.matrix.strategies").observe(t_count)
+    metrics.histogram("lp.matrix.vertices").observe(n)
+    with tracing.span("lp.solve", strategies=t_count, vertices=n), \
+            metrics.timer("lp.solve.seconds") as timing:
+        solution = _solve_matrix_duel_inner(coverage, vertices, strategies)
+    _log.debug(
+        "lp.solve", strategies=t_count, vertices=n,
+        value=solution.value, seconds=timing.elapsed,
+    )
+    return solution
+
+
+def _solve_matrix_duel_inner(coverage, vertices, strategies) -> LPSolution:
     t_count, n = coverage.shape
 
     # Defender LP: maximize z s.t. (p^T A)_v >= z for all v, sum p = 1.

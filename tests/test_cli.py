@@ -188,6 +188,75 @@ class TestParser:
             assert args.command == command
 
 
+class TestStats:
+    def test_prints_trace_and_snapshot(self, grid_file, capsys):
+        assert main(["stats", grid_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "equilibrium kind : k-matching" in out
+        assert "== trace ==" in out
+        assert "equilibria.solve" in out  # the root span
+        assert "ms" in out
+        assert "== metrics snapshot ==" in out
+        assert "equilibria.solve.count" in out
+        assert "equilibria.solve.kind.k-matching.count" in out
+
+    def test_json_format_is_a_registry_snapshot(self, grid_file, capsys):
+        import json
+
+        assert main(["stats", grid_file, "-k", "2", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["equilibria.solve.count"] >= 1
+
+    def test_prom_format(self, grid_file, capsys):
+        assert main(["stats", grid_file, "-k", "2", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_equilibria_solve_count counter" in out
+
+    def test_unsolvable_still_reports_metrics(self, house_file, capsys):
+        assert main(["stats", house_file, "-k", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "no structural equilibrium" in out
+        assert "== metrics snapshot ==" in out
+        assert "equilibria.solve.kind.none.count" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_appends_span_tree(self, grid_file, capsys):
+        assert main(["solve", grid_file, "-k", "3", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "equilibrium kind : k-matching" in out  # normal output intact
+        assert "== trace ==" in out
+        assert "equilibria.solve" in out
+
+    def test_trace_flag_before_subcommand(self, grid_file, capsys):
+        assert main(["--trace", "solve", grid_file, "-k", "3"]) == 0
+        assert "== trace ==" in capsys.readouterr().out
+
+    def test_no_trace_by_default(self, grid_file, capsys):
+        assert main(["solve", grid_file, "-k", "3"]) == 0
+        assert "== trace ==" not in capsys.readouterr().out
+
+    def test_quiet_suppresses_stdout(self, grid_file, capsys):
+        assert main(["info", grid_file, "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_errors(self, capsys):
+        assert main(["--quiet", "info", "/nonexistent/graph.edges"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_log_json_emits_json_lines(self, grid_file, capsys):
+        import json
+
+        assert main(["--log-json", "solve", grid_file, "-k", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["event"] == "output"
+        assert any("k-matching" in json.loads(l)["text"] for l in lines)
+
+
 class TestRedTeam:
     def test_drill_against_equilibrium(self, grid_file, capsys):
         assert main(
