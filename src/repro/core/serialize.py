@@ -9,7 +9,9 @@ non-equilibrium schedule.
 
 Vertices must be JSON-representable (ints or strings — the same types the
 graph I/O layer produces).  Probabilities round-trip as floats; documents
-are key-sorted and therefore byte-deterministic for a given profile.
+are key-sorted and therefore byte-deterministic for a given profile.  The
+payload is a mixed configuration of the Definition 2.1 model plus the
+equilibrium kind assigned by the Theorem 4.5 solve cascade.
 """
 
 from __future__ import annotations
@@ -96,7 +98,7 @@ def configuration_from_json(text: str) -> MixedConfiguration:
         except (TypeError, ValueError) as exc:
             raise GameError(f"malformed vertex-player distribution: {exc}") from exc
 
-    tp_dist: Dict = {}
+    tp_dist: Dict[Any, float] = {}
     for item in payload["tuple_player"]:
         try:
             key = tuple(tuple(e) for e in item["edges"])
@@ -108,7 +110,7 @@ def configuration_from_json(text: str) -> MixedConfiguration:
     return MixedConfiguration(game, vp_dists, tp_dist)
 
 
-def solve_result_to_json(result) -> str:
+def solve_result_to_json(result: Any) -> str:
     """Serialize a :class:`~repro.equilibria.solve.SolveResult` with its
     equilibrium, kind and gain (one self-contained deployment document)."""
     inner = json.loads(configuration_to_json(result.mixed))

@@ -1,0 +1,170 @@
+"""repro.lint — AST-based domain-invariant static analysis.
+
+A zero-dependency, single-pass analyzer enforcing the invariants the
+type system cannot see (see ``docs/static_analysis.md``):
+
+* **RNG001** — no unseeded or global-state randomness;
+* **FLT001** — no bare float ``==``/``!=`` (probabilities, payoffs);
+* **THM001** — docstring theorem tags resolve against ``docs/theory.md``;
+* **LAY001** — imports follow the package layering DAG, no cycles;
+* **OBS001** — public solver/engine entry points carry a span/timer;
+* **API001** — every ``__all__`` export appears in ``docs/api.md``.
+
+Suppress a finding with ``# repro: noqa[RULE]`` on the flagged line;
+accept existing debt via the committed ``lint_baseline.json``.  Exposed
+as ``repro-defender lint``, ``tools/analyze.py`` and ``make lint``; the
+run also feeds ``lint.*`` counters into :mod:`repro.obs.metrics` so lint
+health shows up alongside solver telemetry.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    DEFAULT_LAYERS,
+    FileContext,
+    LintConfig,
+    LintEngine,
+    LintReport,
+    ProjectRule,
+    Rule,
+    register,
+    registered_rules,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.output import render_json, render_sarif, render_text
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "registered_rules",
+    "FileContext",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "DEFAULT_LAYERS",
+    "DEFAULT_BASELINE_NAME",
+    "run_lint",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "render_baseline",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "add_lint_arguments",
+    "run_from_args",
+]
+
+
+def run_lint(config: LintConfig,
+             baseline: Optional[Path] = None) -> LintReport:
+    """Run the analyzer and feed the result into the metrics registry."""
+    from repro.obs import metrics
+
+    engine = LintEngine(config)
+    with metrics.timer("lint.run.seconds"):
+        report = engine.run()
+    if baseline is not None:
+        report = apply_baseline(report, baseline)
+    metrics.counter("lint.runs.count").inc()
+    metrics.counter("lint.files.count").inc(report.files_scanned)
+    metrics.counter("lint.findings.count").inc(len(report.findings))
+    for finding in report.findings:
+        metrics.counter(f"lint.findings.{finding.rule}.count").inc()
+    metrics.gauge("lint.findings.open").set(len(report.findings))
+    metrics.gauge("lint.baseline.suppressed").set(report.baseline_applied)
+    return report
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` options (CLI subcommand + analyze.py)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: src/repro and tools)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="fmt", help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help=f"subtract the committed {DEFAULT_BASELINE_NAME}",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="re-snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any finding (default: errors only)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: auto-detected from this package)",
+    )
+
+
+def _detect_root(explicit: Optional[str]) -> Path:
+    if explicit:
+        return Path(explicit).resolve()
+    here = Path(__file__).resolve()
+    for candidate in here.parents:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+def run_from_args(args: argparse.Namespace,
+                  emit=print) -> int:
+    """Drive a lint run from parsed arguments; returns an exit code."""
+    root = _detect_root(getattr(args, "root", None))
+    select = None
+    if getattr(args, "select", None):
+        select = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+    config = LintConfig.for_repo(root, [Path(p) for p in args.paths])
+    config.select = select
+    baseline_path = root / DEFAULT_BASELINE_NAME
+    if getattr(args, "write_baseline", False):
+        report = run_lint(config)
+        n = write_baseline(baseline_path, report.findings)
+        emit(f"wrote {baseline_path.name} with {n} entr(y/ies)")
+        return 0
+    report = run_lint(config, baseline_path if args.baseline else None)
+    if args.fmt == "json":
+        emit(render_json(report))
+    elif args.fmt == "sarif":
+        engine = LintEngine(config)
+        emit(render_sarif(report, engine.rules))
+    else:
+        emit(render_text(report))
+    if report.parse_errors:
+        return 2
+    return report.exit_code(strict=getattr(args, "strict", False))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based domain-invariant analyzer for this repository.",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

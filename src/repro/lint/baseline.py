@@ -1,0 +1,74 @@
+"""Baseline workflow for :mod:`repro.lint`.
+
+A baseline (``lint_baseline.json`` at the repo root) is the set of
+finding fingerprints the project has decided to live with.  ``repro lint
+--baseline`` subtracts them from the report, so CI only fails on *new*
+debt; ``repro lint --write-baseline`` re-snapshots the current findings.
+Fingerprints hash the offending line's text, not its number, so
+unrelated edits do not churn the file (see
+:attr:`repro.lint.findings.Finding.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.lint.engine import LintReport
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Serialize findings as a committed baseline document."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline file; returns the number of entries."""
+    text = render_baseline(findings)
+    Path(path).write_text(text, encoding="utf-8")
+    return len(json.loads(text)["findings"])
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """fingerprint -> entry; empty when the file does not exist."""
+    path = Path(path)
+    if not path.is_file():
+        return {}
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}")
+    return {e["fingerprint"]: e for e in doc.get("findings", [])}
+
+
+def apply_baseline(report: LintReport, path: Path) -> LintReport:
+    """Subtract baselined findings; annotates applied/stale counts."""
+    known = load_baseline(path)
+    if not known:
+        return report
+    kept: List[Finding] = []
+    matched = set()
+    for f in report.findings:
+        if f.fingerprint in known:
+            matched.add(f.fingerprint)
+        else:
+            kept.append(f)
+    report.findings = kept
+    report.baseline_applied = len(matched)
+    report.baseline_stale = len(set(known) - matched)
+    return report

@@ -1,0 +1,432 @@
+"""Single-pass AST engine for the :mod:`repro.lint` analyzer.
+
+The engine walks each file's AST exactly once and dispatches every node
+to the rules that registered interest in its type, so adding rules does
+not add passes.  Two rule kinds exist:
+
+* :class:`Rule` — per-node visitors (``node_types`` + ``visit``);
+* :class:`ProjectRule` — collect per-file facts during the walk
+  (``collect``) and emit findings once the whole tree has been seen
+  (``finalize``) — this is how import layering or documentation
+  cross-checks see the entire project.
+
+Suppression: append ``# repro: noqa[RULE1,RULE2]`` (or a bare
+``# repro: noqa``) to the flagged line.  Suppressions are per-line and
+per-rule; unknown rule names in a suppression are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Type
+
+from repro.lint.findings import Finding, Severity, assign_occurrences
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?")
+
+
+# --------------------------------------------------------------------------
+# configuration
+
+
+@dataclass
+class LintConfig:
+    """Everything the engine and the rules need to know about the project.
+
+    The defaults describe this repository; tests override individual
+    fields to point the project rules at fixture documents.
+    """
+
+    root: Path
+    paths: Tuple[Path, ...] = ()
+    theory_doc: Optional[Path] = None
+    api_doc: Optional[Path] = None
+    #: package (or dotted-module prefix) -> layer number; imports may only
+    #: point at the same or a *lower* layer (see LAY001).
+    layers: Mapping[str, int] = field(default_factory=dict)
+    #: dotted-module prefixes whose public functions must be instrumented
+    #: with a span/timer from repro.obs (see OBS001).
+    obs_required: Tuple[str, ...] = ()
+    #: dotted-module prefixes where an *unseeded* RNG is tolerated inside
+    #: functions that take an explicit ``seed`` parameter (see RNG001).
+    rng_seeded_entry_prefixes: Tuple[str, ...] = ()
+    #: packages whose module docstrings must cite at least one paper
+    #: result (see THM001).
+    theory_packages: Tuple[str, ...] = ()
+    #: restrict the run to these rule ids (None = all registered rules).
+    select: Optional[Set[str]] = None
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+
+    @classmethod
+    def for_repo(cls, root: Path, paths: Sequence[Path] = ()) -> "LintConfig":
+        """The canonical configuration for this repository."""
+        root = Path(root).resolve()
+        scan = tuple(Path(p) for p in paths) or (
+            root / "src" / "repro",
+            root / "tools",
+        )
+        return cls(
+            root=root,
+            paths=scan,
+            theory_doc=root / "docs" / "theory.md",
+            api_doc=root / "docs" / "api.md",
+            layers=dict(DEFAULT_LAYERS),
+            obs_required=(
+                "repro.solvers.",
+                "repro.simulation.engine",
+                "repro.simulation.fast",
+                "repro.equilibria.solve",
+            ),
+            rng_seeded_entry_prefixes=("repro.simulation.",),
+            theory_packages=("repro.core", "repro.equilibria"),
+        )
+
+
+#: The enforced import-layering DAG, bottom (0) to top.  ``repro.obs`` is
+#: layer 0 and therefore importable from everywhere; packages sharing a
+#: number form one layer and may import each other.  See
+#: ``docs/static_analysis.md`` for the rationale.
+DEFAULT_LAYERS: Mapping[str, int] = {
+    "repro.obs": 0,
+    "repro.graphs": 1,
+    "repro.matching": 1,
+    "repro.core": 2,
+    "repro.equilibria": 3,
+    "repro.solvers": 4,
+    "repro.simulation": 5,
+    "repro.weighted": 5,
+    "repro.models": 5,
+    "repro.analysis": 6,
+    "repro.lint": 6,
+    "repro.cli": 7,
+    "repro": 8,
+}
+
+
+# --------------------------------------------------------------------------
+# per-file context
+
+
+class FileContext:
+    """Everything a rule may want to know about the file being walked."""
+
+    def __init__(self, path: Path, relpath: str, module: str,
+                 source: str, tree: ast.Module,
+                 lint_config: Optional["LintConfig"] = None) -> None:
+        self.lint_config = lint_config
+        self.path = path
+        self.relpath = relpath
+        #: dotted module name (``repro.core.pure``); empty for files that
+        #: do not live under a recognised source root.
+        self.module = module
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._suppressions: Optional[Dict[int, Optional[Set[str]]]] = None
+        self._exports: Optional[Tuple[Tuple[str, ...], int]] = None
+
+    # -- structure helpers ------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (lazy one-time index)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+    def enclosing_function(self, node: ast.AST):
+        """The nearest enclosing function/async-function def, or None."""
+        cur = self.parent(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parent(cur)
+        return None
+
+    @property
+    def exports(self) -> Tuple[str, ...]:
+        """Names in a literal top-level ``__all__`` (empty if absent)."""
+        return self._parse_exports()[0]
+
+    @property
+    def exports_line(self) -> int:
+        """Line of the ``__all__`` assignment (1 if absent)."""
+        return self._parse_exports()[1]
+
+    def _parse_exports(self) -> Tuple[Tuple[str, ...], int]:
+        if self._exports is None:
+            names: Tuple[str, ...] = ()
+            line = 1
+            for stmt in self.tree.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.targets[0].id == "__all__"
+                        and isinstance(stmt.value, (ast.List, ast.Tuple))):
+                    collected = []
+                    for elt in stmt.value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            collected.append(elt.value)
+                    names, line = tuple(collected), stmt.lineno
+            self._exports = (names, line)
+        return self._exports
+
+    # -- suppression ------------------------------------------------------
+
+    def _suppression_map(self) -> Dict[int, Optional[Set[str]]]:
+        """line -> suppressed rule ids (None = all rules) from comments.
+
+        Built from the token stream so ``#`` characters inside string
+        literals never read as comments.
+        """
+        if self._suppressions is None:
+            table: Dict[int, Optional[Set[str]]] = {}
+            try:
+                tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+                comments = [(t.start[0], t.string) for t in tokens
+                            if t.type == tokenize.COMMENT]
+            except (tokenize.TokenError, IndentationError, StopIteration):
+                comments = [(i + 1, line) for i, line in enumerate(self.lines)
+                            if "#" in line]
+            for lineno, text in comments:
+                m = _NOQA_RE.search(text)
+                if not m:
+                    continue
+                rules = m.group("rules")
+                if rules is None:
+                    table[lineno] = None
+                else:
+                    ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+                    prior = table.get(lineno, set())
+                    table[lineno] = None if prior is None else (prior | ids)
+            self._suppressions = table
+        return self._suppressions
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """True if ``rule`` is noqa'd on ``line``."""
+        table = self._suppression_map()
+        if line not in table:
+            return False
+        rules = table[line]
+        return rules is None or rule.upper() in rules
+
+    # -- finding construction ---------------------------------------------
+
+    def finding(self, rule: "Rule", node_or_line, message: str,
+                col: Optional[int] = None) -> Finding:
+        """Build a Finding anchored at an AST node or a 1-based line."""
+        if isinstance(node_or_line, int):
+            line, column = node_or_line, 0 if col is None else col
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            column = getattr(node_or_line, "col_offset", 0) if col is None else col
+        source = self.lines[line - 1] if 1 <= line <= len(self.lines) else ""
+        return Finding(rule.id, rule.severity, self.relpath, line,
+                       column, message, source)
+
+
+# --------------------------------------------------------------------------
+# rules
+
+
+class Rule:
+    """Base class: a per-node visitor with an id, severity and docs."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    #: AST node classes this rule wants to see (empty for project rules).
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def start_file(self, ctx: FileContext) -> None:
+        """Hook before the walk of one file (reset per-file state)."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one node."""
+        return iter(())
+
+    def end_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield file-level findings once the walk is complete."""
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project before it can judge."""
+
+    def collect(self, ctx: FileContext) -> None:
+        """Record facts about one file (called after its walk)."""
+
+    def finalize(self, config: LintConfig) -> Iterator[Finding]:
+        """Yield findings after every file has been collected."""
+        return iter(())
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """The registry (id -> rule class), importing the built-in rules."""
+    # Imported lazily so `engine` has no import cycle with the rule modules.
+    from repro.lint import project, rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# report + engine
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    baseline_applied: int = 0
+    baseline_stale: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity >= Severity.ERROR)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 on errors (or on anything under ``--strict``)."""
+        if strict:
+            return 1 if self.findings else 0
+        return 1 if self.error_count else 0
+
+
+class LintEngine:
+    """Instantiates the rules and runs the single-pass walk."""
+
+    def __init__(self, config: LintConfig,
+                 rule_classes: Optional[Iterable[Type[Rule]]] = None) -> None:
+        self.config = config
+        classes = list(rule_classes) if rule_classes is not None \
+            else list(registered_rules().values())
+        if config.select is not None:
+            wanted = {r.upper() for r in config.select}
+            classes = [c for c in classes if c.id in wanted]
+        self.rules: List[Rule] = [cls() for cls in classes]
+        for rule in self.rules:
+            override = config.severity_overrides.get(rule.id)
+            if override is not None:
+                rule.severity = override
+        self._dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # -- discovery --------------------------------------------------------
+
+    def iter_files(self) -> Iterator[Path]:
+        for base in self.config.paths:
+            base = Path(base)
+            if base.is_file() and base.suffix == ".py":
+                yield base
+            elif base.is_dir():
+                yield from sorted(
+                    p for p in base.rglob("*.py")
+                    if "__pycache__" not in p.parts
+                    and not any(part.startswith(".") for part in p.parts)
+                )
+
+    def module_name(self, path: Path) -> str:
+        """Dotted module name for ``path`` (empty when unrecognised)."""
+        try:
+            rel = path.resolve().relative_to(self.config.root / "src")
+        except ValueError:
+            return ""
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[-1] == "__init__":
+            parts.pop()
+        return ".".join(parts)
+
+    def relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.config.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- the pass ---------------------------------------------------------
+
+    def lint_file(self, path: Path) -> Tuple[List[Finding], Optional[str]]:
+        """Lint one file; returns (findings, parse-error-or-None)."""
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [], f"{self.relpath(path)}: {exc.msg} (line {exc.lineno})"
+        ctx = FileContext(path, self.relpath(path), self.module_name(path),
+                          source, tree, self.config)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            rule.start_file(ctx)
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, ctx))
+        for rule in self.rules:
+            findings.extend(rule.end_file(ctx))
+            if isinstance(rule, ProjectRule):
+                rule.collect(ctx)
+        return ([f for f in findings if not ctx.suppressed(f.line, f.rule)],
+                None)
+
+    def run(self) -> LintReport:
+        findings: List[Finding] = []
+        errors: List[str] = []
+        count = 0
+        for path in self.iter_files():
+            count += 1
+            file_findings, parse_error = self.lint_file(path)
+            if parse_error:
+                errors.append(parse_error)
+            findings.extend(file_findings)
+        project_findings: List[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                project_findings.extend(rule.finalize(self.config))
+        # Project-rule findings still honour per-line suppressions.
+        findings.extend(self._apply_suppressions(project_findings))
+        return LintReport(assign_occurrences(findings), count,
+                          parse_errors=errors)
+
+    def _apply_suppressions(self, findings: List[Finding]) -> List[Finding]:
+        by_path: Dict[str, List[Finding]] = {}
+        for f in findings:
+            by_path.setdefault(f.path, []).append(f)
+        kept: List[Finding] = []
+        for rel, group in by_path.items():
+            path = self.config.root / rel
+            if not path.is_file():
+                kept.extend(group)
+                continue
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                kept.extend(group)
+                continue
+            ctx = FileContext(path, rel, "", source, tree)
+            kept.extend(f for f in group if not ctx.suppressed(f.line, f.rule))
+        return kept

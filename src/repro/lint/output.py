@@ -1,0 +1,134 @@
+"""Report renderers for :mod:`repro.lint`: text, JSON and SARIF 2.1.0.
+
+The SARIF document targets the 2.1.0 schema consumed by GitHub code
+scanning: one run, one tool driver carrying the rule metadata, one
+result per finding with a physical location and a partial fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.lint.engine import LintReport, Rule
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.invalid/repro"  # placeholder informationUri
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings plus a one-line summary."""
+    lines: List[str] = [f.render() for f in report.findings]
+    for err in report.parse_errors:
+        lines.append(f"parse error: {err}")
+    counts: Dict[str, int] = {}
+    for f in report.findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    if report.findings:
+        by_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files_scanned} "
+            f"file(s) [{by_rule}]"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {report.files_scanned} file(s)")
+    if report.baseline_applied:
+        lines.append(f"baseline: {report.baseline_applied} finding(s) suppressed")
+    if report.baseline_stale:
+        lines.append(
+            f"baseline: {report.baseline_stale} stale entr(y/ies) — "
+            "refresh with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    doc = {
+        "tool": TOOL_NAME,
+        "files_scanned": report.files_scanned,
+        "baseline_applied": report.baseline_applied,
+        "baseline_stale": report.baseline_stale,
+        "parse_errors": list(report.parse_errors),
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def render_sarif(report: LintReport, rules: Iterable[Rule],
+                 tool_version: str = "1.0.0") -> str:
+    """A valid SARIF 2.1.0 log for GitHub code scanning."""
+    rule_list = sorted(rules, key=lambda r: r.id)
+    rule_index = {rule.id: i for i, rule in enumerate(rule_list)}
+    driver_rules = [
+        {
+            "id": rule.id,
+            "name": _camel(rule.name or rule.id),
+            "shortDescription": {"text": rule.description or rule.id},
+            "fullDescription": {
+                "text": (rule.__doc__ or rule.description or rule.id).strip()
+            },
+            "defaultConfiguration": {
+                "level": rule.severity.sarif_level,
+            },
+        }
+        for rule in rule_list
+    ]
+    results = []
+    for f in report.findings:
+        result = {
+            "ruleId": f.rule,
+            "level": f.severity.sarif_level,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(1, f.col + 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def _camel(name: str) -> str:
+    """``import-layering`` -> ``ImportLayering`` (SARIF rule names)."""
+    return "".join(part.capitalize() for part in name.replace("_", "-").split("-"))

@@ -30,7 +30,7 @@ from functools import wraps
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
-from repro.obs import metrics as _metrics
+import repro.obs.metrics as _metrics
 
 __all__ = [
     "Span",

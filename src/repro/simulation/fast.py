@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import tuple_vertices
+from repro.obs import metrics, tracing
 
 __all__ = ["FastSimulationResult", "simulate_fast"]
 
@@ -83,6 +84,19 @@ def simulate_fast(
         raise GameError("configuration belongs to a different game")
     if trials < 1:
         raise GameError("at least one trial is required")
+    metrics.counter("simulation.fast.runs.count").inc()
+    metrics.counter("simulation.fast.trials.count").inc(trials)
+    with tracing.span("simulation.fast", trials=trials, nu=game.nu), \
+            metrics.timer("simulation.fast.seconds"):
+        return _simulate_fast(game, config, trials, seed)
+
+
+def _simulate_fast(
+    game: TupleGame,
+    config: MixedConfiguration,
+    trials: int,
+    seed: int,
+) -> FastSimulationResult:
     rng = np.random.default_rng(seed)
 
     vertices = game.graph.sorted_vertices()

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
 from repro.graphs.core import Edge, Graph, GraphError, Vertex
+from repro.obs import metrics, tracing
 
 __all__ = [
     "coverage_value",
@@ -49,6 +50,7 @@ def _check_k(graph: Graph, k: int) -> None:
         raise GraphError(f"k must satisfy 1 <= k <= m={graph.m}; got {k}")
 
 
+@tracing.traced("best_response.exhaustive")
 def exhaustive_best_tuple(
     graph: Graph, weights: Mapping[Vertex, float], k: int
 ) -> Tuple[EdgeTuple, float]:
@@ -69,6 +71,7 @@ def exhaustive_best_tuple(
     return best_tuple_found, best_value
 
 
+@tracing.traced("best_response.branch_and_bound")
 def branch_and_bound_best_tuple(
     graph: Graph, weights: Mapping[Vertex, float], k: int
 ) -> Tuple[EdgeTuple, float]:
@@ -142,6 +145,7 @@ def branch_and_bound_best_tuple(
     return canonical_tuple(best_combo), best_value
 
 
+@tracing.traced("best_response.greedy")
 def greedy_tuple(
     graph: Graph, weights: Mapping[Vertex, float], k: int
 ) -> Tuple[EdgeTuple, float]:
@@ -171,6 +175,7 @@ def greedy_tuple(
     return canonical_tuple(chosen), value
 
 
+@tracing.traced("best_response.best_tuple")
 def best_tuple(
     graph: Graph,
     weights: Mapping[Vertex, float],
@@ -185,6 +190,8 @@ def best_tuple(
     ``"greedy"`` (the only inexact choice).
     """
     _check_k(graph, k)
+    metrics.counter("best_response.calls.count").inc()
+    metrics.counter(f"best_response.method.{method}.count").inc()
     if method == "exhaustive":
         return exhaustive_best_tuple(graph, weights, k)
     if method == "bnb":

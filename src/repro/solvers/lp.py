@@ -89,6 +89,7 @@ def _prune_and_normalize(raw: np.ndarray, keys: List) -> Dict:
     }
 
 
+@tracing.traced("lp.minimax_over_strategies")
 def minimax_over_strategies(vertices, strategies, coverage_of) -> LPSolution:
     """Generic zero-sum minimax: defender mixes over ``strategies``, the
     attacker over ``vertices``; ``coverage_of(strategy)`` yields the
@@ -181,6 +182,7 @@ def _solve_matrix_duel_inner(coverage, vertices, strategies) -> LPSolution:
     return LPSolution(float(value_defender), defender, attacker)
 
 
+@tracing.traced("lp.solve_minimax")
 def solve_minimax(
     game: TupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
 ) -> LPSolution:
@@ -203,6 +205,7 @@ def solve_minimax(
     )
 
 
+@tracing.traced("lp.lp_equilibrium")
 def lp_equilibrium(
     game: TupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
 ) -> Tuple[MixedConfiguration, LPSolution]:

@@ -27,6 +27,7 @@ from scipy.optimize import linprog
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import all_tuples, tuple_vertices
 from repro.graphs.core import Edge, Vertex, vertex_sort_key
+from repro.obs import metrics, tracing
 
 __all__ = ["StrategyRanges", "attacker_vertex_ranges", "defender_edge_ranges"]
 
@@ -99,6 +100,13 @@ def attacker_vertex_ranges(
     """
     from repro.solvers.lp import solve_minimax
 
+    metrics.counter("ranges.attacker.count").inc()
+    with tracing.span("ranges.attacker", n=game.graph.n, k=game.k), \
+            metrics.timer("ranges.attacker.seconds"):
+        return _attacker_vertex_ranges(game, tuple_limit, solve_minimax)
+
+
+def _attacker_vertex_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     vertices, tuples, coverage = _coverage_matrix(game, tuple_limit)
     value = solve_minimax(game, tuple_limit=tuple_limit).value
     n = len(vertices)
@@ -129,6 +137,13 @@ def defender_edge_ranges(
     """
     from repro.solvers.lp import solve_minimax
 
+    metrics.counter("ranges.defender.count").inc()
+    with tracing.span("ranges.defender", n=game.graph.n, k=game.k), \
+            metrics.timer("ranges.defender.seconds"):
+        return _defender_edge_ranges(game, tuple_limit, solve_minimax)
+
+
+def _defender_edge_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     vertices, tuples, coverage = _coverage_matrix(game, tuple_limit)
     value = solve_minimax(game, tuple_limit=tuple_limit).value
     t_count = len(tuples)

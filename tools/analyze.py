@@ -1,0 +1,39 @@
+"""Run the repro.lint static analyzer from the command line.
+
+Thin entry script around :mod:`repro.lint` for CI and editors — the same
+engine the ``repro-defender lint`` subcommand drives.  Typical runs::
+
+    python tools/analyze.py --strict --baseline     # the `make lint` gate
+    python tools/analyze.py --format sarif > lint.sarif
+    python tools/analyze.py --write-baseline        # re-snapshot debt
+    python tools/analyze.py src/repro/core          # one subtree
+
+Exit codes: 0 clean, 1 findings (errors, or anything with ``--strict``),
+2 unparseable source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # no editable install: use the in-tree sources
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint import add_lint_arguments, run_from_args
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="analyze.py",
+        description="AST-based domain-invariant analyzer (see docs/static_analysis.md).",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
