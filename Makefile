@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench obs-check api-docs api-docs-check lint lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline obs-check api-docs api-docs-check lint lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -14,6 +14,19 @@ test:
 ## (writes benchmarks/results/*.{txt,json}, bench_summary.json, BENCH_OBS.json)
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+## time the solver hot paths and fail on >20% regression versus the
+## committed BENCH_KERNELS.json (skips cleanly when scipy is absent)
+bench-smoke:
+	@if $(PYTHON) -c "import numpy, scipy" >/dev/null 2>&1; then \
+		$(PYTHON) tools/bench_smoke.py --check; \
+	else \
+		echo "numpy/scipy not installed -- skipping bench smoke"; \
+	fi
+
+## re-baseline BENCH_KERNELS.json from the current hot-path timings
+bench-smoke-baseline:
+	$(PYTHON) tools/bench_smoke.py --write
 
 ## smoke-check the observability layer (tracing + metrics + exports)
 obs-check:
@@ -46,5 +59,5 @@ mypy:
 	fi
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
-## docs freshness, tier-1 tests
-ci: lint mypy obs-check api-docs-check test
+## docs freshness, tier-1 tests, hot-path perf smoke
+ci: lint mypy obs-check api-docs-check test bench-smoke

@@ -32,6 +32,7 @@ from repro.core.game import GameError, TupleGame
 from repro.core.profits import expected_profit_tp, pure_profit_tp
 from repro.core.pure import find_pure_nash
 from repro.equilibria.atuple import algorithm_a_tuple
+from repro.kernels.coverage import shared_oracle
 from repro.matching.covers import minimum_edge_cover_size
 from repro.matching.partition import Partition, find_partition
 from repro.obs import get_logger, metrics, tracing
@@ -108,6 +109,10 @@ def solve_game(
     with tracing.span("equilibria.solve", n=game.graph.n, k=game.k,
                       nu=game.nu), \
             metrics.timer("equilibria.solve.seconds"):
+        # Prewarm the coverage kernel: every downstream verification
+        # bridge (pure-NE checks, best-response certificates) queries the
+        # same (graph, k) and now hits the shared cache.
+        shared_oracle(game.graph, game.k)
         try:
             result = _solve_game_impl(game, seed, allow_extensions)
         except NoEquilibriumFoundError:

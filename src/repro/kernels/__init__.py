@@ -1,0 +1,19 @@
+"""Reusable compute kernels for the solver hot paths.
+
+The kernels layer sits between the graph/game substrate and the solvers:
+anything that several solvers re-derive per call — and that depends only
+on the *instance*, not on the query — is precomputed once here and shared.
+Today that is the coverage oracle (defender best response, the inner loop
+of the double-oracle and fictitious-play equilibrium solvers and of
+first-principles NE verification); the amortized-precompute pattern it
+establishes is what future scaling work (sharding, async batching) builds
+on.  See ``docs/performance.md`` for the lifecycle and the measured wins.
+"""
+
+from repro.kernels.coverage import (
+    CoverageOracle,
+    clear_shared_oracles,
+    shared_oracle,
+)
+
+__all__ = ["CoverageOracle", "shared_oracle", "clear_shared_oracles"]

@@ -77,6 +77,7 @@ class LintConfig:
             api_doc=root / "docs" / "api.md",
             layers=dict(DEFAULT_LAYERS),
             obs_required=(
+                "repro.kernels.",
                 "repro.solvers.",
                 "repro.simulation.engine",
                 "repro.simulation.fast",
@@ -96,6 +97,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "repro.graphs": 1,
     "repro.matching": 1,
     "repro.core": 2,
+    "repro.kernels": 3,
     "repro.equilibria": 3,
     "repro.solvers": 4,
     "repro.simulation": 5,

@@ -21,8 +21,8 @@ from typing import Dict, Tuple
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
-from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
+from repro.kernels.coverage import shared_oracle
 from repro.obs import get_logger, metrics, tracing
 from repro.simulation.estimators import RunningStat, wilson_interval
 
@@ -119,10 +119,11 @@ def simulate(
         Sampler(config.vp_distribution(i)) for i in range(game.nu)
     ]
     tuple_sampler = Sampler(config.tp_distribution())
-    # Pre-resolve tuple -> covered vertex set to avoid rebuilding per trial.
-    coverage: Dict[EdgeTuple, frozenset] = {
-        t: tuple_vertices(t) for t in config.tp_support()
-    }
+    # Tuple -> covered vertex set, resolved through the shared kernel so
+    # repeated runs over the same configuration reuse one precompute.
+    coverage = shared_oracle(game.graph, game.k).coverage_sets(
+        config.tp_support()
+    )
 
     report = SimulationReport(game.nu)
     with tracing.span("simulation.run", trials=trials, nu=game.nu), \

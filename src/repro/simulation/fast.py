@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
-from repro.core.tuples import tuple_vertices
+from repro.kernels.coverage import shared_oracle
 from repro.obs import metrics, tracing
 
 __all__ = ["FastSimulationResult", "simulate_fast"]
@@ -99,17 +99,15 @@ def _simulate_fast(
 ) -> FastSimulationResult:
     rng = np.random.default_rng(seed)
 
-    vertices = game.graph.sorted_vertices()
-    vertex_index = {v: i for i, v in enumerate(vertices)}
     tuples = sorted(config.tp_support())
     tuple_probs = np.array([config.prob_tp(t) for t in tuples])
     tuple_probs = tuple_probs / tuple_probs.sum()
 
-    # Coverage matrix: tuples x vertices.
-    coverage = np.zeros((len(tuples), len(vertices)), dtype=bool)
-    for row, t in enumerate(tuples):
-        for v in tuple_vertices(t):
-            coverage[row, vertex_index[v]] = True
+    # Coverage matrix (tuples x vertex slots) from the shared kernel —
+    # memoized, so repeated runs over one configuration skip the rebuild.
+    coverage, vertex_index = shared_oracle(
+        game.graph, game.k
+    ).coverage_matrix(tuples)
 
     tuple_draws = rng.choice(len(tuples), size=trials, p=tuple_probs)
 

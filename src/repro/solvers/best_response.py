@@ -16,16 +16,22 @@ actual optimum.  Three strategies are provided:
 
 :func:`best_tuple` dispatches between the exact methods by strategy-set
 size.
+
+This module is a thin compatibility facade: the actual search runs on the
+amortized :class:`~repro.kernels.coverage.CoverageOracle` (one precompute
+per ``(graph, k)``, memoized process-wide), so repeated queries against the
+same instance — the double-oracle / fictitious-play / verification access
+pattern — skip all graph re-derivation.  Both exact methods return the
+canonical **lexicographically smallest** optimal tuple, ties included.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from math import comb
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Mapping, Tuple
 
-from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
-from repro.graphs.core import Edge, Graph, GraphError, Vertex
+from repro.core.tuples import EdgeTuple, tuple_vertices
+from repro.graphs.core import Graph, GraphError, Vertex
+from repro.kernels.coverage import shared_oracle
 from repro.obs import metrics, tracing
 
 __all__ = [
@@ -60,15 +66,7 @@ def exhaustive_best_tuple(
     tuple wins.
     """
     _check_k(graph, k)
-    best_tuple_found: Optional[EdgeTuple] = None
-    best_value = float("-inf")
-    for combo in combinations(graph.sorted_edges(), k):
-        value = coverage_value(weights, combo)
-        if value > best_value + 1e-15:
-            best_value = value
-            best_tuple_found = combo
-    assert best_tuple_found is not None
-    return best_tuple_found, best_value
+    return shared_oracle(graph, k).exhaustive(weights)
 
 
 @tracing.traced("best_response.branch_and_bound")
@@ -81,68 +79,11 @@ def branch_and_bound_best_tuple(
     on any edge's marginal contribution), and a prefix-sum bound prunes
     branches that cannot beat the incumbent.  Worst case exponential, but
     fast on the benchmark instances because attacker mass concentrates on
-    few vertices.
+    few vertices.  Returns the same canonical (lexicographically smallest)
+    optimal tuple as :func:`exhaustive_best_tuple`, ties included.
     """
     _check_k(graph, k)
-    edges = graph.sorted_edges()
-    static = [
-        (weights.get(u, 0.0) + weights.get(v, 0.0), (u, v)) for u, v in edges
-    ]
-    # Sort by static weight (desc), then lexicographically for determinism.
-    static.sort(key=lambda item: (-item[0], item[1]))
-    ordered_edges = [e for _, e in static]
-    ordered_weights = [w for w, _ in static]
-    m = len(ordered_edges)
-
-    # suffix_top[i][r] would be ideal; the cheaper admissible variant uses
-    # the fact the list is sorted: the best r remaining edges from index i
-    # are exactly edges i..i+r-1.
-    prefix = [0.0]
-    for w in ordered_weights:
-        prefix.append(prefix[-1] + w)
-
-    def remaining_bound(index: int, slots: int) -> float:
-        stop = min(m, index + slots)
-        return prefix[stop] - prefix[index]
-
-    best_value = float("-inf")
-    best_combo: Optional[Tuple[Edge, ...]] = None
-    chosen: List[Edge] = []
-    covered: Dict[Vertex, int] = {}
-    current_value = 0.0
-
-    def descend(index: int) -> None:
-        nonlocal best_value, best_combo, current_value
-        if len(chosen) == k:
-            if current_value > best_value + 1e-15:
-                best_value = current_value
-                best_combo = tuple(chosen)
-            return
-        slots = k - len(chosen)
-        if m - index < slots:
-            return
-        if current_value + remaining_bound(index, slots) <= best_value + 1e-15:
-            return
-        u, v = ordered_edges[index]
-        # Branch 1: take the edge.
-        gained = 0.0
-        for vertex in (u, v):
-            if covered.get(vertex, 0) == 0:
-                gained += weights.get(vertex, 0.0)
-            covered[vertex] = covered.get(vertex, 0) + 1
-        chosen.append((u, v))
-        current_value += gained
-        descend(index + 1)
-        chosen.pop()
-        current_value -= gained
-        for vertex in (u, v):
-            covered[vertex] -= 1
-        # Branch 2: skip the edge.
-        descend(index + 1)
-
-    descend(0)
-    assert best_combo is not None
-    return canonical_tuple(best_combo), best_value
+    return shared_oracle(graph, k).branch_and_bound(weights)
 
 
 @tracing.traced("best_response.greedy")
@@ -150,29 +91,10 @@ def greedy_tuple(
     graph: Graph, weights: Mapping[Vertex, float], k: int
 ) -> Tuple[EdgeTuple, float]:
     """Greedy ``(1 − 1/e)``-approximate coverage: repeatedly take the edge
-    with the largest marginal weight."""
+    with the largest marginal weight (first in lexicographic order on
+    ties)."""
     _check_k(graph, k)
-    chosen: List[Edge] = []
-    covered: Set[Vertex] = set()
-    remaining = set(graph.sorted_edges())
-    value = 0.0
-    for _ in range(k):
-        best_edge = None
-        best_gain = float("-inf")
-        for edge in sorted(remaining):
-            u, v = edge
-            gain = sum(
-                weights.get(x, 0.0) for x in (u, v) if x not in covered
-            )
-            if gain > best_gain + 1e-15:
-                best_gain = gain
-                best_edge = edge
-        assert best_edge is not None
-        remaining.discard(best_edge)
-        chosen.append(best_edge)
-        covered.update(best_edge)
-        value += best_gain
-    return canonical_tuple(chosen), value
+    return shared_oracle(graph, k).greedy(weights)
 
 
 @tracing.traced("best_response.best_tuple")
@@ -192,14 +114,6 @@ def best_tuple(
     _check_k(graph, k)
     metrics.counter("best_response.calls.count").inc()
     metrics.counter(f"best_response.method.{method}.count").inc()
-    if method == "exhaustive":
-        return exhaustive_best_tuple(graph, weights, k)
-    if method == "bnb":
-        return branch_and_bound_best_tuple(graph, weights, k)
-    if method == "greedy":
-        return greedy_tuple(graph, weights, k)
-    if method != "auto":
-        raise ValueError(f"unknown method {method!r}")
-    if comb(graph.m, k) <= exhaustive_limit:
-        return exhaustive_best_tuple(graph, weights, k)
-    return branch_and_bound_best_tuple(graph, weights, k)
+    return shared_oracle(graph, k).best(
+        weights, method=method, exhaustive_limit=exhaustive_limit
+    )

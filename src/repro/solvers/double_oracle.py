@@ -9,16 +9,21 @@ strategy generation:
 1. solve the *restricted* duel over small strategy pools;
 2. ask each side's **best-response oracle** for an improving strategy
    against the opponent's current optimal mixture — for the defender this
-   is weighted k-edge coverage (branch and bound, exact), for the
-   attacker the minimum-hit vertex;
+   is weighted k-edge coverage (the :mod:`repro.kernels` coverage oracle,
+   exact), for the attacker the minimum-hit vertex;
 3. add improving strategies to the pools and repeat; stop when neither
    oracle improves.  At that point the restricted equilibrium is an
    equilibrium of the *full* game, and the final oracle payoffs bracket
    the value (the gap certifies optimality).
 
-The pools typically stay tiny — a few dozen tuples even when ``E^k`` has
-millions — because equilibrium supports are small (cf. the ``δ`` tuples of
-Lemma 4.8).
+The defender pool typically stays tiny — a few dozen tuples even when
+``E^k`` has millions — because equilibrium supports are small (cf. the
+``δ`` tuples of Lemma 4.8).  The attacker has only ``n`` pure strategies,
+so by default the attacker pool is materialized *eagerly* (all vertices up
+front) and the attacker mixture is read off the defender LP's duals: one
+LP per iteration instead of two, and no iterations spent growing the
+attacker pool one vertex at a time.  ``lazy_attacker=True`` restores the
+textbook both-sides-lazy variant.
 """
 
 from __future__ import annotations
@@ -29,8 +34,8 @@ from typing import Dict, List, Optional, Set
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
+from repro.kernels.coverage import CoverageOracle, shared_oracle
 from repro.obs import get_logger, metrics, tracing
-from repro.solvers.best_response import best_tuple, greedy_tuple
 from repro.solvers.lp import LPSolution, minimax_over_strategies
 
 __all__ = ["DoubleOracleResult", "double_oracle"]
@@ -48,11 +53,18 @@ class DoubleOracleResult:
     iterations:
         Outer iterations until neither oracle improved.
     defender_pool_size / attacker_pool_size:
-        Final pool sizes — the point of the method is that these stay
-        far below ``C(m, k)`` and ``n``.
+        Final pool sizes — the point of the method is that the defender's
+        stays far below ``C(m, k)``.
     certified_gap:
         ``defender_oracle_payoff − attacker_oracle_payoff`` at
-        termination; ≤ tolerance certifies the value is exact.
+        termination, with the defender payoff recomputed by an *exact*
+        oracle when the run used the greedy one — so the gap is always a
+        valid optimality certificate.
+    exact:
+        Whether the certificate holds: ``certified_gap`` within the
+        convergence slack (``2·tolerance``, one tolerance per oracle).
+        Always true for exact oracle methods; a greedy run that stalled
+        below the true optimum reports ``False`` (and logs a warning).
     gap_history:
         The certified gap after each outer iteration, oldest first —
         the convergence trajectory that the scaling experiments plot.
@@ -64,6 +76,7 @@ class DoubleOracleResult:
         "defender_pool_size",
         "attacker_pool_size",
         "certified_gap",
+        "exact",
         "gap_history",
     )
 
@@ -75,12 +88,14 @@ class DoubleOracleResult:
         attacker_pool_size: int,
         certified_gap: float,
         gap_history: Optional[List[float]] = None,
+        exact: bool = True,
     ) -> None:
         self.solution = solution
         self.iterations = iterations
         self.defender_pool_size = defender_pool_size
         self.attacker_pool_size = attacker_pool_size
         self.certified_gap = certified_gap
+        self.exact = exact
         self.gap_history = list(gap_history) if gap_history is not None else []
 
     @property
@@ -91,15 +106,40 @@ class DoubleOracleResult:
         return (
             f"DoubleOracleResult(value={self.value:.6f}, "
             f"iterations={self.iterations}, "
-            f"pools={self.defender_pool_size}/{self.attacker_pool_size})"
+            f"pools={self.defender_pool_size}/{self.attacker_pool_size}, "
+            f"exact={self.exact})"
         )
 
 
-def _initial_defender_pool(game: TupleGame) -> List[EdgeTuple]:
-    """Seed: the greedy cover of uniform attacker mass (one good tuple)."""
-    uniform_mass = {v: 1.0 for v in game.graph.vertices()}
-    seed, _ = greedy_tuple(game.graph, uniform_mass, game.k)
-    return [seed]
+def _initial_defender_pool(oracle: CoverageOracle) -> List[EdgeTuple]:
+    """Seed: a greedy family of tuples that together cover every vertex.
+
+    Equilibrium defender supports rotate k-matchings until every vertex
+    is protected (cf. Lemma 4.8), so a pool that already covers the whole
+    vertex set starts the restricted LP near the final support — the
+    remaining iterations only refine the mixture instead of discovering
+    coverage one tuple at a time.  Each extra seed costs one greedy kernel
+    query, orders of magnitude cheaper than the LP iteration it saves.
+    """
+    pool: List[EdgeTuple] = []
+    seen: Set[EdgeTuple] = set()
+    uncovered = set(oracle.vertices)
+    first, _ = oracle.greedy({v: 1.0 for v in oracle.vertices})
+    pool.append(first)
+    seen.add(first)
+    uncovered -= tuple_vertices(first)
+    for _ in range(4 * oracle.n):
+        if not uncovered:
+            break
+        masses = {v: (1.0 if v in uncovered else 0.0) for v in oracle.vertices}
+        seed, value = oracle.greedy(masses)
+        if value <= 0.0:
+            break  # the rest of the vertices are not newly coverable
+        if seed not in seen:
+            pool.append(seed)
+            seen.add(seed)
+        uncovered -= tuple_vertices(seed)
+    return pool
 
 
 def double_oracle(
@@ -107,23 +147,35 @@ def double_oracle(
     tolerance: float = 1e-9,
     max_iterations: int = 200,
     method: str = "auto",
+    lazy_attacker: bool = False,
 ) -> DoubleOracleResult:
     """Solve the duel of ``Π_k(G)`` by lazy strategy generation.
 
     ``method`` selects the defender-oracle coverage solver ("auto" uses
-    exact branch and bound; "greedy" trades the exactness certificate for
-    speed on very large instances — the gap then reports how much may
-    have been left on the table).
+    the exact kernel searches; "greedy" trades the exactness certificate
+    for speed on very large instances).  Greedy runs are re-certified at
+    convergence with one exact oracle call: if the certified gap exceeds
+    the convergence slack the result is returned with ``exact=False``, a
+    warning is logged and ``double_oracle.inexact_convergence.count`` is
+    bumped — greedy can stall on a suboptimal tuple that the restricted
+    LP already contains, silently leaving value on the table.
+
+    ``lazy_attacker=True`` grows the attacker pool one best-response
+    vertex at a time (the textbook variant, two LPs per iteration)
+    instead of materializing all ``n`` vertices up front.
 
     Raises :class:`~repro.core.game.GameError` if the oracles still
     improve after ``max_iterations`` (not observed in practice; a guard
     against pathological tolerance settings).
     """
     graph = game.graph
-    vertices = graph.sorted_vertices()
-    defender_pool: List[EdgeTuple] = _initial_defender_pool(game)
+    oracle = shared_oracle(graph, game.k)
+    vertices = oracle.vertices
+    defender_pool: List[EdgeTuple] = _initial_defender_pool(oracle)
     defender_seen: Set[EdgeTuple] = set(defender_pool)
-    attacker_pool: List[Vertex] = [vertices[0]]
+    attacker_pool: List[Vertex] = (
+        [vertices[0]] if lazy_attacker else list(vertices)
+    )
     attacker_seen: Set[Vertex] = set(attacker_pool)
 
     solution = None
@@ -133,7 +185,8 @@ def double_oracle(
     with tracing.span("double_oracle.solve", n=graph.n, m=graph.m, k=game.k):
         for iteration in range(1, max_iterations + 1):
             solution = minimax_over_strategies(
-                attacker_pool, defender_pool, tuple_vertices
+                attacker_pool, defender_pool, tuple_vertices,
+                dual_attacker=not lazy_attacker,
             )
 
             # Defender oracle: best tuple against the attacker's mixture over
@@ -141,9 +194,7 @@ def double_oracle(
             attacker_mix: Dict[Vertex, float] = dict(solution.attacker)
             with tracing.span("double_oracle.oracle.best_response"):
                 oracle_start = perf_counter()
-                best_def, def_payoff = best_tuple(
-                    graph, attacker_mix, game.k, method=method
-                )
+                best_def, def_payoff = oracle.best(attacker_mix, method=method)
                 oracle_timer.observe(perf_counter() - oracle_start)
 
             # Attacker oracle: min-hit vertex against the defender's mixture.
@@ -171,18 +222,38 @@ def double_oracle(
                 attacker_seen.add(best_att)
                 improved = True
             if not improved:
+                if method == "greedy":
+                    # A greedy defender oracle's payoff is NOT an upper
+                    # bound on the value, so the loop's gap is not a
+                    # certificate — re-certify with one exact query.
+                    _, exact_payoff = oracle.best(attacker_mix, method="auto")
+                    gap = exact_payoff - att_payoff
+                    gap_history[-1] = gap
+                # At convergence each oracle is within one `tolerance` of
+                # the restricted value, so a certified gap beyond twice
+                # that means the oracle stalled short of the optimum.
+                exact = gap <= 2.0 * tolerance
                 metrics.counter("double_oracle.runs.count").inc()
                 metrics.counter("double_oracle.iterations.count").inc(iteration)
                 metrics.gauge("double_oracle.pool.defender").set(len(defender_pool))
                 metrics.gauge("double_oracle.pool.attacker").set(len(attacker_pool))
                 metrics.gauge("double_oracle.gap").set(gap)
+                if not exact:
+                    metrics.counter(
+                        "double_oracle.inexact_convergence.count"
+                    ).inc()
+                    _log.warning(
+                        "double_oracle.inexact_convergence",
+                        method=method, value=solution.value, gap=gap,
+                        tolerance=tolerance,
+                    )
                 _log.info(
                     "double_oracle.converged", iterations=iteration,
-                    value=solution.value, gap=gap,
+                    value=solution.value, gap=gap, exact=exact,
                 )
                 return DoubleOracleResult(
                     solution, iteration, len(defender_pool),
-                    len(attacker_pool), gap, gap_history,
+                    len(attacker_pool), gap, gap_history, exact,
                 )
 
     raise GameError(

@@ -9,10 +9,11 @@ usable on instances where the exact LP (over ``C(m,k)`` tuples) is out of
 reach, and a second independent confirmation of the linear-in-k law on
 instances where it is not.
 
-The defender's best response is the k-edge coverage maximum, delegated to
-:mod:`repro.solvers.best_response` (exact by default; pass
-``method="greedy"`` for very large instances, at the cost of the value
-bounds no longer being exact bounds).
+The defender's best response is the k-edge coverage maximum, answered by
+the amortized :mod:`repro.kernels` coverage oracle — built once per run,
+queried every round (exact by default; pass ``method="greedy"`` for very
+large instances, at the cost of the value bounds no longer being exact
+bounds).
 """
 
 from __future__ import annotations
@@ -22,8 +23,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.game import TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex, vertex_sort_key
+from repro.kernels.coverage import shared_oracle
 from repro.obs import get_logger, metrics, tracing
-from repro.solvers.best_response import best_tuple
 
 __all__ = ["FictitiousPlayResult", "fictitious_play"]
 
@@ -122,7 +123,6 @@ def fictitious_play(
         Optional early stop once ``upper − lower ≤ tolerance``.
     """
     graph = game.graph
-    vertices = graph.sorted_vertices()
 
     with tracing.span("fictitious_play.run", n=graph.n, k=game.k,
                       max_rounds=rounds), \
@@ -145,7 +145,8 @@ def _run_fictitious_play(
     tolerance: Optional[float],
 ) -> FictitiousPlayResult:
     graph = game.graph
-    vertices = graph.sorted_vertices()
+    oracle = shared_oracle(graph, game.k)
+    vertices = oracle.vertices
 
     attacker_counts: Dict[Vertex, int] = {}
     defender_counts: Dict[EdgeTuple, int] = {}
@@ -163,7 +164,7 @@ def _run_fictitious_play(
         attacker_counts[current_attack] = attacker_counts.get(current_attack, 0) + 1
         # Defender best-responds to the attacker's empirical mixture.
         weights = {v: c / round_index for v, c in attacker_counts.items()}
-        response, response_value = best_tuple(graph, weights, game.k, method=method)
+        response, response_value = oracle.best(weights, method=method)
         defender_counts[response] = defender_counts.get(response, 0) + 1
         for v in tuple_vertices(response):
             hit_mass[v] += 1.0

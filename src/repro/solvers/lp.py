@@ -90,7 +90,9 @@ def _prune_and_normalize(raw: np.ndarray, keys: List) -> Dict:
 
 
 @tracing.traced("lp.minimax_over_strategies")
-def minimax_over_strategies(vertices, strategies, coverage_of) -> LPSolution:
+def minimax_over_strategies(
+    vertices, strategies, coverage_of, dual_attacker: bool = False
+) -> LPSolution:
     """Generic zero-sum minimax: defender mixes over ``strategies``, the
     attacker over ``vertices``; ``coverage_of(strategy)`` yields the
     vertices that strategy protects.
@@ -98,6 +100,12 @@ def minimax_over_strategies(vertices, strategies, coverage_of) -> LPSolution:
     This is the engine under :func:`solve_minimax` and under the
     generalized defender models of :mod:`repro.models` (path and star
     defenders), which differ only in the strategy family.
+
+    With ``dual_attacker=True`` the attacker's optimal mixture is read off
+    the dual multipliers of the defender LP instead of solving a second
+    LP — half the solver calls, exact by LP duality (HiGHS returns the
+    optimal basis duals).  The default keeps the two-LP path, whose
+    explicit duality-gap check the validation suites rely on.
     """
     vertices = list(vertices)
     strategies = list(strategies)
@@ -116,18 +124,22 @@ def minimax_over_strategies(vertices, strategies, coverage_of) -> LPSolution:
             column = vertex_index.get(v)
             if column is not None:
                 coverage[row, column] = 1.0
-    return _solve_matrix_duel(coverage, vertices, strategies)
+    return _solve_matrix_duel(coverage, vertices, strategies, dual_attacker)
 
 
-def _solve_matrix_duel(coverage, vertices, strategies) -> LPSolution:
-    """Solve both LPs for a 0/1 coverage matrix and package the optima."""
+def _solve_matrix_duel(
+    coverage, vertices, strategies, dual_attacker: bool = False
+) -> LPSolution:
+    """Solve the LP(s) for a 0/1 coverage matrix and package the optima."""
     t_count, n = coverage.shape
     metrics.counter("lp.solve.count").inc()
     metrics.histogram("lp.matrix.strategies").observe(t_count)
     metrics.histogram("lp.matrix.vertices").observe(n)
     with tracing.span("lp.solve", strategies=t_count, vertices=n), \
             metrics.timer("lp.solve.seconds") as timing:
-        solution = _solve_matrix_duel_inner(coverage, vertices, strategies)
+        solution = _solve_matrix_duel_inner(
+            coverage, vertices, strategies, dual_attacker
+        )
     _log.debug(
         "lp.solve", strategies=t_count, vertices=n,
         value=solution.value, seconds=timing.elapsed,
@@ -135,7 +147,9 @@ def _solve_matrix_duel(coverage, vertices, strategies) -> LPSolution:
     return solution
 
 
-def _solve_matrix_duel_inner(coverage, vertices, strategies) -> LPSolution:
+def _solve_matrix_duel_inner(
+    coverage, vertices, strategies, dual_attacker: bool
+) -> LPSolution:
     t_count, n = coverage.shape
 
     # Defender LP: maximize z s.t. (p^T A)_v >= z for all v, sum p = 1.
@@ -154,6 +168,15 @@ def _solve_matrix_duel_inner(coverage, vertices, strategies) -> LPSolution:
     )
     if not defender_res.success:
         raise GameError(f"defender LP failed: {defender_res.message}")
+
+    if dual_attacker:
+        # The multipliers of the coverage rows are the attacker's optimal
+        # mixture: stationarity of the z column forces them to sum to 1,
+        # and complementary slackness puts mass only on min-hit vertices.
+        duals = -np.asarray(defender_res.ineqlin.marginals)
+        attacker = _prune_and_normalize(duals, list(vertices))
+        defender = _prune_and_normalize(defender_res.x[:t_count], strategies)
+        return LPSolution(float(-defender_res.fun), defender, attacker)
 
     # Attacker LP: minimize z' s.t. (A q)_t <= z' for all t, sum q = 1.
     c2 = np.zeros(n + 1)

@@ -72,6 +72,34 @@ class TestExactSolvers:
         assert first == second
 
 
+class TestCanonicalTieBreak:
+    """Regression: the seed bnb explored edges in static-weight order and
+    could return an equal-value but lexicographically *larger* tuple than
+    exhaustive enumeration on ties.  Both exact methods must now return
+    the canonical (lexicographically smallest) optimal tuple."""
+
+    def test_pinned_pre_fix_disagreement(self):
+        # On this instance the seed code returned ((0, 4), (3, 5)) from
+        # exhaustive but ((3, 5), (4, 5)) from bnb (both value 6.0).
+        rng = random.Random(1)
+        g = gnp_random_graph(rng.randrange(5, 9), 0.5, seed=1)
+        weights = {v: float(rng.choice([0, 1, 1, 2])) for v in g.vertices()}
+        t_exh, v_exh = exhaustive_best_tuple(g, weights, 2)
+        t_bnb, v_bnb = branch_and_bound_best_tuple(g, weights, 2)
+        assert t_exh == t_bnb == ((0, 4), (3, 5))
+        assert v_exh == v_bnb == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_exact_methods_agree_on_ties(self, seed):
+        # Integer weights with few levels make value ties the common case.
+        rng = random.Random(seed)
+        g = gnp_random_graph(rng.randrange(5, 9), 0.5, seed=seed)
+        weights = {v: float(rng.choice([0, 1, 1, 2])) for v in g.vertices()}
+        for k in range(1, min(4, g.m) + 1):
+            assert exhaustive_best_tuple(g, weights, k) == \
+                branch_and_bound_best_tuple(g, weights, k)
+
+
 class TestGreedy:
     def test_greedy_is_optimal_on_disjoint_instance(self):
         g = path_graph(6)

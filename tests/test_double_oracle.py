@@ -85,6 +85,41 @@ class TestMechanics:
         assert result.value <= truth + result.certified_gap + 1e-7
         assert result.value >= truth - result.certified_gap - 1e-7
 
+    def test_lazy_attacker_matches_eager(self):
+        game = TupleGame(grid_graph(2, 4), 2, nu=1)
+        eager = double_oracle(game)
+        lazy = double_oracle(game, lazy_attacker=True)
+        assert lazy.value == pytest.approx(eager.value, abs=1e-9)
+        assert lazy.exact and eager.exact
+
+
+class TestInexactConvergence:
+    """Regression: a greedy defender oracle can stall on a suboptimal
+    tuple the restricted LP already contains, so the run used to claim
+    convergence with a tiny reported gap while the value was silently
+    wrong.  The result must now be re-certified with an exact oracle call
+    and flagged ``exact=False`` when the true gap exceeds the slack."""
+
+    def test_greedy_stall_is_flagged_inexact(self):
+        from repro.graphs.generators import gnp_random_graph
+
+        graph = gnp_random_graph(9, 0.4, seed=2)
+        game = TupleGame(graph, 4, nu=1)
+        truth = solve_minimax(game).value
+        result = double_oracle(game, method="greedy", tolerance=1e-9)
+        assert not result.exact
+        assert result.certified_gap > 2e-9
+        # The re-certified gap is a true bracket around the optimum.
+        assert result.value < truth - 1e-6
+        assert result.value + result.certified_gap >= truth - 1e-9
+
+    def test_exact_methods_certify(self):
+        game = TupleGame(grid_graph(2, 4), 2, nu=1)
+        for method in ("auto", "bnb", "exhaustive"):
+            result = double_oracle(game, method=method)
+            assert result.exact
+            assert result.certified_gap <= 2e-9
+
 
 class TestConvergenceGuard:
     def test_max_iterations_raises(self):

@@ -1,0 +1,279 @@
+"""Tests for the coverage-oracle kernel (repro.kernels).
+
+The property tests pin the kernel to *reference implementations* ported
+verbatim from the seed ``best_response`` module (full enumeration over
+``itertools.combinations`` and the original greedy loop), so any semantic
+drift in the optimized searches is caught against first-principles code.
+
+Weights in the identity sweeps are dyadic rationals (multiples of 1/64):
+their coverage sums are exact in binary floating point, so mathematically
+tied tuples compare exactly equal and the deterministic tie-break is
+observable without summation-order noise.
+"""
+
+import inspect
+import random
+from itertools import combinations
+from pathlib import Path
+
+import pytest
+
+from repro.core.tuples import tuple_vertices
+from repro.graphs.core import GraphError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+)
+from repro.kernels import CoverageOracle, clear_shared_oracles, shared_oracle
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------------
+# reference implementations (seed semantics, deliberately naive)
+# --------------------------------------------------------------------------
+
+
+def reference_exhaustive(graph, weights, k):
+    best_t, best_v = None, float("-inf")
+    for combo in combinations(graph.sorted_edges(), k):
+        value = sum(weights.get(v, 0.0) for v in tuple_vertices(combo))
+        if value > best_v + 1e-15:
+            best_v = value
+            best_t = combo
+    return best_t, best_v
+
+
+def reference_greedy(graph, weights, k):
+    chosen, covered = [], set()
+    remaining = set(graph.sorted_edges())
+    value = 0.0
+    for _ in range(k):
+        best_edge, best_gain = None, float("-inf")
+        for edge in sorted(remaining):
+            gain = sum(
+                weights.get(x, 0.0) for x in edge if x not in covered
+            )
+            if gain > best_gain + 1e-15:
+                best_gain = gain
+                best_edge = edge
+        remaining.discard(best_edge)
+        chosen.append(best_edge)
+        covered.update(best_edge)
+        value += best_gain
+    return tuple(sorted(chosen)), value
+
+
+def random_instance(seed, tie_prone):
+    rng = random.Random(seed)
+    graph = gnp_random_graph(rng.randrange(5, 9), 0.5, seed=seed)
+    if tie_prone:
+        weights = {v: float(rng.choice([0, 1, 1, 2])) for v in graph.vertices()}
+    else:
+        weights = {v: rng.randrange(0, 256) / 64.0 for v in graph.vertices()}
+    return graph, weights
+
+
+# --------------------------------------------------------------------------
+# identity with the seed implementations
+# --------------------------------------------------------------------------
+
+
+class TestMatchesReference:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("tie_prone", [False, True], ids=["dyadic", "ties"])
+    def test_all_methods_match_seed_semantics(self, seed, tie_prone):
+        graph, weights = random_instance(seed, tie_prone)
+        for k in range(1, min(4, graph.m) + 1):
+            oracle = CoverageOracle(graph, k)
+            ref_t, ref_v = reference_exhaustive(graph, weights, k)
+            for name in ("exhaustive", "branch_and_bound"):
+                got_t, got_v = getattr(oracle, name)(weights)
+                assert got_t == ref_t, (name, seed, k)
+                assert got_v == pytest.approx(ref_v, abs=1e-12)
+            ref_t, ref_v = reference_greedy(graph, weights, k)
+            got_t, got_v = oracle.greedy(weights)
+            assert got_t == ref_t, ("greedy", seed, k)
+            assert got_v == pytest.approx(ref_v, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_best_dispatch_is_exact(self, seed):
+        graph, weights = random_instance(seed, tie_prone=False)
+        k = min(3, graph.m)
+        oracle = CoverageOracle(graph, k)
+        ref_t, ref_v = reference_exhaustive(graph, weights, k)
+        for method in ("auto", "exhaustive", "bnb"):
+            got_t, got_v = oracle.best(weights, method=method)
+            assert got_t == ref_t and got_v == pytest.approx(ref_v)
+
+    def test_off_graph_weights_ignored(self):
+        graph = path_graph(4)
+        oracle = CoverageOracle(graph, 1)
+        t, v = oracle.best({0: 1.0, "nope": 99.0}, method="exhaustive")
+        assert v == pytest.approx(1.0)
+        assert 0 in tuple_vertices(t)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(GraphError):
+            CoverageOracle(path_graph(4), 0)
+        with pytest.raises(GraphError):
+            CoverageOracle(path_graph(4), 9)
+
+    def test_unknown_method_rejected(self):
+        oracle = CoverageOracle(path_graph(4), 1)
+        with pytest.raises(ValueError, match="unknown method"):
+            oracle.best({}, method="magic")
+
+
+class TestExactMethodsAgreeOnTies:
+    """Both exact searches must return the canonical (lexicographically
+    smallest) optimal tuple — the seed bnb did not (see test_best_response
+    for the pinned pre-fix disagreement)."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_bnb_tuple_equals_exhaustive_tuple(self, seed):
+        graph, weights = random_instance(seed, tie_prone=True)
+        for k in range(1, min(4, graph.m) + 1):
+            oracle = CoverageOracle(graph, k)
+            assert oracle.branch_and_bound(weights) == oracle.exhaustive(weights)
+
+    def test_uniform_cycle_ties(self):
+        graph = cycle_graph(8)
+        weights = {v: 1.0 for v in graph.vertices()}
+        oracle = CoverageOracle(graph, 3)
+        t_bnb, _ = oracle.branch_and_bound(weights)
+        t_exh, _ = oracle.exhaustive(weights)
+        assert t_bnb == t_exh
+
+
+# --------------------------------------------------------------------------
+# batching
+# --------------------------------------------------------------------------
+
+
+class TestQueryMany:
+    def _vectors(self, graph, count=6):
+        rng = random.Random(7)
+        return [
+            {v: rng.randrange(0, 64) / 16.0 for v in graph.vertices()}
+            for _ in range(count)
+        ]
+
+    def test_matches_single_queries(self):
+        graph = complete_bipartite_graph(3, 4)
+        oracle = CoverageOracle(graph, 2)
+        vectors = self._vectors(graph)
+        batched = oracle.query_many(vectors)
+        assert batched == [oracle.best(wv) for wv in vectors]
+
+    def test_parallel_matches_serial(self):
+        graph = complete_bipartite_graph(3, 4)
+        oracle = CoverageOracle(graph, 2)
+        vectors = self._vectors(graph)
+        serial = oracle.query_many(vectors, processes=1)
+        # Falls back to the serial path on platforms without working
+        # multiprocessing — either way the answers must be identical.
+        parallel = oracle.query_many(vectors, processes=2)
+        assert parallel == serial
+
+    def test_empty_batch(self):
+        oracle = CoverageOracle(path_graph(4), 1)
+        assert oracle.query_many([]) == []
+
+
+# --------------------------------------------------------------------------
+# shared cache + coverage views
+# --------------------------------------------------------------------------
+
+
+class TestSharedCache:
+    def test_same_instance_is_reused(self):
+        graph = path_graph(5)
+        assert shared_oracle(graph, 2) is shared_oracle(graph, 2)
+
+    def test_distinct_k_distinct_oracles(self):
+        graph = path_graph(5)
+        assert shared_oracle(graph, 1) is not shared_oracle(graph, 2)
+
+    def test_equal_graphs_share(self):
+        assert shared_oracle(path_graph(5), 2) is shared_oracle(path_graph(5), 2)
+
+    def test_clear_drops_cache(self):
+        graph = path_graph(5)
+        before = shared_oracle(graph, 2)
+        clear_shared_oracles()
+        assert shared_oracle(graph, 2) is not before
+
+
+class TestCoverageViews:
+    def test_coverage_sets_match_tuple_vertices(self):
+        graph = cycle_graph(6)
+        oracle = CoverageOracle(graph, 2)
+        tuples = [((0, 1), (2, 3)), ((1, 2), (4, 5))]
+        sets = oracle.coverage_sets(tuples)
+        assert sets == {t: tuple_vertices(t) for t in tuples}
+
+    def test_coverage_sets_memoized_on_support(self):
+        graph = cycle_graph(6)
+        oracle = CoverageOracle(graph, 2)
+        tuples = [((0, 1), (2, 3)), ((1, 2), (4, 5))]
+        first = oracle.coverage_sets(tuples)
+        again = oracle.coverage_sets(list(reversed(tuples)))
+        assert again is first
+
+    def test_coverage_matrix_entries(self):
+        np = pytest.importorskip("numpy")
+        graph = cycle_graph(6)
+        oracle = CoverageOracle(graph, 2)
+        tuples = [((0, 1), (2, 3)), ((1, 2), (4, 5))]
+        matrix, slot = oracle.coverage_matrix(tuples)
+        for row, t in enumerate(tuples):
+            covered = tuple_vertices(t)
+            for v in oracle.vertices:
+                assert matrix[row, slot[v]] == (v in covered)
+        assert oracle.coverage_matrix(tuples)[0] is matrix
+
+
+# --------------------------------------------------------------------------
+# facade contract
+# --------------------------------------------------------------------------
+
+
+class TestFacadeContract:
+    """The best_response facade must keep the seed public surface: every
+    export documented in docs/api.md, signatures unchanged."""
+
+    EXPECTED_SIGNATURES = {
+        "coverage_value": "(weights, t)",
+        "exhaustive_best_tuple": "(graph, weights, k)",
+        "branch_and_bound_best_tuple": "(graph, weights, k)",
+        "greedy_tuple": "(graph, weights, k)",
+        "best_tuple": "(graph, weights, k, method='auto', exhaustive_limit=100000)",
+    }
+
+    def test_signatures_unchanged(self):
+        from repro.solvers import best_response
+
+        assert sorted(best_response.__all__) == sorted(self.EXPECTED_SIGNATURES)
+        for name, expected in self.EXPECTED_SIGNATURES.items():
+            sig = inspect.signature(getattr(best_response, name))
+            # Compare parameter names and defaults, ignoring annotations.
+            got = "({})".format(
+                ", ".join(
+                    p.name
+                    if p.default is inspect.Parameter.empty
+                    else f"{p.name}={p.default!r}"
+                    for p in sig.parameters.values()
+                )
+            )
+            assert got == expected, (name, got)
+
+    def test_exports_documented_in_api_md(self):
+        api = (REPO_ROOT / "docs" / "api.md").read_text()
+        import repro.kernels
+        from repro.solvers import best_response
+
+        for name in list(best_response.__all__) + list(repro.kernels.__all__):
+            assert f"`{name}`" in api, f"{name} missing from docs/api.md"

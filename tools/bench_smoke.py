@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Hot-path benchmark smoke test (``make bench-smoke``).
+
+Times the tracked solver hot paths — double oracle, fictitious play, and
+the Monte-Carlo engines — on small fixed instances, best-of-3, and
+
+* ``--write``   refreshes the committed ``BENCH_KERNELS.json`` trajectory
+  file (current timings + speedup versus the embedded pre-kernel
+  reference);
+* ``--check``   (default) re-times the same cases and fails when any
+  tracked path regressed more than 20% (plus a 50 ms absolute slack for
+  scheduler noise) against the committed baseline.
+
+The ``REFERENCE`` timings below were measured on the pre-kernel code path
+(the BENCH_OBS.json-era solvers, commit 38fe232) on the same instances,
+best-of-3, and are embedded so the trajectory file always evidences the
+speedup against a fixed origin rather than a moving one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BENCH_FILE = REPO_ROOT / "BENCH_KERNELS.json"
+SCHEMA = "repro.kernels/bench-smoke/v1"
+
+#: Pre-kernel (seed) wall-clock seconds for the tracked cases, best-of-3.
+REFERENCE = {
+    "double_oracle.medium_a": 0.2078,
+    "double_oracle.medium_b": 0.4345,
+    "fictitious_play.medium": 0.9336,
+    "simulation.engine.small": None,  # added with the kernel; no seed datum
+    "simulation.fast.medium": None,
+}
+
+#: Regression gate: fail when current > baseline * (1 + SLACK_REL) + SLACK_ABS.
+SLACK_REL = 0.20
+SLACK_ABS = 0.05
+
+
+def _cases():
+    from repro.core.game import TupleGame
+    from repro.equilibria.solve import solve_game
+    from repro.graphs.generators import random_bipartite_graph
+    from repro.kernels import clear_shared_oracles
+    from repro.simulation.engine import simulate
+    from repro.simulation.fast import simulate_fast
+    from repro.solvers.double_oracle import double_oracle
+    from repro.solvers.fictitious_play import fictitious_play
+
+    do_a = TupleGame(random_bipartite_graph(15, 25, 0.15, seed=60), 4, nu=1)
+    do_b = TupleGame(random_bipartite_graph(25, 40, 0.10, seed=1000), 5, nu=1)
+    fp = TupleGame(random_bipartite_graph(10, 15, 0.2, seed=150), 3, nu=1)
+    sim_game = TupleGame(random_bipartite_graph(8, 12, 0.25, seed=9), 3, nu=4)
+    sim_config = solve_game(sim_game).mixed
+
+    return {
+        "double_oracle.medium_a": lambda: double_oracle(do_a),
+        "double_oracle.medium_b": lambda: double_oracle(do_b),
+        "fictitious_play.medium": lambda: fictitious_play(fp, rounds=60),
+        "simulation.engine.small": lambda: simulate(
+            sim_game, sim_config, trials=20_000, seed=0
+        ),
+        "simulation.fast.medium": lambda: simulate_fast(
+            sim_game, sim_config, trials=400_000, seed=0
+        ),
+    }, clear_shared_oracles
+
+
+def run_cases():
+    cases, clear_shared_oracles = _cases()
+    timings = {}
+    for name, fn in cases.items():
+        best = float("inf")
+        for _ in range(3):
+            # Each repetition pays the oracle build again — the tracked
+            # number is a cold solve, comparable to the reference runs.
+            clear_shared_oracles()
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+        print(f"  {name:28s} {best * 1000:8.1f} ms")
+    return timings
+
+
+def write(timings) -> None:
+    payload = {
+        "schema": SCHEMA,
+        "slack": {"relative": SLACK_REL, "absolute_s": SLACK_ABS},
+        "cases": {
+            name: {
+                "wall_clock_s": timings[name],
+                "reference_s": REFERENCE.get(name),
+                "speedup_vs_reference": (
+                    round(REFERENCE[name] / timings[name], 2)
+                    if REFERENCE.get(name)
+                    else None
+                ),
+            }
+            for name in sorted(timings)
+        },
+    }
+    BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_FILE}")
+
+
+def check(timings) -> int:
+    if not BENCH_FILE.exists():
+        print(f"{BENCH_FILE} missing; run python tools/bench_smoke.py --write",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(BENCH_FILE.read_text())["cases"]
+    failures = []
+    for name, seconds in timings.items():
+        base = baseline.get(name, {}).get("wall_clock_s")
+        if base is None:
+            failures.append(f"{name}: not in committed baseline")
+            continue
+        limit = base * (1.0 + SLACK_REL) + SLACK_ABS
+        if seconds > limit:
+            failures.append(
+                f"{name}: {seconds:.3f}s exceeds {limit:.3f}s "
+                f"(baseline {base:.3f}s + 20% + {SLACK_ABS * 1000:.0f}ms)"
+            )
+    if failures:
+        print("bench-smoke REGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench-smoke OK: {len(timings)} hot paths within budget")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help="refresh the committed BENCH_KERNELS.json")
+    mode.add_argument("--check", action="store_true",
+                      help="fail on >20%% regression vs the baseline (default)")
+    args = parser.parse_args()
+    timings = run_cases()
+    if args.write:
+        write(timings)
+        return 0
+    return check(timings)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
