@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline obs-check api-docs api-docs-check lint lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline fuzz-smoke obs-check api-docs api-docs-check lint lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -27,6 +27,11 @@ bench-smoke:
 ## re-baseline BENCH_KERNELS.json from the current hot-path timings
 bench-smoke-baseline:
 	$(PYTHON) tools/bench_smoke.py --write
+
+## differential fuzz gate: replay the counterexample corpus, then a
+## fixed-seed fresh batch across every solver path (deterministic, <60s)
+fuzz-smoke:
+	$(PYTHON) -m repro.fuzz --count 50 --seed 20060707 --corpus tests/corpus --replay
 
 ## smoke-check the observability layer (tracing + metrics + exports)
 obs-check:
@@ -59,5 +64,5 @@ mypy:
 	fi
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
-## docs freshness, tier-1 tests, hot-path perf smoke
-ci: lint mypy obs-check api-docs-check test bench-smoke
+## docs freshness, tier-1 tests, hot-path perf smoke, differential fuzz
+ci: lint mypy obs-check api-docs-check test bench-smoke fuzz-smoke

@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError
 from repro.core.tuples import EdgeTuple
-from repro.graphs.core import Graph, Vertex
+from repro.graphs.core import Graph, Vertex, tuple_sort_key
 from repro.kernels.coverage import shared_oracle
 
 __all__ = [
@@ -45,7 +45,7 @@ def _apportion(probabilities: Dict[EdgeTuple, float], length: int) -> Dict[EdgeT
     counts = {t: int(q) for t, q in quotas.items()}
     remaining = length - sum(counts.values())
     by_remainder = sorted(
-        quotas, key=lambda t: (-(quotas[t] - counts[t]), t)
+        quotas, key=lambda t: (-(quotas[t] - counts[t]), tuple_sort_key(t))
     )
     for t in by_remainder[:remaining]:
         counts[t] += 1

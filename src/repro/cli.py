@@ -9,6 +9,7 @@ Usage examples (after ``pip install -e .``)::
     repro-defender simulate network.edges -k 2 --nu 3 --trials 20000
     repro-defender stats network.edges -k 2 --trace
     repro-defender lint --strict --baseline
+    repro-defender fuzz --count 50 --seed 7 --corpus tests/corpus --replay
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
@@ -34,6 +35,8 @@ from repro.core.game import GameError, TupleGame
 from repro.core.profits import expected_profit_tp, hit_probability
 from repro.core.pure import find_pure_nash, pure_nash_exists
 from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
+from repro.fuzz import add_fuzz_arguments as fuzz_arguments
+from repro.fuzz import run_fuzz_from_args
 from repro.graphs.core import Graph, vertex_sort_key
 from repro.graphs.io import load_graph
 from repro.graphs.properties import is_bipartite
@@ -198,6 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_parent],
     )
     lint_arguments(p_lint)
+
+    # fuzz takes no graph either — it generates its own instances.
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the solver stack on random games",
+        parents=[obs_parent],
+    )
+    fuzz_arguments(p_fuzz)
 
     return parser
 
@@ -465,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "lint":
             code = run_lint_from_args(args, emit=_emit)
+        elif args.command == "fuzz":
+            code = run_fuzz_from_args(args, emit=_emit)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)

@@ -48,7 +48,7 @@ from repro.core.profits import (
     expected_profit_vp,
     tuple_mass,
 )
-from repro.graphs.core import Graph, vertex_sort_key
+from repro.graphs.core import Graph, tuple_sort_key, vertex_sort_key
 from repro.graphs.properties import is_edge_cover, is_vertex_cover, uncovered_vertices
 
 
@@ -176,7 +176,7 @@ def check_characterization(
     # --- Condition 3 --------------------------------------------------
     masses = all_vertex_masses(config)
     support_tuple_masses = [
-        tuple_mass(config, t) for t in sorted(config.tp_support())
+        tuple_mass(config, t) for t in sorted(config.tp_support(), key=tuple_sort_key)
     ]
     _, global_max = _best_tuple(graph, masses, game.k, method=method)
     mass_spread = (

@@ -24,12 +24,20 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Ty
 
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, canonical_tuple, tuple_vertices
-from repro.graphs.core import Edge, Vertex, vertex_sort_key
+from repro.graphs.core import Edge, Vertex, tuple_sort_key, vertex_sort_key
 
 __all__ = ["PureConfiguration", "MixedConfiguration", "PROB_TOL"]
 
 PROB_TOL = 1e-9
 """Tolerance used when validating that probabilities sum to one."""
+
+_RENORM_SKIP = 1e-12
+"""Unit-mass slack below which renormalization is skipped entirely.
+
+Far above float accumulation error (~1e-14 for the largest supports the
+model sees), far below anything the payoff algebra can distinguish
+(``PROB_TOL``), and the reason the renormalizing constructor is a
+fixpoint on round-tripped documents."""
 
 
 class PureConfiguration:
@@ -111,6 +119,15 @@ def _validated_distribution(
         raise GameError(
             f"{kind} distribution must sum to 1; got {total!r}"
         )
+    if abs(total - 1.0) <= _RENORM_SKIP:
+        # Already unit mass to within accumulation noise.  Dividing here
+        # anyway would perturb each probability by an ulp — and because
+        # ``p / total`` summed is itself inexact, renormalization is not a
+        # floating-point fixpoint: serialize → load → serialize would
+        # drift bytes forever.  Preserving the given floats makes the
+        # JSON round trip exact (caught by the repro.fuzz differential
+        # harness).
+        return support
     return {s: p / total for s, p in support.items()}
 
 
@@ -209,7 +226,7 @@ class MixedConfiguration:
         if not vertices:
             raise GameError("vp_support must be non-empty")
         vp_dist = {v: 1.0 / len(vertices) for v in vertices}
-        tuples = sorted({canonical_tuple(t) for t in tp_support})
+        tuples = sorted({canonical_tuple(t) for t in tp_support}, key=tuple_sort_key)
         if not tuples:
             raise GameError("tp_support must be non-empty")
         tp_dist = {t: 1.0 / len(tuples) for t in tuples}

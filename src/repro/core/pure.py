@@ -19,7 +19,7 @@ from typing import List, Optional
 from repro.core.configuration import PureConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.profits import pure_profit_tp, pure_profit_vp
-from repro.graphs.core import Edge
+from repro.graphs.core import Edge, edge_sort_key
 from repro.matching.covers import minimum_edge_cover, minimum_edge_cover_size
 
 __all__ = [
@@ -45,7 +45,7 @@ def edge_cover_of_size(game: TupleGame) -> Optional[List[Edge]]:
     A minimum cover is padded with arbitrary further edges — adding edges
     never uncovers a vertex, so any ``k`` between ``ρ(G)`` and ``m`` works.
     """
-    minimum = sorted(minimum_edge_cover(game.graph))
+    minimum = sorted(minimum_edge_cover(game.graph), key=edge_sort_key)
     if len(minimum) > game.k:
         return None
     extras = [e for e in game.graph.sorted_edges() if e not in set(minimum)]

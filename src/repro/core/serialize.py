@@ -21,7 +21,7 @@ from typing import Any, Dict, List
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
-from repro.graphs.core import Graph, vertex_sort_key
+from repro.graphs.core import Graph, tuple_sort_key, vertex_sort_key
 
 __all__ = [
     "configuration_to_json",
@@ -59,13 +59,16 @@ def configuration_to_json(config: MixedConfiguration) -> str:
         "vertex_players": [
             sorted(
                 ([v, p] for v, p in config.vp_distribution(i).items()),
-                key=lambda item: repr(item[0]),
+                key=lambda item: vertex_sort_key(item[0]),
             )
             for i in range(game.nu)
         ],
         "tuple_player": [
             {"edges": [list(e) for e in t], "probability": p}
-            for t, p in sorted(config.tp_distribution().items())
+            for t, p in sorted(
+                config.tp_distribution().items(),
+                key=lambda item: tuple_sort_key(item[0]),
+            )
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -16,7 +16,14 @@ from itertools import combinations
 from math import comb
 from typing import FrozenSet, Iterable, Iterator, Tuple
 
-from repro.graphs.core import Edge, Graph, GraphError, Vertex, canonical_edge
+from repro.graphs.core import (
+    Edge,
+    Graph,
+    GraphError,
+    Vertex,
+    canonical_edge,
+    edge_sort_key,
+)
 
 __all__ = [
     "EdgeTuple",
@@ -43,7 +50,7 @@ def canonical_tuple(edges: Iterable[Edge]) -> EdgeTuple:
         If the tuple is empty or contains a repeated edge.
     """
     listed = [canonical_edge(u, v) for u, v in edges]
-    canon = sorted(set(listed))
+    canon = sorted(set(listed), key=edge_sort_key)
     if len(canon) != len(listed):
         raise GraphError("a tuple must consist of distinct edges")
     if not canon:

@@ -32,7 +32,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
-from repro.graphs.core import Edge, Vertex
+from repro.graphs.core import Edge, Vertex, edge_sort_key
 from repro.equilibria.matching_ne import algorithm_a
 
 __all__ = ["cyclic_tuples", "algorithm_a_tuple", "expected_tuple_count"]
@@ -85,7 +85,7 @@ def algorithm_a_tuple(
     # Step 1: matching NE of the Edge model.
     edge_config = algorithm_a(game.edge_game(), independent_set, vertex_cover)
     # Step 2: deterministic labelling e_0 .. e_{E_num-1}.
-    labelled_edges = sorted(edge_config.tp_support_edges())
+    labelled_edges = sorted(edge_config.tp_support_edges(), key=edge_sort_key)
     # Step 3: the cyclic windows.
     tuples = cyclic_tuples(labelled_edges, game.k)
     # Steps 4-5: uniform distributions (equations (3)-(4) of Lemma 4.1).

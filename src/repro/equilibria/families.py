@@ -47,7 +47,7 @@ from repro.core.game import GameError, TupleGame
 from repro.core.profits import all_hit_probabilities
 from repro.core.tuples import EdgeTuple
 from repro.equilibria.atuple import cyclic_tuples
-from repro.graphs.core import Graph
+from repro.graphs.core import Graph, edge_sort_key
 from repro.matching.blossom import maximum_matching
 
 __all__ = [
@@ -88,7 +88,7 @@ def perfect_matching_equilibrium(game: TupleGame) -> MixedConfiguration:
             f"k={game.k} exceeds the perfect matching size {len(matching)}; "
             "this regime has a pure NE (Theorem 3.1)"
         )
-    labelled = sorted(matching)
+    labelled = sorted(matching, key=edge_sort_key)
     windows = cyclic_tuples(labelled, game.k)
     return MixedConfiguration.uniform(game, graph.vertices(), windows)
 

@@ -27,7 +27,14 @@ from typing import FrozenSet, Iterable, Set
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
-from repro.graphs.core import Edge, Graph, Vertex, canonical_edge, vertex_sort_key
+from repro.graphs.core import (
+    Edge,
+    Graph,
+    Vertex,
+    canonical_edge,
+    edge_sort_key,
+    vertex_sort_key,
+)
 from repro.graphs.properties import is_independent_set
 from repro.matching.hall import is_expander_into
 
@@ -99,7 +106,7 @@ def algorithm_a(
             "(use algorithm_a_tuple)"
         )
     cover = build_matching_cover(game.graph, independent_set, vertex_cover)
-    tuples = [(e,) for e in sorted(cover)]
+    tuples = [(e,) for e in sorted(cover, key=edge_sort_key)]
     return MixedConfiguration.uniform(game, independent_set, tuples)
 
 

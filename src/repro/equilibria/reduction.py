@@ -22,6 +22,7 @@ from repro.core.profits import expected_profit_tp
 from repro.equilibria.atuple import cyclic_tuples
 from repro.equilibria.kmatching import is_kmatching_configuration
 from repro.equilibria.matching_ne import is_matching_configuration
+from repro.graphs.core import edge_sort_key
 
 __all__ = ["tuple_to_edge", "edge_to_tuple", "gain_ratio"]
 
@@ -42,7 +43,7 @@ def tuple_to_edge(
     if validate and not is_kmatching_configuration(game, config):
         raise GameError("input is not a k-matching configuration (Definition 4.1)")
     edge_game = game.edge_game()
-    tuples = [(e,) for e in sorted(config.tp_support_edges())]
+    tuples = [(e,) for e in sorted(config.tp_support_edges(), key=edge_sort_key)]
     return MixedConfiguration.uniform(edge_game, config.vp_support_union(), tuples)
 
 
@@ -66,7 +67,7 @@ def edge_to_tuple(
     if validate and not is_matching_configuration(edge_game, config):
         raise GameError("input is not a matching configuration (Definition 2.2)")
     target_game = TupleGame(edge_game.graph, k, edge_game.nu)
-    labelled_edges = sorted(config.tp_support_edges())
+    labelled_edges = sorted(config.tp_support_edges(), key=edge_sort_key)
     tuples = cyclic_tuples(labelled_edges, k)
     return MixedConfiguration.uniform(
         target_game, config.vp_support_union(), tuples

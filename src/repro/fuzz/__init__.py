@@ -1,0 +1,57 @@
+"""Differential fuzzing of the solver stack (``repro.fuzz``).
+
+The paper gives several independent routes to the same quantities — the
+structural cascade of Theorem 4.5, the exact LP minimax, double oracle,
+fictitious play — and agreement between them is the strongest correctness
+signal the reproduction has.  This package turns that redundancy into a
+test oracle: generate random games (including adversarial label and
+topology shapes), run every route, and flag any disagreement; failures
+are delta-debugged to minimal counterexamples and persisted into a
+replayable corpus (``tests/corpus/``) so they become permanent regression
+tests.
+
+Entry points: the ``repro-defender fuzz`` CLI subcommand,
+``python -m repro.fuzz``, and ``make fuzz-smoke`` (corpus replay plus a
+fixed-seed fresh batch).  See ``docs/fuzzing.md`` for the invariant
+catalog and workflow.
+"""
+
+from repro.fuzz.corpus import case_id, iter_corpus, load_case, save_case
+from repro.fuzz.generators import FAMILIES, LABEL_MODES, GameSpec, random_spec
+from repro.fuzz.invariants import (
+    DEFAULT_TOLERANCE,
+    INVARIANTS,
+    Violation,
+    check_game,
+)
+from repro.fuzz.runner import (
+    CaseResult,
+    FuzzReport,
+    add_fuzz_arguments,
+    replay_corpus,
+    run_fuzz,
+    run_fuzz_from_args,
+)
+from repro.fuzz.shrink import shrink_spec
+
+__all__ = [
+    "GameSpec",
+    "FAMILIES",
+    "LABEL_MODES",
+    "random_spec",
+    "Violation",
+    "INVARIANTS",
+    "check_game",
+    "DEFAULT_TOLERANCE",
+    "shrink_spec",
+    "case_id",
+    "save_case",
+    "load_case",
+    "iter_corpus",
+    "CaseResult",
+    "FuzzReport",
+    "run_fuzz",
+    "replay_corpus",
+    "add_fuzz_arguments",
+    "run_fuzz_from_args",
+]

@@ -1,0 +1,28 @@
+"""``python -m repro.fuzz`` — standalone driver for the differential fuzzer.
+
+Mirrors the ``repro-defender fuzz`` subcommand for environments where the
+console script is not installed (the ``make fuzz-smoke`` CI gate uses this
+form).  Exit code 0 means every game satisfied every invariant; 1 means at
+least one divergence; 2 is a usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fuzz.runner import add_fuzz_arguments, run_fuzz_from_args
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of the Π_k(G) solver stack",
+    )
+    add_fuzz_arguments(parser)
+    return run_fuzz_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The persisted counterexample corpus.
+
+Every failing case the fuzzer has ever shrunk is kept as a small JSON
+document under ``tests/corpus/`` and replayed by the ``fuzz-smoke`` CI
+gate, so a solver regression that re-introduces an old divergence fails
+immediately — the corpus is the fuzzer's long-term memory.
+
+File naming is *content-addressed*: the name is a SHA-256 prefix of the
+canonical game payload (edges, k, ν — not the provenance metadata), so
+re-discovering a known counterexample is an idempotent write and the
+directory never accumulates duplicates or depends on wall-clock state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.game import GameError
+from repro.fuzz.generators import GameSpec
+from repro.fuzz.invariants import Violation
+from repro.obs import get_logger, metrics, tracing
+
+__all__ = ["case_id", "save_case", "load_case", "iter_corpus"]
+
+_log = get_logger("repro.fuzz.corpus")
+
+PathLike = Union[str, Path]
+
+_ID_HEX_DIGITS = 12
+
+
+def case_id(spec: GameSpec) -> str:
+    """Deterministic content address of a spec's *game* (not provenance)."""
+    canonical = json.dumps(
+        {
+            "edges": [list(e) for e in spec.edges],
+            "k": spec.k,
+            "nu": spec.nu,
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:_ID_HEX_DIGITS]
+
+
+def _case_path(directory: Path, spec: GameSpec) -> Path:
+    return directory / f"case-{case_id(spec)}.json"
+
+
+def save_case(
+    directory: PathLike,
+    spec: GameSpec,
+    violations: Sequence[Violation] = (),
+) -> Path:
+    """Persist one (usually shrunk) case; returns the file path.
+
+    The violations observed at save time ride along as annotations — they
+    document *why* the case entered the corpus but play no role in replay,
+    which always re-runs the full invariant catalog.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _case_path(directory, spec)
+    payload = spec.to_payload()
+    payload["violations"] = [v.to_payload() for v in violations]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    metrics.counter("fuzz.corpus.saved.count").inc()
+    _log.info("fuzz.corpus.saved", path=str(path), case=spec.describe())
+    return path
+
+
+def load_case(path: PathLike) -> GameSpec:
+    """Read one corpus file back into a replayable spec (strict)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise GameError(f"corrupt corpus file {path}: {exc}") from exc
+    return GameSpec.from_payload(payload)
+
+
+def iter_corpus(directory: PathLike) -> Iterator[Tuple[Path, GameSpec]]:
+    """Yield ``(path, spec)`` for every case file, in sorted name order.
+
+    A missing directory is an empty corpus, not an error — the smoke gate
+    must pass on a fresh checkout before any counterexample exists.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    with tracing.span("fuzz.corpus.scan", directory=str(directory)):
+        for path in sorted(directory.glob("case-*.json")):
+            yield path, load_case(path)

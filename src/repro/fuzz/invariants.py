@@ -1,0 +1,374 @@
+"""The differential-invariant catalog: what every solver path must agree on.
+
+Each check takes one :class:`~repro.core.game.TupleGame` and returns the
+list of :class:`Violation` records it found (empty = clean).  The catalog
+is keyed by name so the runner, the corpus replayer and the docs all refer
+to the same set; every check carries the paper result it enforces:
+
+============================  ==========  =======================================
+check                         theorem     cross-checked paths
+============================  ==========  =======================================
+``pure-threshold``            T3.1, C3.3  Gallai/blossom cover vs pure-NE search
+``value-agreement``           —           LP minimax, double oracle (exact and
+                                          greedy), fictitious-play sandwich
+``solve-cascade``             T3.4, T4.5  structural cascade vs LP value; the
+                                          k-matching gain law ``k·ν/ρ(G)``
+``serialize-roundtrip``       —           JSON dump → load → re-verify → re-dump
+``graph-io-roundtrip``        —           graph JSON + edge-list codecs
+``kernel-reference``          —           coverage kernel vs brute-force argmax
+``simulation-agreement``      D2.1        vectorized Monte Carlo vs exact profit
+``ranges-consistency``        —           polytope probes vs LP value (gated)
+============================  ==========  =======================================
+
+A check that *raises* is itself a finding — the harness converts the
+exception into a ``crash`` violation rather than aborting the batch, so
+one broken game never hides the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.characterization import is_mixed_nash
+from repro.core.game import TupleGame
+from repro.core.pure import pure_nash_exists
+from repro.core.serialize import configuration_from_json, configuration_to_json
+from repro.core.tuples import all_tuples, tuple_vertices
+from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
+from repro.graphs.core import Graph, tuple_sort_key
+from repro.graphs.io import (
+    format_edge_list,
+    graph_from_json,
+    graph_to_json,
+    parse_edge_list,
+)
+from repro.kernels.coverage import shared_oracle
+from repro.matching.covers import minimum_edge_cover_size
+from repro.simulation.fast import simulate_fast
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.fictitious_play import fictitious_play
+from repro.solvers.lp import solve_minimax
+from repro.solvers.ranges import attacker_vertex_ranges
+
+__all__ = ["Violation", "INVARIANTS", "check_game", "DEFAULT_TOLERANCE"]
+
+DEFAULT_TOLERANCE = 1e-6
+"""Value-agreement tolerance across solver paths (each path is itself
+accurate to ~1e-9; the slack absorbs accumulation across pipelines)."""
+
+#: ``ranges-consistency`` probes 2 LPs per coordinate — only worth the
+#: cycles on small instances.
+_RANGES_TUPLE_LIMIT = 150
+_RANGES_MAX_N = 8
+
+_SIMULATION_TRIALS = 4_000
+_FP_ROUNDS = 120
+
+
+class Violation:
+    """One observed divergence between solver paths (or from a theorem)."""
+
+    __slots__ = ("check", "theorem", "message")
+
+    def __init__(self, check: str, message: str, theorem: str = "") -> None:
+        self.check = check
+        self.theorem = theorem
+        self.message = message
+
+    def to_payload(self) -> Dict[str, str]:
+        return {
+            "check": self.check,
+            "theorem": self.theorem,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:
+        tag = f" [{self.theorem}]" if self.theorem else ""
+        return f"Violation({self.check}{tag}: {self.message})"
+
+
+def _close(a: float, b: float, tol: float) -> bool:
+    return abs(a - b) <= tol
+
+
+# --------------------------------------------------------------------------
+# individual checks
+
+
+def check_pure_threshold(game: TupleGame, tol: float) -> List[Violation]:
+    """Pure NE exists iff ``k ≥ ρ(G)`` (Theorem 3.1 / Corollary 3.3)."""
+    rho = minimum_edge_cover_size(game.graph)
+    exists = pure_nash_exists(game)
+    out: List[Violation] = []
+    if exists != (game.k >= rho):
+        out.append(Violation(
+            "pure-threshold",
+            f"pure_nash_exists={exists} but k={game.k}, rho={rho}",
+            theorem="Theorem 3.1",
+        ))
+    if game.graph.n >= 2 * game.k + 1 and exists:
+        out.append(Violation(
+            "pure-threshold",
+            f"pure NE reported with n={game.graph.n} >= 2k+1={2 * game.k + 1}",
+            theorem="Corollary 3.3",
+        ))
+    return out
+
+
+def check_value_agreement(game: TupleGame, tol: float) -> List[Violation]:
+    """All four solver routes must agree on the per-attacker value."""
+    out: List[Violation] = []
+    value = solve_minimax(game).value
+
+    do_exact = double_oracle(game, method="auto")
+    if not do_exact.exact:
+        out.append(Violation(
+            "value-agreement",
+            f"exact double oracle failed its own certificate "
+            f"(gap={do_exact.certified_gap:.3e})",
+        ))
+    if not _close(do_exact.value, value, tol):
+        out.append(Violation(
+            "value-agreement",
+            f"double_oracle(auto)={do_exact.value!r} vs LP={value!r}",
+        ))
+
+    do_greedy = double_oracle(game, method="greedy")
+    if do_greedy.exact and not _close(do_greedy.value, value, tol):
+        out.append(Violation(
+            "value-agreement",
+            f"double_oracle(greedy)={do_greedy.value!r} certified exact "
+            f"but LP={value!r}",
+        ))
+
+    fp = fictitious_play(game, rounds=_FP_ROUNDS)
+    if not (fp.lower_bound - tol <= value <= fp.upper_bound + tol):
+        out.append(Violation(
+            "value-agreement",
+            f"LP value {value!r} escapes the fictitious-play sandwich "
+            f"[{fp.lower_bound!r}, {fp.upper_bound!r}]",
+        ))
+    return out
+
+
+def check_solve_cascade(game: TupleGame, tol: float) -> List[Violation]:
+    """The structural cascade must emit verified equilibria with the
+    theorem-mandated gain (Theorem 3.4 characterization, Theorem 4.5 law).
+    """
+    try:
+        result = solve_game(game)
+    except NoEquilibriumFoundError:
+        # An honest "out of reach" is allowed (non-bipartite heuristics);
+        # the LP paths still cover the instance via value-agreement.
+        return []
+    out: List[Violation] = []
+    if not is_mixed_nash(game, result.mixed):
+        out.append(Violation(
+            "solve-cascade",
+            f"solve_game kind={result.kind!r} returned a non-equilibrium",
+            theorem="Theorem 3.4",
+        ))
+    value = solve_minimax(game).value
+    if not _close(result.defender_gain, game.nu * value, tol):
+        out.append(Violation(
+            "solve-cascade",
+            f"defender_gain={result.defender_gain!r} != nu*value="
+            f"{game.nu * value!r} (kind={result.kind!r})",
+        ))
+    if result.kind == "k-matching":
+        rho = minimum_edge_cover_size(game.graph)
+        expected = game.k * game.nu / rho
+        if not _close(result.defender_gain, expected, tol):
+            out.append(Violation(
+                "solve-cascade",
+                f"k-matching gain {result.defender_gain!r} != "
+                f"k*nu/rho = {expected!r}",
+                theorem="Theorem 4.5",
+            ))
+    return out
+
+
+def check_serialize_roundtrip(game: TupleGame, tol: float) -> List[Violation]:
+    """dump → load → the equilibrium still verifies → dump is canonical."""
+    try:
+        config = solve_game(game).mixed
+    except NoEquilibriumFoundError:
+        return []
+    text = configuration_to_json(config)
+    restored = configuration_from_json(text)
+    out: List[Violation] = []
+    if restored.game != game:
+        out.append(Violation(
+            "serialize-roundtrip", "game did not survive the round trip",
+        ))
+        return out
+    if not is_mixed_nash(restored.game, restored):
+        out.append(Violation(
+            "serialize-roundtrip",
+            "restored configuration is no longer a Nash equilibrium",
+        ))
+    if configuration_to_json(restored) != text:
+        out.append(Violation(
+            "serialize-roundtrip",
+            "serialization is not canonical (re-dump differs)",
+        ))
+    return out
+
+
+def check_graph_io_roundtrip(game: TupleGame, tol: float) -> List[Violation]:
+    """The graph codecs must be lossless on every generated label shape.
+
+    JSON always round-trips; the edge-list format carries no type
+    information, so it is only required to round-trip when all labels
+    share one type (pure-int files re-coerce, pure-str files stay put).
+    """
+    graph = game.graph
+    out: List[Violation] = []
+    if graph_from_json(graph_to_json(graph)) != graph:
+        out.append(Violation(
+            "graph-io-roundtrip", "JSON graph codec is not lossless",
+        ))
+    label_types = {type(v) for v in graph.vertices()}
+    if len(label_types) == 1:
+        if parse_edge_list(format_edge_list(graph)) != graph:
+            out.append(Violation(
+                "graph-io-roundtrip",
+                f"edge-list codec is not lossless on "
+                f"{label_types.pop().__name__} labels",
+            ))
+    return out
+
+
+def _reference_best(game: TupleGame, weights: Dict) -> float:
+    """Brute-force coverage argmax — the kernel's independent referee."""
+    best = float("-inf")
+    for t in sorted(all_tuples(game.graph, game.k), key=tuple_sort_key):
+        best = max(best, sum(weights[v] for v in tuple_vertices(t)))
+    return best
+
+
+def check_kernel_reference(game: TupleGame, tol: float) -> List[Violation]:
+    """The exact coverage kernel must match a brute-force best response."""
+    rng = random.Random(game.graph.n * 7919 + game.graph.m * 31 + game.k)
+    vertices = game.graph.sorted_vertices()
+    oracle = shared_oracle(game.graph, game.k)
+    out: List[Violation] = []
+    for trial in range(3):
+        weights = {v: rng.uniform(0.0, 1.0) for v in vertices}
+        _, kernel_value = oracle.best(weights, method="auto")
+        reference = _reference_best(game, weights)
+        if not _close(kernel_value, reference, tol):
+            out.append(Violation(
+                "kernel-reference",
+                f"kernel best-response {kernel_value!r} != brute force "
+                f"{reference!r} (trial {trial})",
+            ))
+        _, greedy_value = oracle.greedy(weights)
+        if greedy_value > reference + tol:
+            out.append(Violation(
+                "kernel-reference",
+                f"greedy value {greedy_value!r} exceeds the exact optimum "
+                f"{reference!r} (trial {trial})",
+            ))
+    return out
+
+
+def check_simulation_agreement(game: TupleGame, tol: float) -> List[Violation]:
+    """Monte-Carlo profit must bracket the exact expectation (Def. 2.1)."""
+    try:
+        result = solve_game(game)
+    except NoEquilibriumFoundError:
+        return []
+    sim = simulate_fast(game, result.mixed, trials=_SIMULATION_TRIALS, seed=7)
+    stderr = sim.defender_std / max(1, _SIMULATION_TRIALS) ** 0.5
+    slack = 6.0 * stderr + tol
+    if abs(sim.defender_mean - result.defender_gain) > slack:
+        return [Violation(
+            "simulation-agreement",
+            f"simulated gain {sim.defender_mean!r} is {slack!r}-far from "
+            f"exact {result.defender_gain!r} "
+            f"({_SIMULATION_TRIALS} trials, 6 sigma)",
+            theorem="Definition 2.1",
+        )]
+    return []
+
+
+def check_ranges_consistency(game: TupleGame, tol: float) -> List[Violation]:
+    """Polytope probes: well-formed intervals at the LP value (gated)."""
+    if (
+        game.tuple_strategy_count() > _RANGES_TUPLE_LIMIT
+        or game.graph.n > _RANGES_MAX_N
+    ):
+        return []
+    ranges = attacker_vertex_ranges(game)
+    value = solve_minimax(game).value
+    out: List[Violation] = []
+    if not _close(ranges.value, value, tol):
+        out.append(Violation(
+            "ranges-consistency",
+            f"probe value {ranges.value!r} != LP value {value!r}",
+        ))
+    total_low = 0.0
+    for v, (low, high) in ranges.ranges.items():
+        if not (-tol <= low <= high + tol and high <= 1.0 + tol):
+            out.append(Violation(
+                "ranges-consistency",
+                f"malformed interval [{low!r}, {high!r}] for vertex {v!r}",
+            ))
+        total_low += low
+    if total_low > 1.0 + tol:
+        out.append(Violation(
+            "ranges-consistency",
+            f"per-vertex minima sum to {total_low!r} > 1",
+        ))
+    return out
+
+
+# --------------------------------------------------------------------------
+# catalog + driver
+
+
+Check = Callable[[TupleGame, float], List[Violation]]
+
+INVARIANTS: Dict[str, Check] = {
+    "pure-threshold": check_pure_threshold,
+    "value-agreement": check_value_agreement,
+    "solve-cascade": check_solve_cascade,
+    "serialize-roundtrip": check_serialize_roundtrip,
+    "graph-io-roundtrip": check_graph_io_roundtrip,
+    "kernel-reference": check_kernel_reference,
+    "simulation-agreement": check_simulation_agreement,
+    "ranges-consistency": check_ranges_consistency,
+}
+"""Name → check, in execution order.  Names are stable API: the corpus,
+the CLI ``--invariant`` filter and :doc:`docs/fuzzing.md` all use them."""
+
+
+def check_game(
+    game: TupleGame,
+    tolerance: float = DEFAULT_TOLERANCE,
+    checks: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Run the selected invariants (default: all) against one game.
+
+    Exceptions inside a check are converted into ``crash`` violations so
+    a single pathological instance cannot abort a fuzz batch.
+    """
+    names = list(INVARIANTS) if checks is None else list(checks)
+    violations: List[Violation] = []
+    for name in names:
+        try:
+            check = INVARIANTS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown invariant {name!r}; known: {sorted(INVARIANTS)}"
+            ) from None
+        try:
+            violations.extend(check(game, tolerance))
+        except Exception as exc:  # noqa: BLE001 — a crash IS a finding
+            violations.append(Violation(
+                name, f"check crashed: {type(exc).__name__}: {exc}",
+            ))
+    return violations

@@ -1,0 +1,290 @@
+"""The fuzz driver: batches, corpus replay, shrinking, reporting.
+
+Two entry points back both the CLI subcommand and ``python -m repro.fuzz``:
+
+* :func:`run_fuzz` — generate ``count`` fresh games from a master seed and
+  run the invariant catalog over each.  Failures are shrunk to minimal
+  counterexamples and (optionally) persisted into the corpus.
+* :func:`replay_corpus` — re-run the catalog over every persisted
+  counterexample; the regression half of the ``fuzz-smoke`` CI gate.
+
+Everything is observable: ``fuzz.games.count`` / ``fuzz.violations.count``
+counters, a ``fuzz.run.seconds`` timer and per-batch ``fuzz.run`` spans
+feed the same telemetry pipeline as the solvers (see OBS001).
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.corpus import iter_corpus, save_case
+from repro.fuzz.generators import GameSpec, random_spec
+from repro.fuzz.invariants import (
+    DEFAULT_TOLERANCE,
+    Violation,
+    check_game,
+)
+from repro.fuzz.shrink import shrink_spec
+from repro.obs import get_logger, metrics, tracing
+
+# The argparse glue (add_fuzz_arguments / run_fuzz_from_args) is exported
+# at the package level, not here: runner's own ``__all__`` names the
+# instrumented entry points that OBS001 audits.
+__all__ = ["CaseResult", "FuzzReport", "run_fuzz", "replay_corpus"]
+
+_log = get_logger("repro.fuzz.runner")
+
+#: Derivation stride between per-case seeds (a prime far above any batch
+#: size, so case streams never overlap for distinct master seeds).
+_SEED_STRIDE = 1_000_003
+
+
+class CaseResult:
+    """Outcome of one fuzzed game."""
+
+    __slots__ = ("spec", "violations", "shrunk", "corpus_path")
+
+    def __init__(
+        self,
+        spec: GameSpec,
+        violations: List[Violation],
+        shrunk: Optional[GameSpec] = None,
+        corpus_path: Optional[Path] = None,
+    ) -> None:
+        self.spec = spec
+        self.violations = violations
+        self.shrunk = shrunk
+        self.corpus_path = corpus_path
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"CaseResult({self.spec.describe()}: {status})"
+
+
+class FuzzReport:
+    """Aggregate outcome of a batch (fresh or replayed)."""
+
+    __slots__ = ("mode", "results")
+
+    def __init__(self, mode: str, results: List[CaseResult]) -> None:
+        self.mode = mode
+        self.results = results
+
+    @property
+    def games(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def families(self) -> Dict[str, int]:
+        """Coverage histogram: base family name → games fuzzed."""
+        seen: Dict[str, int] = {}
+        for r in self.results:
+            base = r.spec.family.split(":", 1)[0]
+            seen[base] = seen.get(base, 0) + 1
+        return dict(sorted(seen.items()))
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz {self.mode}: {self.games} games, "
+            f"{len(self.failures)} failing",
+        ]
+        fams = self.families()
+        if fams:
+            lines.append(
+                "families: "
+                + ", ".join(f"{name} x{count}" for name, count in fams.items())
+            )
+        for result in self.failures:
+            lines.append(f"FAIL {result.spec.describe()}")
+            for v in result.violations:
+                tag = f" [{v.theorem}]" if v.theorem else ""
+                lines.append(f"  - {v.check}{tag}: {v.message}")
+            if result.shrunk is not None and result.shrunk != result.spec:
+                lines.append(f"  shrunk to: {result.shrunk.describe()}")
+            if result.corpus_path is not None:
+                lines.append(f"  saved: {result.corpus_path}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"FuzzReport(mode={self.mode!r}, games={self.games}, ok={self.ok})"
+
+
+def _failing_checks(violations: Sequence[Violation]) -> List[str]:
+    seen: List[str] = []
+    for v in violations:
+        if v.check not in seen:
+            seen.append(v.check)
+    return seen
+
+
+def _process_failure(
+    spec: GameSpec,
+    violations: List[Violation],
+    corpus_dir: Optional[Path],
+    tolerance: float,
+) -> CaseResult:
+    """Shrink a failing case against its own failing checks, persist it."""
+    checks = _failing_checks(violations)
+
+    def still_fails(candidate: GameSpec) -> bool:
+        return bool(check_game(candidate.to_game(), tolerance, checks=checks))
+
+    shrunk = shrink_spec(spec, still_fails)
+    shrunk_violations = check_game(shrunk.to_game(), tolerance, checks=checks)
+    path = None
+    if corpus_dir is not None:
+        path = save_case(corpus_dir, shrunk, shrunk_violations or violations)
+    return CaseResult(spec, violations, shrunk=shrunk, corpus_path=path)
+
+
+def run_fuzz(
+    count: int = 50,
+    seed: int = 0,
+    corpus_dir: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    checks: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz ``count`` fresh games derived from ``seed``.
+
+    Each case gets its own ``random.Random`` seeded by an affine function
+    of the master seed, so batches are reproducible case-by-case and
+    extending ``count`` never re-shuffles earlier cases.  Failing cases
+    are shrunk (when ``shrink``) and written into ``corpus_dir`` (when
+    given) for permanent regression coverage.
+    """
+    corpus = Path(corpus_dir) if corpus_dir else None
+    results: List[CaseResult] = []
+    with tracing.span("fuzz.run", count=count, seed=seed), \
+            metrics.timer("fuzz.run.seconds"):
+        for index in range(count):
+            case_seed = seed * _SEED_STRIDE + index
+            rng = random.Random(case_seed)
+            spec = random_spec(rng, seed=case_seed)
+            metrics.counter("fuzz.games.count").inc()
+            violations = check_game(spec.to_game(), tolerance, checks=checks)
+            if violations:
+                metrics.counter("fuzz.violations.count").inc(len(violations))
+                _log.warning(
+                    "fuzz.case.failed", case=spec.describe(),
+                    checks=_failing_checks(violations),
+                )
+                if shrink:
+                    results.append(
+                        _process_failure(spec, violations, corpus, tolerance)
+                    )
+                    continue
+            results.append(CaseResult(spec, violations))
+    report = FuzzReport("batch", results)
+    _log.info(
+        "fuzz.run.done", games=report.games, failures=len(report.failures),
+    )
+    return report
+
+
+def replay_corpus(
+    corpus_dir: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    checks: Optional[Sequence[str]] = None,
+) -> FuzzReport:
+    """Re-run the invariant catalog over every persisted counterexample.
+
+    Replay never shrinks or writes — it is the pure regression half of the
+    smoke gate.  An absent or empty corpus replays vacuously green.
+    """
+    results: List[CaseResult] = []
+    with tracing.span("fuzz.replay", corpus=str(corpus_dir)), \
+            metrics.timer("fuzz.replay.seconds"):
+        for path, spec in iter_corpus(corpus_dir):
+            metrics.counter("fuzz.replayed.count").inc()
+            violations = check_game(spec.to_game(), tolerance, checks=checks)
+            if violations:
+                metrics.counter("fuzz.violations.count").inc(len(violations))
+            results.append(CaseResult(spec, violations, corpus_path=path))
+    report = FuzzReport("replay", results)
+    _log.info(
+        "fuzz.replay.done", games=report.games,
+        failures=len(report.failures),
+    )
+    return report
+
+
+# --------------------------------------------------------------------------
+# argparse glue (shared by ``repro-defender fuzz`` and ``python -m repro.fuzz``)
+
+
+def add_fuzz_arguments(parser) -> None:
+    """Attach the fuzz flags to an ``argparse`` (sub)parser."""
+    parser.add_argument(
+        "--count", type=int, default=50,
+        help="fresh games to generate (default: 50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed; every batch is a pure function of it",
+    )
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="counterexample corpus directory (shrunk failures are "
+             "saved here; use with --replay to re-check old cases)",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="replay the corpus before (or instead of) fresh fuzzing",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw failing games without delta-debugging them",
+    )
+    parser.add_argument(
+        "--invariant", action="append", default=None, metavar="NAME",
+        help="restrict to one invariant (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--list-invariants", action="store_true",
+        help="print the invariant catalog and exit",
+    )
+
+
+def run_fuzz_from_args(args, emit=print) -> int:
+    """Execute a parsed fuzz invocation; returns a process exit code
+    (0 = all invariants held, 1 = divergence found, 2 = usage error)."""
+    if args.list_invariants:
+        from repro.fuzz.invariants import INVARIANTS
+
+        for name, check in INVARIANTS.items():
+            doc = (check.__doc__ or "").strip().splitlines()[0]
+            emit(f"{name}: {doc}")
+        return 0
+    ok = True
+    if args.replay:
+        if not args.corpus:
+            emit("error: --replay requires --corpus")
+            return 2
+        report = replay_corpus(args.corpus, checks=args.invariant)
+        emit(report.summary())
+        ok = ok and report.ok
+    if args.count > 0:
+        report = run_fuzz(
+            count=args.count,
+            seed=args.seed,
+            corpus_dir=args.corpus,
+            checks=args.invariant,
+            shrink=not args.no_shrink,
+        )
+        emit(report.summary())
+        ok = ok and report.ok
+    return 0 if ok else 1

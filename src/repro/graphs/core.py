@@ -39,6 +39,8 @@ __all__ = [
     "canonical_edge",
     "GraphError",
     "vertex_sort_key",
+    "edge_sort_key",
+    "tuple_sort_key",
 ]
 
 
@@ -90,6 +92,25 @@ def _sort_key(vertex: Vertex) -> _SortKey:
 #: Public alias, for callers outside this module that want to sort
 #: vertices (or vertex-keyed rows) in the library's canonical order.
 vertex_sort_key = _sort_key
+
+
+def edge_sort_key(edge: Edge) -> Tuple[_SortKey, _SortKey]:
+    """Sort key placing edges in the library's canonical (lexicographic)
+    order.
+
+    Bare ``sorted(edges)`` compares endpoint values directly and raises
+    ``TypeError`` on graphs that mix vertex types (ints and strings);
+    this key routes every comparison through :func:`vertex_sort_key`, so
+    edge order is total and agrees with :meth:`Graph.sorted_edges` on any
+    graph the library accepts.
+    """
+    return (_sort_key(edge[0]), _sort_key(edge[1]))
+
+
+def tuple_sort_key(edges: Iterable[Edge]) -> Tuple[Tuple[_SortKey, _SortKey], ...]:
+    """Sort key for edge *tuples* (defender strategies) — lexicographic on
+    :func:`edge_sort_key`, total even across mixed vertex types."""
+    return tuple(edge_sort_key(e) for e in edges)
 
 
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:
@@ -192,7 +213,7 @@ class Graph:
 
     def sorted_edges(self) -> List[Edge]:
         """Edges in deterministic order (lexicographic on canonical form)."""
-        return sorted(self._edges, key=lambda e: (_sort_key(e[0]), _sort_key(e[1])))
+        return sorted(self._edges, key=edge_sort_key)
 
     def has_vertex(self, v: Vertex) -> bool:
         return v in self._vertices
@@ -216,7 +237,7 @@ class Graph:
         """All edges incident to ``v``, in deterministic order."""
         return sorted(
             (canonical_edge(v, u) for u in self.neighbors(v)),
-            key=lambda e: (_sort_key(e[0]), _sort_key(e[1])),
+            key=edge_sort_key,
         )
 
     def neighborhood(self, vertices: Iterable[Vertex]) -> FrozenSet[Vertex]:

@@ -15,6 +15,7 @@ disk.  Two formats are supported:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import List, Sequence, Tuple, Union
 
@@ -51,12 +52,20 @@ def parse_edge_list(text: str) -> Graph:
     return Graph(pairs)
 
 
+_CANONICAL_INT = re.compile(r"(0|-?[1-9][0-9]*)\Z")
+
+
 def _is_int(label: str) -> bool:
-    try:
-        int(label)
-    except ValueError:
-        return False
-    return True
+    """True only for *canonical* decimal integer labels.
+
+    ``int()`` accepts Python literal conveniences that silently merge or
+    rewrite labels: underscore separators (``1_0`` → ``10``), leading
+    zeros (``01`` and ``1`` become one vertex), surrounding whitespace and
+    an explicit ``+`` sign.  A label is coerced only when its decimal
+    rendering round-trips byte-identically, so every edge-list file either
+    keeps all labels verbatim (as strings) or maps them 1:1 onto ints.
+    """
+    return _CANONICAL_INT.match(label) is not None
 
 
 def format_edge_list(graph: Graph) -> str:

@@ -54,7 +54,7 @@ from math import comb
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.tuples import EdgeTuple, tuple_vertices
-from repro.graphs.core import Edge, Graph, GraphError, Vertex
+from repro.graphs.core import Edge, Graph, GraphError, Vertex, tuple_sort_key
 from repro.obs import get_logger, metrics, tracing
 
 __all__ = ["CoverageOracle", "shared_oracle", "clear_shared_oracles"]
@@ -591,7 +591,7 @@ class CoverageOracle:
         map; memoizing on the (sorted) support means repeated runs over
         the same configuration skip the rebuild entirely.
         """
-        key = tuple(sorted(tuples))
+        key = tuple(sorted(tuples, key=tuple_sort_key))
         if key == self._cover_sets_key:
             metrics.counter("perf.kernel.cover.hits.count").inc()
             return self._cover_sets_val

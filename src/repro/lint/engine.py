@@ -82,8 +82,9 @@ class LintConfig:
                 "repro.simulation.engine",
                 "repro.simulation.fast",
                 "repro.equilibria.solve",
+                "repro.fuzz.runner",
             ),
-            rng_seeded_entry_prefixes=("repro.simulation.",),
+            rng_seeded_entry_prefixes=("repro.simulation.", "repro.fuzz."),
             theory_packages=("repro.core", "repro.equilibria"),
         )
 
@@ -105,6 +106,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "repro.models": 5,
     "repro.analysis": 6,
     "repro.lint": 6,
+    "repro.fuzz": 6,
     "repro.cli": 7,
     "repro": 8,
 }

@@ -62,7 +62,14 @@ class RunningStat:
         return self.stddev / math.sqrt(self.count)
 
     def confidence_interval(self, z: float = _Z95) -> Tuple[float, float]:
-        """Normal-approximation CI for the mean (95% by default)."""
+        """Normal-approximation CI for the mean (95% by default).
+
+        Boundary behavior (pinned by the test suite): with no samples the
+        interval is vacuous, ``(-inf, inf)``; with a single sample the
+        variance estimate is 0 and the interval degenerates to the
+        zero-width ``(mean, mean)``.  Neither is a usable error bar —
+        callers wanting honest intervals need ``count >= 2``.
+        """
         half = z * self.stderr
         return self.mean - half, self.mean + half
 

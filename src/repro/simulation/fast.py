@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
+from repro.graphs.core import tuple_sort_key
 from repro.kernels.coverage import shared_oracle
 from repro.obs import metrics, tracing
 
@@ -99,7 +100,7 @@ def _simulate_fast(
 ) -> FastSimulationResult:
     rng = np.random.default_rng(seed)
 
-    tuples = sorted(config.tp_support())
+    tuples = sorted(config.tp_support(), key=tuple_sort_key)
     tuple_probs = np.array([config.prob_tp(t) for t in tuples])
     tuple_probs = tuple_probs / tuple_probs.sum()
 

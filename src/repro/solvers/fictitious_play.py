@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.game import TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
-from repro.graphs.core import Vertex, vertex_sort_key
+from repro.graphs.core import Vertex, tuple_sort_key, vertex_sort_key
 from repro.kernels.coverage import shared_oracle
 from repro.obs import get_logger, metrics, tracing
 
@@ -182,10 +182,16 @@ def _run_fictitious_play(
 
     total_rounds = len(history)
     attacker_strategy = {
-        v: c / total_rounds for v, c in sorted(attacker_counts.items(), key=vertex_sort_key)
+        v: c / total_rounds
+        for v, c in sorted(
+            attacker_counts.items(), key=lambda item: vertex_sort_key(item[0])
+        )
     }
     defender_strategy = {
-        t: c / total_rounds for t, c in sorted(defender_counts.items())
+        t: c / total_rounds
+        for t, c in sorted(
+            defender_counts.items(), key=lambda item: tuple_sort_key(item[0])
+        )
     }
     # Report the tightest bounds seen (both are valid bounds every round).
     best_lower = max(l for l, _ in history)

@@ -19,7 +19,7 @@ equilibria needed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -32,7 +32,22 @@ from repro.obs import metrics, tracing
 __all__ = ["StrategyRanges", "attacker_vertex_ranges", "defender_edge_ranges"]
 
 _TOL = 1e-9
+_TOL_WIDEN = 1e4
+"""Infeasibility fallback: one retry with the relaxation widened by this
+factor (1e-9 → 1e-5) before giving up.
+
+``solve_minimax`` returns ``v*`` with solver error around 1e-8 on some
+instances; relaxing the optimality constraints by a smaller tolerance can
+make the probed polytope *empty*, so ``_probe`` would fail on games that
+are perfectly well-posed.  The relaxation is relative (scaled by
+``max(1, |v*|)``) and the widened retry keeps the probe well inside any
+meaningful probability resolution (ranges are reported at 1e-7)."""
 _DEFAULT_TUPLE_LIMIT = 100_000
+
+
+def _relaxation(value: float) -> float:
+    """Relative optimality relaxation for the probe LPs."""
+    return _TOL * max(1.0, abs(value))
 
 
 class StrategyRanges:
@@ -65,13 +80,17 @@ class StrategyRanges:
         )
 
 
+class _ProbeInfeasible(GameError):
+    """A probe LP failed — usually an over-tight optimality relaxation."""
+
+
 def _probe(c, a_ub, b_ub, a_eq, b_eq, bounds) -> float:
     res = linprog(
         c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
         method="highs",
     )
     if not res.success:
-        raise GameError(f"range-probe LP failed: {res.message}")
+        raise _ProbeInfeasible(f"range-probe LP failed: {res.message}")
     return float(res.fun)
 
 
@@ -111,19 +130,31 @@ def _attacker_vertex_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     value = solve_minimax(game, tuple_limit=tuple_limit).value
     n = len(vertices)
     a_ub = coverage
-    b_ub = np.full(len(tuples), value + _TOL)
     a_eq = np.ones((1, n))
     b_eq = np.array([1.0])
     bounds = [(0.0, 1.0)] * n
 
-    ranges: Dict[Vertex, Tuple[float, float]] = {}
-    for i, v in enumerate(vertices):
-        c = np.zeros(n)
-        c[i] = 1.0
-        low = _probe(c, a_ub, b_ub, a_eq, b_eq, bounds)
-        high = -_probe(-c, a_ub, b_ub, a_eq, b_eq, bounds)
-        ranges[v] = (max(0.0, low), min(1.0, high))
-    return StrategyRanges(value, ranges)
+    last_error: Optional[GameError] = None
+    for widen in (1.0, _TOL_WIDEN):
+        b_ub = np.full(len(tuples), value + widen * _relaxation(value))
+        try:
+            ranges: Dict[Vertex, Tuple[float, float]] = {}
+            for i, v in enumerate(vertices):
+                c = np.zeros(n)
+                c[i] = 1.0
+                low = _probe(c, a_ub, b_ub, a_eq, b_eq, bounds)
+                high = -_probe(-c, a_ub, b_ub, a_eq, b_eq, bounds)
+                ranges[v] = (max(0.0, low), min(1.0, high))
+            return StrategyRanges(value, ranges)
+        except _ProbeInfeasible as exc:
+            # v* carries solver error; an over-tight relaxation can empty
+            # the optimality polytope.  Retry once, widened.
+            last_error = exc
+            metrics.counter("ranges.probe.retry.count").inc()
+    raise GameError(
+        f"attacker range probes infeasible even with a widened tolerance "
+        f"({_TOL_WIDEN:g}x): {last_error}"
+    )
 
 
 def defender_edge_ranges(
@@ -148,7 +179,6 @@ def _defender_edge_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     value = solve_minimax(game, tuple_limit=tuple_limit).value
     t_count = len(tuples)
     a_ub = -coverage.T  # (A^T p)_v >= v*  ->  -(A^T p)_v <= -v*
-    b_ub = np.full(len(vertices), -(value - _TOL))
     a_eq = np.ones((1, t_count))
     b_eq = np.array([1.0])
     bounds = [(0.0, 1.0)] * t_count
@@ -161,9 +191,20 @@ def _defender_edge_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
                 row[idx] = 1.0
         membership[e] = row
 
-    ranges: Dict[Edge, Tuple[float, float]] = {}
-    for e, row in membership.items():
-        low = _probe(row, a_ub, b_ub, a_eq, b_eq, bounds)
-        high = -_probe(-row, a_ub, b_ub, a_eq, b_eq, bounds)
-        ranges[e] = (max(0.0, low), min(1.0, high))
-    return StrategyRanges(value, ranges)
+    last_error: Optional[GameError] = None
+    for widen in (1.0, _TOL_WIDEN):
+        b_ub = np.full(len(vertices), -(value - widen * _relaxation(value)))
+        try:
+            ranges: Dict[Edge, Tuple[float, float]] = {}
+            for e, row in membership.items():
+                low = _probe(row, a_ub, b_ub, a_eq, b_eq, bounds)
+                high = -_probe(-row, a_ub, b_ub, a_eq, b_eq, bounds)
+                ranges[e] = (max(0.0, low), min(1.0, high))
+            return StrategyRanges(value, ranges)
+        except _ProbeInfeasible as exc:
+            last_error = exc
+            metrics.counter("ranges.probe.retry.count").inc()
+    raise GameError(
+        f"defender range probes infeasible even with a widened tolerance "
+        f"({_TOL_WIDEN:g}x): {last_error}"
+    )

@@ -155,3 +155,44 @@ class TestConstructors:
             MixedConfiguration.uniform(game, [], [[(0, 1), (2, 3)]])
         with pytest.raises(GameError):
             MixedConfiguration.uniform(game, [0], [])
+
+
+class TestRenormalizationFixpoint:
+    """Regression: construction renormalized by ``p / total`` even when the
+    mass was already 1 up to an ulp, perturbing every probability and
+    making JSON round trips drift bytes (found by the repro.fuzz
+    differential harness).  Near-unit masses are now preserved verbatim.
+    """
+
+    def test_near_unit_masses_are_preserved_exactly(self, game):
+        masses = {0: 0.7, 1: 0.2, 3: 0.1}
+        assert sum(masses.values()) != 1.0  # 0.9999999999999999: the trap
+        config = MixedConfiguration(
+            game,
+            [masses, {2: 1.0}],
+            {((0, 1), (2, 3)): 1.0},
+        )
+        assert config.vp_distribution(0) == masses
+
+    def test_construction_is_a_fixpoint(self, game):
+        config = MixedConfiguration(
+            game,
+            [{0: 1 / 3, 1: 1 / 3, 3: 1 / 3}, {2: 0.3, 0: 0.7}],
+            {((0, 1), (2, 3)): 1 / 6, ((1, 2), (2, 3)): 5 / 6},
+        )
+        again = MixedConfiguration(
+            config.game,
+            [config.vp_distribution(i) for i in range(game.nu)],
+            config.tp_distribution(),
+        )
+        assert again.tp_distribution() == config.tp_distribution()
+        for i in range(game.nu):
+            assert again.vp_distribution(i) == config.vp_distribution(i)
+
+    def test_far_from_unit_mass_still_renormalizes_or_fails(self, game):
+        with pytest.raises(GameError, match="sum to 1"):
+            MixedConfiguration(
+                game,
+                [{0: 0.6, 1: 0.6}, {2: 1.0}],
+                {((0, 1), (2, 3)): 1.0},
+            )

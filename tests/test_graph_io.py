@@ -89,3 +89,47 @@ class TestJson:
     def test_rejects_isolated_vertex(self):
         with pytest.raises(GraphError, match="isolated"):
             graph_from_json('{"vertices": [1, 2, 9], "edges": [[1, 2]]}')
+
+
+class TestLabelCoercion:
+    """Integer coercion only fires on *canonical* decimal labels.
+
+    Regression: ``_is_int`` used to defer to ``int()``, which accepts
+    underscore separators (``1_0`` became vertex ``10``) and leading
+    zeros (``01`` and ``1`` silently merged into one vertex).
+    """
+
+    def test_underscore_label_stays_string(self):
+        g = parse_edge_list("1_0 2\n")
+        assert g.has_vertex("1_0")
+        assert not g.has_vertex(10)
+        # The whole file falls back to strings: no half-coerced graphs.
+        assert g.has_vertex("2")
+
+    def test_leading_zero_labels_do_not_merge(self):
+        g = parse_edge_list("01 2\n1 2\n")
+        assert g.has_vertex("01") and g.has_vertex("1")
+        assert g.n == 3 and g.m == 2
+
+    def test_plus_sign_and_whitespace_rejected(self):
+        g = parse_edge_list("+1 2\n")
+        assert g.has_vertex("+1") and not g.has_vertex(1)
+
+    def test_negative_zero_stays_string(self):
+        g = parse_edge_list("-0 1\n")
+        assert g.has_vertex("-0") and not g.has_vertex(0)
+
+    def test_canonical_labels_still_coerce(self):
+        g = parse_edge_list("0 1\n1 -2\n")
+        assert g.has_vertex(0) and g.has_vertex(-2)
+
+    def test_mixed_alpha_numeric_file_round_trips(self):
+        text = "a 1\n1 2\n2 b\n"
+        g = parse_edge_list(text)
+        # One non-numeric label keeps every label a string.
+        assert g.has_vertex("1") and not g.has_vertex(1)
+        assert parse_edge_list(format_edge_list(g)) == g
+
+    def test_numeric_file_round_trips_to_ints(self):
+        g = parse_edge_list(format_edge_list(Graph([(1, 2), (2, 3)])))
+        assert g == Graph([(1, 2), (2, 3)])

@@ -98,3 +98,71 @@ class TestErgonomics:
     def test_repr(self):
         game = TupleGame(path_graph(4), 1, nu=1)
         assert "value=" in repr(attacker_vertex_ranges(game))
+
+
+class TestPerturbedValueRobustness:
+    """Regression: the probe LPs used an *absolute* 1e-9 relaxation on the
+    optimality constraints and no fallback.  A game value carrying normal
+    HiGHS solver error (~1e-8) could make the probed polytope empty and the
+    whole range computation fail on well-posed games.  The relaxation is
+    now relative and infeasibility triggers one widened retry.
+    """
+
+    @staticmethod
+    def _stub_minimax(delta):
+        """A solve_minimax stand-in whose value is off by ``delta``."""
+        from repro.solvers.lp import solve_minimax
+
+        class _Result:
+            def __init__(self, value):
+                self.value = value
+
+        def stub(game, tuple_limit=None):
+            return _Result(solve_minimax(game, tuple_limit=tuple_limit).value + delta)
+
+        return stub
+
+    def test_attacker_ranges_survive_undershot_value(self):
+        """v* reported 1e-7 low: (Aq)_t <= v* + 1e-9 is infeasible, the
+        widened retry (1e-5 relative) recovers."""
+        from repro.obs import metrics
+        from repro.solvers.ranges import _attacker_vertex_ranges
+
+        game = TupleGame(star_graph(3), 1, nu=1)
+        before = metrics.counter("ranges.probe.retry.count").value
+        ranges = _attacker_vertex_ranges(game, 1000, self._stub_minimax(-1e-7))
+        assert metrics.counter("ranges.probe.retry.count").value == before + 1
+        # Star K_{1,3}: the attacker hides on a leaf, never the center.
+        low, high = ranges.ranges[0]
+        assert high == pytest.approx(0.0, abs=1e-4)
+
+    def test_defender_ranges_survive_overshot_value(self):
+        """v* reported 1e-7 high: (A^T p)_v >= v* - 1e-9 is infeasible,
+        the widened retry recovers."""
+        from repro.obs import metrics
+        from repro.solvers.ranges import _defender_edge_ranges
+
+        game = TupleGame(star_graph(3), 1, nu=1)
+        before = metrics.counter("ranges.probe.retry.count").value
+        ranges = _defender_edge_ranges(game, 1000, self._stub_minimax(1e-7))
+        assert metrics.counter("ranges.probe.retry.count").value == before + 1
+        for low, high in ranges.ranges.values():
+            assert low == pytest.approx(1 / 3, abs=1e-4)
+            assert high == pytest.approx(1 / 3, abs=1e-4)
+
+    def test_hopeless_value_still_fails_loudly(self):
+        """An error far beyond the widened relaxation must still raise."""
+        from repro.solvers.ranges import _attacker_vertex_ranges
+
+        game = TupleGame(star_graph(3), 1, nu=1)
+        with pytest.raises(GameError, match="widened tolerance"):
+            _attacker_vertex_ranges(game, 1000, self._stub_minimax(-0.05))
+
+    def test_unperturbed_paths_do_not_retry(self):
+        from repro.obs import metrics
+
+        game = TupleGame(path_graph(4), 1, nu=1)
+        before = metrics.counter("ranges.probe.retry.count").value
+        attacker_vertex_ranges(game)
+        defender_edge_ranges(game)
+        assert metrics.counter("ranges.probe.retry.count").value == before

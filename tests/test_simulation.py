@@ -164,3 +164,30 @@ class TestSimulate:
         config = solve_game(other).mixed
         with pytest.raises(GameError, match="different game"):
             simulate(k24_game, config, trials=10)
+
+
+class TestEstimatorBoundaries:
+    """Pinned boundary behavior for the interval helpers."""
+
+    def test_confidence_interval_empty_is_vacuous(self):
+        low, high = RunningStat().confidence_interval()
+        assert low == float("-inf") and high == float("inf")
+
+    def test_confidence_interval_single_sample_is_zero_width(self):
+        stat = RunningStat()
+        stat.push(2.5)
+        assert stat.confidence_interval() == (2.5, 2.5)
+
+    def test_wilson_at_zero_successes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 1.0
+
+    def test_wilson_at_all_successes(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert 0.0 < low < 1.0
+
+    def test_wilson_single_trial_boundaries(self):
+        assert wilson_interval(0, 1)[0] == 0.0
+        assert wilson_interval(1, 1)[1] == 1.0

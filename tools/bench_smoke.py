@@ -38,6 +38,7 @@ REFERENCE = {
     "fictitious_play.medium": 0.9336,
     "simulation.engine.small": None,  # added with the kernel; no seed datum
     "simulation.fast.medium": None,
+    "fuzz.batch.small": None,  # added with repro.fuzz; no seed datum
 }
 
 #: Regression gate: fail when current > baseline * (1 + SLACK_REL) + SLACK_ABS.
@@ -48,6 +49,7 @@ SLACK_ABS = 0.05
 def _cases():
     from repro.core.game import TupleGame
     from repro.equilibria.solve import solve_game
+    from repro.fuzz.runner import run_fuzz
     from repro.graphs.generators import random_bipartite_graph
     from repro.kernels import clear_shared_oracles
     from repro.simulation.engine import simulate
@@ -71,6 +73,10 @@ def _cases():
         "simulation.fast.medium": lambda: simulate_fast(
             sim_game, sim_config, trials=400_000, seed=0
         ),
+        # A small differential-fuzz batch: every solver path end to end.
+        # Same fixed seed as the `make fuzz-smoke` gate, one fifth of its
+        # game count, so the telemetry tracks the per-game cost drift.
+        "fuzz.batch.small": lambda: run_fuzz(count=10, seed=20060707),
     }, clear_shared_oracles
 
 
