@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline fuzz-smoke obs-check api-docs api-docs-check lint lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check api-docs api-docs-check lint lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -25,8 +25,15 @@ bench-smoke:
 	fi
 
 ## re-baseline BENCH_KERNELS.json from the current hot-path timings
+## (appends one history entry keyed by the current git revision)
 bench-smoke-baseline:
 	$(PYTHON) tools/bench_smoke.py --write
+
+## perf-regression watchdog: newest committed history entry versus the
+## trailing-median history (report-only; run bench_smoke.py --watch
+## --strict to gate on it)
+bench-watch:
+	$(PYTHON) -c "from repro.obs.watchdog import _main; raise SystemExit(_main())" --file BENCH_KERNELS.json
 
 ## differential fuzz gate: replay the counterexample corpus, then a
 ## fixed-seed fresh batch across every solver path (deterministic, <60s)
@@ -64,5 +71,6 @@ mypy:
 	fi
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
-## docs freshness, tier-1 tests, hot-path perf smoke, differential fuzz
-ci: lint mypy obs-check api-docs-check test bench-smoke fuzz-smoke
+## docs freshness, tier-1 tests, hot-path perf smoke, perf watchdog,
+## differential fuzz
+ci: lint mypy obs-check api-docs-check test bench-smoke bench-watch fuzz-smoke

@@ -24,6 +24,7 @@ from typing import Dict
 import pytest
 
 from repro.analysis.tables import Table
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -74,7 +75,11 @@ def _obs_session_telemetry():
     registry.reset()
     _experiment_seconds.clear()
     session_start = perf_counter()
-    yield
+    with obs_ledger.run(
+        "benchmarks.session",
+        fingerprint={"kind": "benchmark-session"},
+    ):
+        yield
     summary = {
         "schema": BENCH_SUMMARY_SCHEMA,
         "total_wall_clock_s": perf_counter() - session_start,

@@ -8,15 +8,19 @@ Usage examples (after ``pip install -e .``)::
     repro-defender gain network.edges --nu 4 --lp
     repro-defender simulate network.edges -k 2 --nu 3 --trials 20000
     repro-defender stats network.edges -k 2 --trace
+    repro-defender stats network.edges -k 2 --format prometheus -o met.prom
+    repro-defender profile network.edges -k 2 --chrome-trace trace.json
     repro-defender lint --strict --baseline
     repro-defender fuzz --count 50 --seed 7 --corpus tests/corpus --replay
+    repro-defender watch --file BENCH_KERNELS.json --ratio 1.5
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
 
 Every subcommand accepts the observability flags ``--quiet``,
-``--verbose``, ``--log-json`` and ``--trace`` (before or after the
-subcommand); see ``docs/observability.md``.  All normal output flows
+``--verbose``, ``--log-json``, ``--trace`` and ``--ledger`` /
+``--ledger-dir DIR`` (before or after the subcommand); see
+``docs/observability.md``.  All normal output flows
 through one :func:`_emit` helper, so ``--quiet`` silences it and
 ``--log-json`` turns each message into a JSON line without touching the
 default plain-text format.
@@ -44,9 +48,13 @@ from repro.lint import add_lint_arguments as lint_arguments
 from repro.lint import run_from_args as run_lint_from_args
 from repro.matching.blossom import matching_number
 from repro.matching.covers import minimum_edge_cover_size
+from repro.obs import ledger as obs_ledger
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import prof as obs_prof
 from repro.obs import tracing as obs_tracing
+from repro.obs.watchdog import add_watch_arguments as watch_arguments
+from repro.obs.watchdog import run_watch_from_args
 from repro.simulation.engine import simulate
 
 __all__ = ["main", "build_parser"]
@@ -100,6 +108,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser, default) -> None:
     group.add_argument(
         "--trace", action="store_true", default=default,
         help="collect spans and print the timing trace after the command",
+    )
+    group.add_argument(
+        "--ledger", action="store_true", default=default,
+        help="record the run into the provenance ledger "
+             "(.repro/ledger by default)",
+    )
+    group.add_argument(
+        "--ledger-dir",
+        default=default if default is argparse.SUPPRESS else None,
+        metavar="DIR",
+        help="ledger directory (implies --ledger)",
     )
 
 
@@ -190,8 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--nu", type=int, default=1)
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.add_argument(
-        "--format", choices=("text", "json", "prom"), default="text",
-        dest="fmt", help="snapshot format (default: text)",
+        "--format", choices=("text", "json", "prom", "prometheus"),
+        default="text", dest="fmt", help="snapshot format (default: text)",
+    )
+    p_stats.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the snapshot to FILE instead of stdout",
+    )
+
+    p_profile = add_command(
+        "profile", "profile a solve: span aggregation plus flamegraph "
+                   "and Chrome-trace export"
+    )
+    p_profile.add_argument("-k", type=int, required=True)
+    p_profile.add_argument("--nu", type=int, default=1)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument(
+        "--chrome-trace", default=None, metavar="FILE",
+        help="write a chrome://tracing / Perfetto trace_event JSON file",
+    )
+    p_profile.add_argument(
+        "--folded", default=None, metavar="FILE",
+        help="write folded stacks (flamegraph.pl / speedscope input)",
     )
 
     # lint takes no graph — it analyzes the source tree itself.
@@ -209,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_parent],
     )
     fuzz_arguments(p_fuzz)
+
+    # watch takes no graph — it compares benchmark timings to history.
+    p_watch = sub.add_parser(
+        "watch",
+        help="check benchmark timings against their trailing-median history",
+        parents=[obs_parent],
+    )
+    watch_arguments(p_watch)
 
     return parser
 
@@ -400,7 +447,10 @@ def _cmd_redteam(graph: Graph, k: int, rounds: int, seed: int) -> int:
     return 0
 
 
-def _cmd_stats(graph: Graph, k: int, nu: int, seed: int, fmt: str) -> int:
+def _cmd_stats(
+    graph: Graph, k: int, nu: int, seed: int, fmt: str,
+    output: Optional[str] = None,
+) -> int:
     """Run a fully traced solve and print the observability snapshot."""
     obs_tracing.enable_tracing(True)
     obs_tracing.clear_trace()
@@ -415,19 +465,63 @@ def _cmd_stats(graph: Graph, k: int, nu: int, seed: int, fmt: str) -> int:
         _emit(f"no structural equilibrium: {exc}")
         code = 1
     registry = obs_metrics.get_registry()
+
+    def _deliver(text: str) -> None:
+        if output is not None:
+            from pathlib import Path
+
+            Path(output).write_text(text.rstrip("\n") + "\n")
+            _emit(f"wrote {fmt} snapshot to {output}")
+        else:
+            _emit(text.rstrip("\n"))
+
     if fmt == "json":
-        _emit(registry.to_json())
+        _deliver(registry.to_json())
         return code
-    if fmt == "prom":
-        _emit(registry.to_prometheus().rstrip("\n"))
+    if fmt in ("prom", "prometheus"):
+        _deliver(registry.to_prometheus())
         return code
+    lines: List[str] = []
     if kind is not None:
-        _emit(f"equilibrium kind : {kind}")
-        _emit(f"defender gain    : {gain:.6f}")
-    _emit("\n== trace ==")
-    _emit(obs_tracing.render_trace())
-    _emit("\n== metrics snapshot ==")
-    _emit(obs_metrics.render_snapshot(registry.snapshot()))
+        lines.append(f"equilibrium kind : {kind}")
+        lines.append(f"defender gain    : {gain:.6f}")
+    lines.append("\n== trace ==")
+    lines.append(obs_tracing.render_trace())
+    lines.append("\n== span aggregation ==")
+    lines.append(obs_prof.render_aggregate(obs_prof.aggregate()))
+    lines.append("\n== metrics snapshot ==")
+    lines.append(obs_metrics.render_snapshot(registry.snapshot()))
+    _deliver("\n".join(lines))
+    return code
+
+
+def _cmd_profile(
+    graph: Graph, k: int, nu: int, seed: int,
+    chrome_trace: Optional[str], folded: Optional[str],
+) -> int:
+    """Run a traced solve and report/export the deterministic profile."""
+    obs_tracing.enable_tracing(True)
+    obs_tracing.clear_trace()
+    game = TupleGame(graph, k, nu)
+    code = 0
+    try:
+        result = solve_game(game, seed=seed)
+        _emit(f"equilibrium kind : {result.kind}")
+        _emit(f"defender gain    : {result.defender_gain:.6f}")
+    except NoEquilibriumFoundError as exc:
+        _emit(f"no structural equilibrium: {exc}")
+        code = 1
+    spans = obs_tracing.get_trace()
+    _emit("\n== span aggregation (self-time hot spots first) ==")
+    _emit(obs_prof.render_aggregate(obs_prof.aggregate(spans)))
+    if chrome_trace is not None:
+        obs_prof.write_chrome_trace(chrome_trace, spans)
+        _emit(f"\nwrote Chrome trace_event JSON to {chrome_trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    if folded is not None:
+        obs_prof.write_folded_stacks(folded, spans)
+        _emit(f"wrote folded stacks to {folded} "
+              "(flamegraph.pl / speedscope input)")
     return code
 
 
@@ -453,7 +547,14 @@ def _dispatch(args: argparse.Namespace, graph: Graph) -> int:
     if args.command == "redteam":
         return _cmd_redteam(graph, args.k, args.rounds, args.seed)
     if args.command == "stats":
-        return _cmd_stats(graph, args.k, args.nu, args.seed, args.fmt)
+        return _cmd_stats(
+            graph, args.k, args.nu, args.seed, args.fmt, args.output
+        )
+    if args.command == "profile":
+        return _cmd_profile(
+            graph, args.k, args.nu, args.seed,
+            args.chrome_trace, args.folded,
+        )
     raise GameError(f"unknown command {args.command!r}")
 
 
@@ -472,16 +573,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if trace:
         obs_tracing.enable_tracing(True)
         obs_tracing.clear_trace()
+    ledger_dir = getattr(args, "ledger_dir", None)
+    use_ledger = bool(getattr(args, "ledger", False)) or ledger_dir is not None
+    if use_ledger:
+        obs_ledger.enable_ledger(ledger_dir)
 
     try:
         if args.command == "lint":
             code = run_lint_from_args(args, emit=_emit)
         elif args.command == "fuzz":
             code = run_fuzz_from_args(args, emit=_emit)
+        elif args.command == "watch":
+            code = run_watch_from_args(args, emit=_emit)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)
-        if trace and args.command != "stats":
+        if trace and args.command not in ("stats", "profile"):
             _emit("\n== trace ==")
             _emit(obs_tracing.render_trace())
         return code
@@ -489,7 +596,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(f"error: {exc}", err=True)
         return 2
     finally:
-        if trace or args.command == "stats":
+        if use_ledger:
+            obs_ledger.disable_ledger()
+        if trace or args.command in ("stats", "profile"):
             obs_tracing.enable_tracing(False)
 
 

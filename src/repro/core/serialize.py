@@ -24,6 +24,7 @@ from repro.core.game import GameError, TupleGame
 from repro.graphs.core import Graph, tuple_sort_key, vertex_sort_key
 
 __all__ = [
+    "game_to_json",
     "configuration_to_json",
     "configuration_from_json",
     "solve_result_to_json",
@@ -39,6 +40,19 @@ def _game_payload(game: TupleGame) -> Dict[str, Any]:
         "k": game.k,
         "nu": game.nu,
     }
+
+
+def game_to_json(game: TupleGame) -> str:
+    """Canonical, byte-deterministic JSON dump of a game (graph, k, ν).
+
+    Key-sorted and whitespace-free, so two structurally identical games
+    always serialize to the same bytes — the provenance ledger
+    (:mod:`repro.obs.ledger`) hashes this document as the game
+    fingerprint of a recorded run.
+    """
+    return json.dumps(
+        _game_payload(game), sort_keys=True, separators=(",", ":")
+    )
 
 
 def _game_from_payload(payload: Dict[str, Any]) -> TupleGame:

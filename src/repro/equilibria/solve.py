@@ -36,6 +36,7 @@ from repro.kernels.coverage import shared_oracle
 from repro.matching.covers import minimum_edge_cover_size
 from repro.matching.partition import Partition, find_partition
 from repro.obs import get_logger, metrics, tracing
+from repro.obs import ledger as obs_ledger
 
 _log = get_logger("repro.equilibria.solve")
 
@@ -106,8 +107,10 @@ def solve_game(
         the greedy partition heuristic.
     """
     metrics.counter("equilibria.solve.count").inc()
-    with tracing.span("equilibria.solve", n=game.graph.n, k=game.k,
-                      nu=game.nu), \
+    with obs_ledger.run("equilibria.solve", game=game, seed=seed,
+                        allow_extensions=allow_extensions), \
+            tracing.span("equilibria.solve", n=game.graph.n, k=game.k,
+                         nu=game.nu), \
             metrics.timer("equilibria.solve.seconds"):
         # Prewarm the coverage kernel: every downstream verification
         # bridge (pure-NE checks, best-response certificates) queries the

@@ -28,6 +28,7 @@ from repro.fuzz.invariants import (
 )
 from repro.fuzz.shrink import shrink_spec
 from repro.obs import get_logger, metrics, tracing
+from repro.obs import ledger as obs_ledger
 
 # The argparse glue (add_fuzz_arguments / run_fuzz_from_args) is exported
 # at the package level, not here: runner's own ``__all__`` names the
@@ -168,7 +169,10 @@ def run_fuzz(
     """
     corpus = Path(corpus_dir) if corpus_dir else None
     results: List[CaseResult] = []
-    with tracing.span("fuzz.run", count=count, seed=seed), \
+    batch_fingerprint = {"kind": "fuzz-batch", "count": count, "seed": seed}
+    with obs_ledger.run("fuzz.run", fingerprint=batch_fingerprint,
+                        count=count, seed=seed, shrink=shrink), \
+            tracing.span("fuzz.run", count=count, seed=seed), \
             metrics.timer("fuzz.run.seconds"):
         for index in range(count):
             case_seed = seed * _SEED_STRIDE + index
@@ -206,7 +210,10 @@ def replay_corpus(
     smoke gate.  An absent or empty corpus replays vacuously green.
     """
     results: List[CaseResult] = []
-    with tracing.span("fuzz.replay", corpus=str(corpus_dir)), \
+    replay_fingerprint = {"kind": "fuzz-replay", "corpus": str(corpus_dir)}
+    with obs_ledger.run("fuzz.replay", fingerprint=replay_fingerprint,
+                        corpus=str(corpus_dir)), \
+            tracing.span("fuzz.replay", corpus=str(corpus_dir)), \
             metrics.timer("fuzz.replay.seconds"):
         for path, spec in iter_corpus(corpus_dir):
             metrics.counter("fuzz.replayed.count").inc()

@@ -83,6 +83,9 @@ class LintConfig:
                 "repro.simulation.fast",
                 "repro.equilibria.solve",
                 "repro.fuzz.runner",
+                "repro.obs.ledger",
+                "repro.obs.prof",
+                "repro.obs.watchdog",
             ),
             rng_seeded_entry_prefixes=("repro.simulation.", "repro.fuzz."),
             theory_packages=("repro.core", "repro.equilibria"),

@@ -1,7 +1,7 @@
 """repro.obs — structured observability for the solver stack.
 
-A cross-cutting, zero-dependency layer with three pieces (see
-``docs/observability.md`` for conventions and examples):
+A cross-cutting, zero-dependency layer (see ``docs/observability.md``
+for conventions and examples):
 
 * :mod:`repro.obs.log` — structured logging (``key=value`` or JSON
   lines, env/CLI-configurable level, silent by default);
@@ -11,7 +11,15 @@ A cross-cutting, zero-dependency layer with three pieces (see
   and simulation engine feeds it;
 * :mod:`repro.obs.tracing` — nested spans (``span("lp.solve", ...)`` /
   ``@traced``) that show where the wall-clock of a solve goes; opt-in
-  and near-free when disabled.
+  and near-free when disabled;
+* :mod:`repro.obs.ledger` — the run-provenance ledger: a durable
+  append-only JSONL record (fingerprint, environment, metrics, span
+  tree, outcome) of every wrapped entry-point run;
+* :mod:`repro.obs.prof` — the deterministic profiler: span trees as
+  folded-stack flamegraphs, Chrome ``trace_event`` JSON and self/total
+  aggregation tables;
+* :mod:`repro.obs.watchdog` — the perf-regression watchdog comparing
+  benchmark timings against their trailing-median history.
 
 Quickstart::
 
@@ -24,6 +32,13 @@ Quickstart::
     print(get_registry().to_json())
 """
 
+from repro.obs.ledger import (
+    disable_ledger,
+    enable_ledger,
+    ledger_enabled,
+    read_runs,
+    run_diff,
+)
 from repro.obs.log import StructuredLogger, configure, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -38,6 +53,12 @@ from repro.obs.metrics import (
     render_snapshot,
     timer,
 )
+from repro.obs.prof import (
+    aggregate,
+    render_aggregate,
+    to_chrome_trace,
+    to_folded_stacks,
+)
 from repro.obs.tracing import (
     Span,
     clear_trace,
@@ -48,11 +69,23 @@ from repro.obs.tracing import (
     traced,
     tracing_enabled,
 )
+from repro.obs.watchdog import WatchReport, watch_file
 
 __all__ = [
     "StructuredLogger",
     "configure",
     "get_logger",
+    "disable_ledger",
+    "enable_ledger",
+    "ledger_enabled",
+    "read_runs",
+    "run_diff",
+    "aggregate",
+    "render_aggregate",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "WatchReport",
+    "watch_file",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,422 @@
+"""Run-provenance ledger: a durable, append-only record of every solve.
+
+PR 1 made runs *observable*; this module makes them *durable*.  Every
+wrapped entry point — ``equilibria.solve``, each ``repro.solvers`` route,
+the fuzz runner, the benchmark session — appends one JSON line to a
+ledger file under ``.repro/ledger/`` describing what ran, on what, where,
+for how long and with what outcome:
+
+* a **content-addressed run id** (sha256 over the record itself);
+* a **game/config fingerprint** (sha256 of the canonical
+  :func:`repro.core.serialize.game_to_json` dump, so identical games are
+  identical fingerprints across machines and sessions);
+* an **environment capture** (python, platform, CPU count, git revision);
+* the full **metrics snapshot** and the **span tree** collected during
+  the run;
+* the **outcome**: ``ok`` or ``error`` with the exception type/message.
+
+The ledger is **opt-in and near-free when off** (the default): wrapped
+entry points call :func:`run`, which returns a shared no-op context
+manager unless the ledger was enabled via :func:`enable_ledger`, the CLI
+``--ledger`` flag, or ``REPRO_LEDGER=1`` (``REPRO_LEDGER_DIR`` overrides
+the directory).  Records go to one JSONL file per entry point
+(``equilibria.solve.jsonl``, ...), append-only — nothing is ever
+rewritten, so the files are a tamper-evident perf/provenance trajectory.
+
+Reading back: :func:`read_runs` (with entry-point / status / fingerprint
+filters), :func:`find_run` and :func:`run_diff` (field-by-field and
+metric-by-metric comparison of two records).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter, time
+from typing import Any, Dict, Iterator, List, Optional
+
+import repro.obs.metrics as _metrics
+import repro.obs.tracing as _tracing
+from repro.obs.log import get_logger
+
+__all__ = [
+    "RECORD_SCHEMA",
+    "DEFAULT_LEDGER_DIR",
+    "enable_ledger",
+    "disable_ledger",
+    "ledger_enabled",
+    "ledger_directory",
+    "run",
+    "fingerprint_game",
+    "capture_environment",
+    "read_runs",
+    "find_run",
+    "run_diff",
+]
+
+_log = get_logger("repro.obs.ledger")
+
+RECORD_SCHEMA = "repro.obs/ledger-record/v1"
+DEFAULT_LEDGER_DIR = ".repro/ledger"
+
+
+class _LedgerState:
+    """Process-global on/off switch and target directory."""
+
+    __slots__ = ("enabled", "directory", "lock")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.directory = Path(
+            os.environ.get("REPRO_LEDGER_DIR", DEFAULT_LEDGER_DIR)
+        )
+        self.lock = threading.Lock()
+        if os.environ.get("REPRO_LEDGER", "") not in ("", "0", "false", "no"):
+            self.enabled = True
+
+
+_STATE = _LedgerState()
+
+
+def enable_ledger(directory: Optional[os.PathLike] = None) -> None:
+    """Start recording wrapped runs (optionally into ``directory``)."""
+    if directory is not None:
+        _STATE.directory = Path(directory)
+    _STATE.enabled = True
+
+
+def disable_ledger() -> None:
+    """Stop recording wrapped runs."""
+    _STATE.enabled = False
+
+
+def ledger_enabled() -> bool:
+    """True when wrapped entry points are currently being recorded."""
+    return _STATE.enabled
+
+
+def ledger_directory() -> Path:
+    """The directory records are appended under."""
+    return _STATE.directory
+
+
+# --------------------------------------------------------------------------
+# fingerprints and environment capture
+
+
+def _canonical_sha256(payload: Any) -> str:
+    """sha256 hex digest of the canonical JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_game(game) -> Dict[str, Any]:
+    """Content fingerprint of a :class:`~repro.core.game.TupleGame`.
+
+    Hashes the canonical serialization, so two structurally identical
+    games fingerprint identically regardless of construction order.
+    """
+    # Deliberate layering inversion (obs -> core), deferred to call time:
+    # the ledger is layer 0 so every solver may import it, and only runs
+    # that actually record pay for the serialization machinery.
+    from repro.core.serialize import game_to_json
+
+    return {
+        "kind": "tuple-game",
+        "sha256": hashlib.sha256(game_to_json(game).encode("utf-8")).hexdigest(),
+        "n": game.graph.n,
+        "m": game.graph.m,
+        "k": game.k,
+        "nu": game.nu,
+    }
+
+
+_GIT_REV: Optional[str] = None
+
+
+def _git_revision() -> str:
+    """The current short git revision (cached; ``"unknown"`` off-repo)."""
+    global _GIT_REV
+    if _GIT_REV is None:
+        try:
+            _GIT_REV = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV = "unknown"
+    return _GIT_REV
+
+
+def capture_environment() -> Dict[str, Any]:
+    """Where this run happened: interpreter, platform, CPUs, git rev."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_rev": _git_revision(),
+        "argv0": Path(sys.argv[0]).name if sys.argv else "",
+    }
+
+
+# --------------------------------------------------------------------------
+# recording
+
+
+class _NullRunContext:
+    """Shared no-op context manager returned while the ledger is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_RUN = _NullRunContext()
+
+
+class _RunContext:
+    """Live run recorder: times the block, snapshots telemetry on exit."""
+
+    __slots__ = ("entry_point", "fingerprint", "attributes", "_game",
+                 "_start", "_started_at", "_trace_mark", "_auto_trace")
+
+    def __init__(
+        self,
+        entry_point: str,
+        game,
+        fingerprint: Optional[Dict[str, Any]],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.entry_point = entry_point
+        self.fingerprint = fingerprint
+        self.attributes = attributes
+        self._game = game
+        self._start = 0.0
+        self._started_at = 0.0
+        self._trace_mark = 0
+        self._auto_trace = False
+
+    def __enter__(self) -> "_RunContext":
+        if self.fingerprint is None and self._game is not None:
+            self.fingerprint = fingerprint_game(self._game)
+        # Runs always carry a span tree: turn tracing on for the duration
+        # when nobody else has.
+        if not _tracing.tracing_enabled():
+            _tracing.enable_tracing(True)
+            self._auto_trace = True
+        self._trace_mark = len(_tracing.get_trace())
+        self._started_at = time()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = perf_counter() - self._start
+        try:
+            spans = [
+                s.to_dict() for s in _tracing.get_trace()[self._trace_mark:]
+            ]
+            if self._auto_trace:
+                _tracing.enable_tracing(False)
+            record: Dict[str, Any] = {
+                "schema": RECORD_SCHEMA,
+                "entry_point": self.entry_point,
+                "started_at": self._started_at,
+                "duration_s": duration,
+                "status": "ok" if exc_type is None else "error",
+                "fingerprint": self.fingerprint,
+                "attributes": self.attributes,
+                "env": capture_environment(),
+                "metrics": _metrics.get_registry().snapshot(),
+                "spans": spans,
+            }
+            if exc_type is not None:
+                record["error"] = {
+                    "type": exc_type.__name__,
+                    "message": str(exc),
+                }
+            record["run_id"] = _canonical_sha256(record)[:16]
+            _append(record)
+        except Exception as inner:  # recording must never break the solve
+            _metrics.counter("ledger.errors.count").inc()
+            _log.warning(
+                "ledger.append.failed", entry_point=self.entry_point,
+                error=type(inner).__name__,
+            )
+        return False
+
+
+def _record_path(entry_point: str) -> Path:
+    safe = "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in entry_point)
+    return _STATE.directory / f"{safe}.jsonl"
+
+
+def _append(record: Dict[str, Any]) -> Path:
+    """Append one record to its entry point's JSONL file (atomic line)."""
+    with _metrics.timer("ledger.append.seconds"):
+        path = _record_path(record["entry_point"])
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with _STATE.lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        _metrics.counter("ledger.records.count").inc()
+    return path
+
+
+def run(entry_point: str, game=None,
+        fingerprint: Optional[Dict[str, Any]] = None, **attributes):
+    """Record one run of ``entry_point`` in the ledger.
+
+    Usage (this is what the instrumented entry points do)::
+
+        with ledger.run("equilibria.solve", game=game, seed=seed):
+            ...solve...
+
+    Passing ``game`` fingerprints it via :func:`fingerprint_game`;
+    game-less workloads (fuzz batches, benchmark sessions) pass an
+    explicit ``fingerprint`` dict instead.  Extra keyword arguments land
+    in the record's ``attributes``.  While the ledger is disabled (the
+    default) this returns a shared no-op context manager.
+    """
+    if not _STATE.enabled:
+        return _NULL_RUN
+    return _RunContext(entry_point, game, fingerprint, attributes)
+
+
+# --------------------------------------------------------------------------
+# reading back
+
+
+def _iter_records(directory: Path) -> Iterator[Dict[str, Any]]:
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write at the tail of an append-only log
+            if isinstance(record, dict):
+                yield record
+
+
+def read_runs(
+    directory: Optional[os.PathLike] = None,
+    entry_point: Optional[str] = None,
+    status: Optional[str] = None,
+    fingerprint_sha256: Optional[str] = None,
+    since: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Read ledger records, oldest first, with optional filters.
+
+    ``entry_point`` / ``status`` filter exactly; ``fingerprint_sha256``
+    matches the game-fingerprint hash; ``since`` keeps runs whose
+    ``started_at`` is at or after the given UNIX timestamp; ``limit``
+    keeps only the *newest* matching records.
+    """
+    with _metrics.timer("ledger.read.seconds"):
+        root = Path(directory) if directory is not None else _STATE.directory
+        records = []
+        if root.is_dir():
+            for record in _iter_records(root):
+                if entry_point is not None \
+                        and record.get("entry_point") != entry_point:
+                    continue
+                if status is not None and record.get("status") != status:
+                    continue
+                if fingerprint_sha256 is not None:
+                    fp = record.get("fingerprint") or {}
+                    if fp.get("sha256") != fingerprint_sha256:
+                        continue
+                if since is not None \
+                        and record.get("started_at", 0.0) < since:
+                    continue
+                records.append(record)
+        records.sort(key=lambda r: r.get("started_at", 0.0))
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+    return records
+
+
+def find_run(run_id: str,
+             directory: Optional[os.PathLike] = None) -> Optional[Dict[str, Any]]:
+    """The record with the given (possibly abbreviated) run id, or None."""
+    for record in read_runs(directory=directory):
+        if str(record.get("run_id", "")).startswith(run_id):
+            return record
+    return None
+
+
+def _metric_deltas(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, float]:
+    deltas: Dict[str, float] = {}
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name, 0.0), b.get(name, 0.0)
+        if isinstance(va, dict) or isinstance(vb, dict):  # histograms
+            va = (va or {}).get("mean", 0.0)
+            vb = (vb or {}).get("mean", 0.0)
+        if va != vb:
+            deltas[name] = float(vb) - float(va)
+    return deltas
+
+
+def run_diff(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured comparison of two ledger records.
+
+    Returns duration delta, whether the game fingerprints match, the
+    environment fields that changed, and per-metric deltas (counter and
+    gauge values; histogram means).
+    """
+    with _metrics.timer("ledger.diff.seconds"):
+        fp_a = (a.get("fingerprint") or {}).get("sha256")
+        fp_b = (b.get("fingerprint") or {}).get("sha256")
+        env_a, env_b = a.get("env", {}), b.get("env", {})
+        env_changes = {
+            key: {"a": env_a.get(key), "b": env_b.get(key)}
+            for key in sorted(set(env_a) | set(env_b))
+            if env_a.get(key) != env_b.get(key)
+        }
+        metrics_a = a.get("metrics", {})
+        metrics_b = b.get("metrics", {})
+    return {
+        "run_a": a.get("run_id"),
+        "run_b": b.get("run_id"),
+        "entry_points": [a.get("entry_point"), b.get("entry_point")],
+        "same_fingerprint": fp_a is not None and fp_a == fp_b,
+        "duration_delta_s": (
+            b.get("duration_s", 0.0) - a.get("duration_s", 0.0)
+        ),
+        "env_changes": env_changes,
+        "metrics": {
+            "counters": _metric_deltas(
+                metrics_a.get("counters", {}), metrics_b.get("counters", {})
+            ),
+            "gauges": _metric_deltas(
+                metrics_a.get("gauges", {}), metrics_b.get("gauges", {})
+            ),
+            "histogram_means": _metric_deltas(
+                metrics_a.get("histograms", {}),
+                metrics_b.get("histograms", {}),
+            ),
+        },
+    }

@@ -1,0 +1,216 @@
+"""Deterministic profiler: span trees → flamegraphs, Chrome traces, tables.
+
+The tracer (:mod:`repro.obs.tracing`) already collects a nested span tree
+for every instrumented solve; this module turns that tree into the three
+standard profiler artifacts **without touching any instrumented site**:
+
+* :func:`aggregate` / :func:`render_aggregate` — per-span-name call
+  counts with *total* (inclusive) and *self* (exclusive) wall-clock,
+  the table ``repro-defender stats`` and ``profile`` print;
+* :func:`to_folded_stacks` — Brendan-Gregg folded-stack lines
+  (``root;child;leaf <self µs>``) consumable by ``flamegraph.pl`` and
+  speedscope;
+* :func:`to_chrome_trace` — a Chrome ``trace_event`` JSON document
+  (``chrome://tracing`` / Perfetto "complete" events, ``ph: "X"``) with
+  span attributes carried through as event ``args``.
+
+Because spans are measured, not sampled, the exports are exact and
+deterministic for a given run: same spans in, byte-identical JSON out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import repro.obs.metrics as _metrics
+import repro.obs.tracing as _tracing
+from repro.obs.tracing import Span
+
+__all__ = [
+    "SpanStats",
+    "aggregate",
+    "render_aggregate",
+    "to_folded_stacks",
+    "to_chrome_trace",
+    "write_folded_stacks",
+    "write_chrome_trace",
+]
+
+CHROME_TRACE_GENERATOR = "repro.obs.prof"
+
+
+class SpanStats:
+    """Aggregated timing of every span sharing one name.
+
+    ``total_s`` is inclusive wall-clock (children included); ``self_s``
+    is exclusive (children subtracted) — the flamegraph width.
+    """
+
+    __slots__ = ("name", "calls", "total_s", "self_s", "errors")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.errors = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStats({self.name!r}, calls={self.calls}, "
+            f"total_s={self.total_s:.6f}, self_s={self.self_s:.6f})"
+        )
+
+
+def _self_seconds(span: Span) -> float:
+    return max(0.0, span.duration_s - sum(c.duration_s for c in span.children))
+
+
+def aggregate(spans: Optional[List[Span]] = None) -> Dict[str, SpanStats]:
+    """Fold a span forest into per-name call/total/self statistics.
+
+    Defaults to this thread's collected trace.  ``total_s`` sums the
+    inclusive duration over *top-level occurrences* of a name only (a
+    recursive span is not double-counted into its own total), while
+    ``self_s`` and ``calls`` accumulate over every occurrence.
+    """
+    with _metrics.timer("prof.aggregate.seconds"):
+        if spans is None:
+            spans = _tracing.get_trace()
+        stats: Dict[str, SpanStats] = {}
+
+        def visit(span: Span, ancestry: frozenset) -> None:
+            entry = stats.get(span.name)
+            if entry is None:
+                entry = stats[span.name] = SpanStats(span.name)
+            entry.calls += 1
+            entry.self_s += _self_seconds(span)
+            if span.status != "ok":
+                entry.errors += 1
+            if span.name not in ancestry:
+                entry.total_s += span.duration_s
+            child_ancestry = ancestry | {span.name}
+            for child in span.children:
+                visit(child, child_ancestry)
+
+        for root in spans:
+            visit(root, frozenset())
+    return stats
+
+
+def render_aggregate(stats: Dict[str, SpanStats]) -> str:
+    """Aligned text table of an :func:`aggregate` result, hottest first."""
+    if not stats:
+        return "(no spans recorded)"
+    with _metrics.timer("prof.render.seconds"):
+        rows = sorted(stats.values(), key=lambda s: (-s.self_s, s.name))
+        width = max(len("span"), max(len(s.name) for s in rows))
+        lines = [
+            f"{'span'.ljust(width)}  {'calls':>6}  {'total ms':>10}  "
+            f"{'self ms':>10}  {'self %':>6}"
+        ]
+        grand_self = sum(s.self_s for s in rows) or 1.0
+        for s in rows:
+            share = 100.0 * s.self_s / grand_self
+            flag = f"  errors={s.errors}" if s.errors else ""
+            lines.append(
+                f"{s.name.ljust(width)}  {s.calls:>6}  "
+                f"{s.total_s * 1e3:>10.3f}  "
+                f"{s.self_s * 1e3:>10.3f}  {share:>5.1f}%{flag}"
+            )
+    return "\n".join(lines)
+
+
+def to_folded_stacks(spans: Optional[List[Span]] = None) -> str:
+    """Folded-stack flamegraph lines: ``a;b;c <self-µs>``, sorted.
+
+    Self-time is reported in integer microseconds (the "sample count" a
+    flamegraph renderer expects); identical stacks are merged.  Feed the
+    output straight to ``flamegraph.pl`` or paste into speedscope.
+    """
+    with _metrics.timer("prof.export.seconds"):
+        if spans is None:
+            spans = _tracing.get_trace()
+        folded: Dict[str, int] = {}
+
+        def visit(span: Span, prefix: str) -> None:
+            stack = f"{prefix};{span.name}" if prefix else span.name
+            micros = int(round(_self_seconds(span) * 1e6))
+            if micros > 0:
+                folded[stack] = folded.get(stack, 0) + micros
+            for child in span.children:
+                visit(child, stack)
+
+        for root in spans:
+            visit(root, "")
+        lines = [f"{stack} {count}" for stack, count in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_chrome_trace(spans: Optional[List[Span]] = None) -> Dict[str, object]:
+    """The span forest as a Chrome ``trace_event`` JSON document (a dict).
+
+    Every span becomes one "complete" event (``ph: "X"``) with
+    microsecond ``ts``/``dur`` relative to the earliest span, its
+    attributes (plus error status) under ``args``.  Load the serialized
+    document in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    with _metrics.timer("prof.export.seconds"):
+        if spans is None:
+            spans = _tracing.get_trace()
+        events: List[Dict[str, object]] = []
+        origin = min((s.start for s in spans), default=0.0)
+
+        def visit(span: Span) -> None:
+            args: Dict[str, object] = {
+                str(k): v for k, v in span.attributes.items()
+            }
+            if span.status != "ok":
+                args["error"] = True
+                if span.error_type:
+                    args["error_type"] = span.error_type
+            events.append({
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            })
+            for child in span.children:
+                visit(child)
+
+        for root in spans:
+            visit(root)
+        # Parents start at (or before) their children and last longer, so
+        # sorting by (start, -duration) writes each stack top-down.
+        events.sort(key=lambda e: (e["ts"], -e["dur"]))  # type: ignore[operator]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": CHROME_TRACE_GENERATOR},
+    }
+
+
+def write_folded_stacks(path, spans: Optional[List[Span]] = None) -> Path:
+    """Write :func:`to_folded_stacks` output to ``path``; returns it."""
+    with _metrics.timer("prof.write.seconds"):
+        target = Path(path)
+        target.write_text(to_folded_stacks(spans), encoding="utf-8")
+    return target
+
+
+def write_chrome_trace(path, spans: Optional[List[Span]] = None) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns it."""
+    with _metrics.timer("prof.write.seconds"):
+        target = Path(path)
+        target.write_text(
+            json.dumps(to_chrome_trace(spans), indent=2, sort_keys=True,
+                       default=str) + "\n",
+            encoding="utf-8",
+        )
+    return target

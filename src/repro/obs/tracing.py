@@ -70,11 +70,14 @@ class Span:
         Wall-clock seconds from entry to exit (0.0 while open).
     status:
         ``"ok"``, or ``"error"`` when the block raised.
+    error_type:
+        The exception class name when ``status == "error"``, else ``None``.
     children:
         Spans opened (and closed) while this one was the innermost.
     """
 
-    __slots__ = ("name", "attributes", "start", "duration_s", "status", "children")
+    __slots__ = ("name", "attributes", "start", "duration_s", "status",
+                 "error_type", "children")
 
     def __init__(self, name: str, attributes: Dict[str, object]) -> None:
         self.name = name
@@ -82,7 +85,22 @@ class Span:
         self.start = 0.0
         self.duration_s = 0.0
         self.status = "ok"
+        self.error_type: Optional[str] = None
         self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict[str, object]:
+        """The span subtree as a plain JSON-ready dict (ledger/profiler
+        serialization format)."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.error_type is not None:
+            payload["error_type"] = self.error_type
+        return payload
 
     def __repr__(self) -> str:
         return (
@@ -121,13 +139,33 @@ class _SpanContext:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         current = self.span_obj
-        current.duration_s = perf_counter() - current.start
+        end = perf_counter()
+        current.duration_s = end - current.start
         if exc_type is not None:
             current.status = "error"
+            current.error_type = exc_type.__name__
         stack = _BUFFER.stack
-        # Exception-safety: unwind every span abandoned above this one.
+        # Exception-safety: spans abandoned above this one (entered but
+        # never exited — a generator that died, a manual __enter__ with no
+        # matching exit) are closed here rather than dropped: they keep
+        # their partial duration, carry error status, stay in the tree as
+        # children of the span below them, and still feed their histogram.
         while stack and stack[-1] is not current:
-            stack.pop()
+            abandoned = stack.pop()
+            abandoned.duration_s = end - abandoned.start
+            abandoned.status = "error"
+            if abandoned.error_type is None:
+                abandoned.error_type = (
+                    exc_type.__name__ if exc_type is not None else "AbandonedSpan"
+                )
+            parent = stack[-1] if stack else None
+            if parent is not None:
+                parent.children.append(abandoned)
+            else:
+                _BUFFER.roots.append(abandoned)
+            _metrics.histogram(f"span.{abandoned.name}.seconds").observe(
+                abandoned.duration_s
+            )
         if stack:
             stack.pop()
         if stack:
@@ -202,7 +240,10 @@ def clear_trace() -> None:
 
 def _render_span(s: Span, depth: int, lines: List[str]) -> None:
     attrs = " ".join(f"{k}={v}" for k, v in s.attributes.items())
-    flag = "" if s.status == "ok" else "  [ERROR]"
+    if s.status == "ok":
+        flag = ""
+    else:
+        flag = f"  [ERROR {s.error_type}]" if s.error_type else "  [ERROR]"
     lines.append(
         "  " * depth
         + f"{s.name}  {s.duration_s * 1000:.3f} ms"

@@ -36,6 +36,7 @@ from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
 from repro.kernels.coverage import CoverageOracle, shared_oracle
 from repro.obs import get_logger, metrics, tracing
+from repro.obs import ledger as obs_ledger
 from repro.solvers.lp import LPSolution, minimax_over_strategies
 
 __all__ = ["DoubleOracleResult", "double_oracle"]
@@ -182,7 +183,10 @@ def double_oracle(
     gap = float("inf")
     gap_history: List[float] = []
     oracle_timer = metrics.histogram("double_oracle.oracle.seconds")
-    with tracing.span("double_oracle.solve", n=graph.n, m=graph.m, k=game.k):
+    with obs_ledger.run("solvers.double_oracle", game=game, method=method,
+                        lazy_attacker=lazy_attacker), \
+            tracing.span("double_oracle.solve", n=graph.n, m=graph.m,
+                         k=game.k):
         for iteration in range(1, max_iterations + 1):
             solution = minimax_over_strategies(
                 attacker_pool, defender_pool, tuple_vertices,

@@ -25,6 +25,7 @@ from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex, tuple_sort_key, vertex_sort_key
 from repro.kernels.coverage import shared_oracle
 from repro.obs import get_logger, metrics, tracing
+from repro.obs import ledger as obs_ledger
 
 __all__ = ["FictitiousPlayResult", "fictitious_play"]
 
@@ -124,8 +125,10 @@ def fictitious_play(
     """
     graph = game.graph
 
-    with tracing.span("fictitious_play.run", n=graph.n, k=game.k,
-                      max_rounds=rounds), \
+    with obs_ledger.run("solvers.fictitious_play", game=game,
+                        max_rounds=rounds, method=method), \
+            tracing.span("fictitious_play.run", n=graph.n, k=game.k,
+                         max_rounds=rounds), \
             metrics.timer("fictitious_play.run.seconds"):
         result = _run_fictitious_play(game, rounds, method, tolerance)
     metrics.counter("fictitious_play.runs.count").inc()

@@ -29,6 +29,7 @@ from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, all_tuples, tuple_vertices
 from repro.obs import get_logger, metrics, tracing
+from repro.obs import ledger as obs_ledger
 
 _log = get_logger("repro.solvers.lp")
 
@@ -221,11 +222,13 @@ def solve_minimax(
             f"C(m={game.m}, k={game.k}) = {total_tuples} tuples exceed the "
             f"LP limit of {tuple_limit}"
         )
-    return minimax_over_strategies(
-        game.graph.sorted_vertices(),
-        all_tuples(game.graph, game.k),
-        tuple_vertices,
-    )
+    with obs_ledger.run("solvers.lp.solve_minimax", game=game,
+                        tuples=total_tuples):
+        return minimax_over_strategies(
+            game.graph.sorted_vertices(),
+            all_tuples(game.graph, game.k),
+            tuple_vertices,
+        )
 
 
 @tracing.traced("lp.lp_equilibrium")

@@ -27,6 +27,7 @@ from scipy.optimize import linprog
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import all_tuples, tuple_vertices
 from repro.graphs.core import Edge, Vertex, vertex_sort_key
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics, tracing
 
 __all__ = ["StrategyRanges", "attacker_vertex_ranges", "defender_edge_ranges"]
@@ -120,7 +121,8 @@ def attacker_vertex_ranges(
     from repro.solvers.lp import solve_minimax
 
     metrics.counter("ranges.attacker.count").inc()
-    with tracing.span("ranges.attacker", n=game.graph.n, k=game.k), \
+    with obs_ledger.run("solvers.ranges.attacker", game=game), \
+            tracing.span("ranges.attacker", n=game.graph.n, k=game.k), \
             metrics.timer("ranges.attacker.seconds"):
         return _attacker_vertex_ranges(game, tuple_limit, solve_minimax)
 
@@ -169,7 +171,8 @@ def defender_edge_ranges(
     from repro.solvers.lp import solve_minimax
 
     metrics.counter("ranges.defender.count").inc()
-    with tracing.span("ranges.defender", n=game.graph.n, k=game.k), \
+    with obs_ledger.run("solvers.ranges.defender", game=game), \
+            tracing.span("ranges.defender", n=game.graph.n, k=game.k), \
             metrics.timer("ranges.defender.seconds"):
         return _defender_edge_ranges(game, tuple_limit, solve_minimax)
 

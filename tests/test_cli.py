@@ -268,3 +268,150 @@ class TestRedTeam:
 
     def test_unsolvable(self, house_file, capsys):
         assert main(["redteam", house_file, "-k", "1"]) == 1
+
+
+class TestStatsOutput:
+    def test_prometheus_alias(self, grid_file, capsys):
+        assert main(
+            ["stats", grid_file, "-k", "2", "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_equilibria_solve_count counter" in out
+
+    def test_output_file(self, grid_file, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main(
+            ["stats", grid_file, "-k", "2", "--format", "prometheus",
+             "-o", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote prometheus snapshot to {target}" in out
+        assert "# TYPE" not in out  # the snapshot went to the file
+        assert "repro_equilibria_solve_count" in target.read_text()
+
+    def test_output_file_json(self, grid_file, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["stats", grid_file, "-k", "2", "--format", "json",
+             "--output", str(target)]
+        ) == 0
+        snapshot = json.loads(target.read_text())
+        assert snapshot["counters"]["equilibria.solve.count"] >= 1
+
+    def test_text_format_includes_span_aggregation(self, grid_file, capsys):
+        assert main(["stats", grid_file, "-k", "2"]) == 0
+        assert "== span aggregation ==" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_prints_aggregation_table(self, grid_file, capsys):
+        assert main(["profile", grid_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "equilibrium kind : k-matching" in out
+        assert "== span aggregation" in out
+        assert "equilibria.solve" in out
+        assert "self %" in out
+
+    def test_chrome_trace_export(self, grid_file, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(
+            ["profile", grid_file, "-k", "2", "--chrome-trace", str(target)]
+        ) == 0
+        assert "wrote Chrome trace_event JSON" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        events = document["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert any(e["name"] == "equilibria.solve" for e in events)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_folded_export(self, grid_file, tmp_path):
+        target = tmp_path / "stacks.folded"
+        assert main(
+            ["profile", grid_file, "-k", "2", "--folded", str(target)]
+        ) == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and count.isdigit()
+        assert any(l.startswith("equilibria.solve") for l in lines)
+
+    def test_unsolvable_exits_1(self, house_file, capsys):
+        assert main(["profile", house_file, "-k", "1"]) == 1
+        assert "no structural equilibrium" in capsys.readouterr().out
+
+
+class TestLedgerFlags:
+    def test_ledger_dir_records_solve(self, grid_file, tmp_path, capsys):
+        import json
+
+        d = tmp_path / "ledger"
+        assert main(
+            ["--ledger-dir", str(d), "solve", grid_file, "-k", "2"]
+        ) == 0
+        path = d / "equilibria.solve.jsonl"
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["schema"] == "repro.obs/ledger-record/v1"
+        assert record["status"] == "ok"
+        assert record["fingerprint"]["k"] == 2
+        assert record["spans"]
+
+    def test_ledger_disabled_after_run(self, grid_file, tmp_path):
+        from repro.obs import ledger as obs_ledger
+
+        assert main(
+            ["--ledger-dir", str(tmp_path / "led"), "info", grid_file]
+        ) == 0
+        assert not obs_ledger.ledger_enabled()
+
+    def test_no_ledger_by_default(self, grid_file, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["solve", grid_file, "-k", "2"]) == 0
+        assert not (tmp_path / ".repro").exists()
+
+
+class TestWatch:
+    def _bench_file(self, tmp_path, history_values):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema": "repro.kernels/bench-smoke/v2",
+            "cases": {},
+            "history": [
+                {"git_rev": f"r{i}", "timestamp": None,
+                 "cases": {"case.a": v}}
+                for i, v in enumerate(history_values)
+            ],
+        }))
+        return str(path)
+
+    def test_clean_history_reports_ok(self, tmp_path, capsys):
+        path = self._bench_file(tmp_path, [0.1, 0.1, 0.1, 0.11])
+        assert main(["watch", "--file", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+
+    def test_regression_reported_but_not_fatal(self, tmp_path, capsys):
+        path = self._bench_file(tmp_path, [0.1, 0.1, 0.1, 0.5])
+        assert main(["watch", "--file", path]) == 0
+        assert "REGRESSION case.a" in capsys.readouterr().out
+
+    def test_strict_makes_regressions_fatal(self, tmp_path, capsys):
+        path = self._bench_file(tmp_path, [0.1, 0.1, 0.1, 0.5])
+        assert main(["watch", "--file", path, "--strict"]) == 1
+
+    def test_against_unknown_rev_errors(self, tmp_path, capsys):
+        path = self._bench_file(tmp_path, [0.1, 0.2])
+        assert main(["watch", "--file", path, "--against", "nope"]) == 1
+        assert "no history entry" in capsys.readouterr().out
+
+    def test_missing_file_is_not_fatal(self, tmp_path, capsys):
+        assert main(
+            ["watch", "--file", str(tmp_path / "absent.json")]
+        ) == 0
+        assert "missing" in capsys.readouterr().out

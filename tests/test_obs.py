@@ -368,3 +368,113 @@ class TestBenchmarkTableJson:
         assert document["title"] == "demo table"
         assert document["headers"] == ["k", "gain"]
         assert document["rows"] == [["1", "0.5000"]]
+
+
+class TestSpanExceptionPaths:
+    """Regression coverage for raising bodies and abandoned spans."""
+
+    def test_error_type_recorded_on_raise(self):
+        tracing.enable_tracing(True)
+        with pytest.raises(KeyError):
+            with tracing.span("boom"):
+                raise KeyError("gone")
+        root = tracing.get_trace()[0]
+        assert root.status == "error"
+        assert root.error_type == "KeyError"
+        assert "[ERROR KeyError]" in tracing.render_trace()
+
+    def test_raising_span_feeds_histogram(self):
+        tracing.enable_tracing(True)
+        h = obs_metrics.histogram("span.obs.err.seconds")
+        before = h.count
+        with pytest.raises(RuntimeError):
+            with tracing.span("obs.err"):
+                raise RuntimeError("nope")
+        assert h.count == before + 1
+
+    def test_abandoned_span_closed_during_exception_unwind(self):
+        """A span entered but never exited (e.g. a generator that died)
+        must not be silently dropped when the enclosing span exits."""
+        tracing.enable_tracing(True)
+        h = obs_metrics.histogram("span.abandoned.inner.seconds")
+        before = h.count
+        with pytest.raises(ValueError):
+            with tracing.span("outer"):
+                tracing.span("abandoned.inner").__enter__()
+                raise ValueError("boom")
+        outer = tracing.get_trace()[0]
+        assert [c.name for c in outer.children] == ["abandoned.inner"]
+        abandoned = outer.children[0]
+        assert abandoned.status == "error"
+        assert abandoned.error_type == "ValueError"
+        assert abandoned.duration_s >= 0.0
+        assert h.count == before + 1
+        # The stack fully unwound despite the abandonment.
+        with tracing.span("after"):
+            pass
+        assert [s.name for s in tracing.get_trace()] == ["outer", "after"]
+
+    def test_abandoned_span_on_clean_exit_marked_abandoned(self):
+        tracing.enable_tracing(True)
+        with tracing.span("outer"):
+            tracing.span("leaked").__enter__()
+        outer = tracing.get_trace()[0]
+        leaked = outer.children[0]
+        assert leaked.status == "error"
+        assert leaked.error_type == "AbandonedSpan"
+
+    def test_span_to_dict_serializes_tree_and_error(self):
+        tracing.enable_tracing(True)
+        with pytest.raises(ValueError):
+            with tracing.span("outer", k=2):
+                with tracing.span("inner"):
+                    raise ValueError("x")
+        payload = tracing.get_trace()[0].to_dict()
+        assert payload["name"] == "outer"
+        assert payload["status"] == "error"
+        assert payload["error_type"] == "ValueError"
+        assert payload["attributes"] == {"k": 2}
+        assert payload["children"][0]["name"] == "inner"
+        assert payload["children"][0]["error_type"] == "ValueError"
+        # JSON-ready: a round-trip must not lose anything.
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestHistogramEdgeCases:
+    def test_empty_percentiles_all_zero(self):
+        h = Histogram("t.seconds")
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 0.0
+        assert h.count == 0
+        assert h.mean == 0.0
+
+    def test_single_sample_every_percentile(self):
+        h = Histogram("t.seconds")
+        h.observe(3.25)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 3.25
+        assert h.min == 3.25
+        assert h.max == 3.25
+        assert h.mean == 3.25
+
+    def test_decimation_deterministic_across_identical_feeds(self):
+        """Two histograms fed the same stream must agree exactly —
+        decimation uses a fixed stride, never randomness."""
+        a, b = Histogram("a"), Histogram("b")
+        total = Histogram.MAX_SAMPLES * 3 + 17
+        for v in range(total):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a.count == b.count == total
+        assert a._samples == b._samples
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert a.percentile(q) == b.percentile(q)
+
+    def test_timer_records_on_raising_body(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.timer("t.seconds"):
+                raise RuntimeError("boom")
+        h = registry.histogram("t.seconds")
+        assert h.count == 1
+        assert h.max >= 0.0

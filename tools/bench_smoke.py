@@ -5,11 +5,16 @@ Times the tracked solver hot paths — double oracle, fictitious play, and
 the Monte-Carlo engines — on small fixed instances, best-of-3, and
 
 * ``--write``   refreshes the committed ``BENCH_KERNELS.json`` trajectory
-  file (current timings + speedup versus the embedded pre-kernel
-  reference);
+  file: updates the latest-snapshot ``cases`` block *and appends* one
+  history entry keyed by the current git revision (schema v2; a v1 file
+  is migrated in place, its old snapshot preserved as the
+  ``pre-history`` entry);
 * ``--check``   (default) re-times the same cases and fails when any
   tracked path regressed more than 20% (plus a 50 ms absolute slack for
-  scheduler noise) against the committed baseline.
+  scheduler noise) against the committed latest snapshot;
+* ``--watch``   re-times the cases and compares them against the
+  trailing-median history via :mod:`repro.obs.watchdog` — report-only
+  unless ``--strict`` (the ``make bench-watch`` CI step).
 
 The ``REFERENCE`` timings below were measured on the pre-kernel code path
 (the BENCH_OBS.json-era solvers, commit 38fe232) on the same instances,
@@ -21,15 +26,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 BENCH_FILE = REPO_ROOT / "BENCH_KERNELS.json"
-SCHEMA = "repro.kernels/bench-smoke/v1"
+
+#: History entries kept in the trajectory file (oldest dropped first).
+MAX_HISTORY = 100
 
 #: Pre-kernel (seed) wall-clock seconds for the tracked cases, best-of-3.
 REFERENCE = {
@@ -44,6 +53,16 @@ REFERENCE = {
 #: Regression gate: fail when current > baseline * (1 + SLACK_REL) + SLACK_ABS.
 SLACK_REL = 0.20
 SLACK_ABS = 0.05
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 def _cases():
@@ -97,25 +116,52 @@ def run_cases():
     return timings
 
 
+def _load_document():
+    """The committed trajectory as a schema-v2 document (migrating v1)."""
+    from repro.obs.watchdog import SCHEMA_V2, load_history_document
+
+    if not BENCH_FILE.exists():
+        return {
+            "schema": SCHEMA_V2,
+            "slack": {"relative": SLACK_REL, "absolute_s": SLACK_ABS},
+            "cases": {},
+            "history": [],
+        }
+    return load_history_document(BENCH_FILE)
+
+
 def write(timings) -> None:
-    payload = {
-        "schema": SCHEMA,
-        "slack": {"relative": SLACK_REL, "absolute_s": SLACK_ABS},
-        "cases": {
-            name: {
-                "wall_clock_s": timings[name],
-                "reference_s": REFERENCE.get(name),
-                "speedup_vs_reference": (
-                    round(REFERENCE[name] / timings[name], 2)
-                    if REFERENCE.get(name)
-                    else None
-                ),
-            }
-            for name in sorted(timings)
-        },
+    document = _load_document()
+    document["slack"] = {"relative": SLACK_REL, "absolute_s": SLACK_ABS}
+    document["cases"] = {
+        name: {
+            "wall_clock_s": timings[name],
+            "reference_s": REFERENCE.get(name),
+            "speedup_vs_reference": (
+                round(REFERENCE[name] / timings[name], 2)
+                if REFERENCE.get(name)
+                else None
+            ),
+        }
+        for name in sorted(timings)
     }
-    BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {BENCH_FILE}")
+    rev = _git_rev()
+    entry = {
+        "git_rev": rev,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "cases": {name: timings[name] for name in sorted(timings)},
+    }
+    # Re-running --write at the same revision replaces its entry instead
+    # of stacking duplicates that would bias the trailing median.
+    history = [e for e in document.get("history", [])
+               if e.get("git_rev") != rev]
+    history.append(entry)
+    document["history"] = history[-MAX_HISTORY:]
+    BENCH_FILE.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {BENCH_FILE} "
+          f"({len(document['history'])} history entries, newest {rev})")
 
 
 def check(timings) -> int:
@@ -123,7 +169,7 @@ def check(timings) -> int:
         print(f"{BENCH_FILE} missing; run python tools/bench_smoke.py --write",
               file=sys.stderr)
         return 1
-    baseline = json.loads(BENCH_FILE.read_text())["cases"]
+    baseline = _load_document()["cases"]
     failures = []
     for name, seconds in timings.items():
         base = baseline.get(name, {}).get("wall_clock_s")
@@ -145,18 +191,53 @@ def check(timings) -> int:
     return 0
 
 
+def watch(timings, against=None, ratio=None, strict=False) -> int:
+    """Live timings vs the trailing-median history (the watchdog face)."""
+    from repro.obs.watchdog import DEFAULT_RATIO, watch_file
+
+    if not BENCH_FILE.exists():
+        print(f"{BENCH_FILE} missing; run python tools/bench_smoke.py "
+              "--write first", file=sys.stderr)
+        return 1 if strict else 0
+    try:
+        report = watch_file(
+            BENCH_FILE, current=timings, against=against,
+            ratio=DEFAULT_RATIO if ratio is None else ratio,
+        )
+    except ValueError as exc:
+        print(f"bench-watch: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 1 if (strict and not report.ok) else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--write", action="store_true",
-                      help="refresh the committed BENCH_KERNELS.json")
+                      help="refresh BENCH_KERNELS.json and append a history "
+                           "entry for the current git revision")
     mode.add_argument("--check", action="store_true",
                       help="fail on >20%% regression vs the baseline (default)")
+    mode.add_argument("--watch", action="store_true",
+                      help="compare live timings to the trailing-median "
+                           "history (report-only unless --strict)")
+    parser.add_argument("--against", default=None, metavar="REV",
+                        help="with --watch: pin the baseline to one git "
+                             "revision's history entry")
+    parser.add_argument("--ratio", type=float, default=None,
+                        help="with --watch: slowdown ratio that trips the "
+                             "alarm (default: 1.5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --watch: exit non-zero on regressions")
     args = parser.parse_args()
     timings = run_cases()
     if args.write:
         write(timings)
         return 0
+    if args.watch:
+        return watch(timings, against=args.against, ratio=args.ratio,
+                     strict=args.strict)
     return check(timings)
 
 

@@ -1,12 +1,16 @@
 """Smoke-check the observability layer end to end.
 
 Runs a small solve cascade, double-oracle run and Monte-Carlo simulation
-with tracing enabled, then asserts that the instrumentation actually
-fired: a non-empty metrics snapshot with the expected solver counters, a
-JSON export that round-trips, a Prometheus export that mentions the LP
-histogram, and a collected span tree.  Exits non-zero on any failure, so
-CI (the ``ci`` Makefile target) catches instrumentation rot the moment a
-refactor severs a hot path from the registry.
+with tracing *and the provenance ledger* enabled, then asserts that the
+instrumentation actually fired: a non-empty metrics snapshot with the
+expected solver counters, a JSON export that round-trips, a Prometheus
+export that mentions the LP histogram, a collected span tree, ledger
+records that satisfy the ``repro.obs/ledger-record/v1`` schema (with
+verifiable content-addressed run ids), and profiler exports (Chrome
+``trace_event`` JSON + folded stacks) that match their formats.  Exits
+non-zero on any failure, so CI (the ``ci`` Makefile target) catches
+instrumentation rot the moment a refactor severs a hot path from the
+registry.
 
 Usage::
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 try:
@@ -35,12 +40,20 @@ REQUIRED_COUNTERS = (
 )
 
 
-def run_workload() -> None:
-    """Exercise every instrumented layer once, with tracing on."""
+#: Record fields the ledger-record/v1 schema requires on every line.
+LEDGER_REQUIRED_KEYS = (
+    "schema", "run_id", "entry_point", "started_at", "duration_s",
+    "status", "fingerprint", "attributes", "env", "metrics", "spans",
+)
+
+
+def run_workload(ledger_dir: Path) -> None:
+    """Exercise every instrumented layer once, tracing + ledger on."""
     from repro.core.game import TupleGame
     from repro.equilibria.solve import solve_game
     from repro.graphs.generators import complete_bipartite_graph
     from repro.obs import clear_trace, enable_tracing, get_registry
+    from repro.obs import ledger as obs_ledger
     from repro.simulation.engine import simulate
     from repro.solvers.double_oracle import double_oracle
     from repro.solvers.fictitious_play import fictitious_play
@@ -48,12 +61,16 @@ def run_workload() -> None:
     get_registry().reset()
     enable_tracing(True)
     clear_trace()
-    game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=3)
-    result = solve_game(game)
-    simulate(game, result.mixed, trials=2_000, seed=0)
-    double_oracle(game)
-    fictitious_play(game, rounds=30)
-    enable_tracing(False)
+    obs_ledger.enable_ledger(ledger_dir)
+    try:
+        game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=3)
+        result = solve_game(game)
+        simulate(game, result.mixed, trials=2_000, seed=0)
+        double_oracle(game)
+        fictitious_play(game, rounds=30)
+    finally:
+        obs_ledger.disable_ledger()
+        enable_tracing(False)
 
 
 def check() -> list:
@@ -90,9 +107,110 @@ def check() -> list:
     return failures
 
 
+def check_ledger(ledger_dir: Path) -> list:
+    """Validate the live ledger records against ledger-record/v1."""
+    from repro.obs.ledger import RECORD_SCHEMA, _canonical_sha256, read_runs
+
+    failures = []
+    records = read_runs(directory=ledger_dir)
+    if not records:
+        failures.append("ledger recorded no runs")
+        return failures
+    entry_points = {r.get("entry_point") for r in records}
+    for expected in ("equilibria.solve", "solvers.double_oracle",
+                     "solvers.fictitious_play"):
+        if expected not in entry_points:
+            failures.append(f"ledger is missing an {expected!r} record")
+    for record in records:
+        rid = record.get("run_id", "?")
+        for key in LEDGER_REQUIRED_KEYS:
+            if key not in record:
+                failures.append(f"ledger record {rid}: missing key {key!r}")
+        if record.get("schema") != RECORD_SCHEMA:
+            failures.append(
+                f"ledger record {rid}: schema {record.get('schema')!r} "
+                f"!= {RECORD_SCHEMA!r}"
+            )
+        if record.get("status") not in ("ok", "error"):
+            failures.append(f"ledger record {rid}: bad status "
+                            f"{record.get('status')!r}")
+        # The run id is content-addressed: recompute it from the record.
+        body = {k: v for k, v in record.items() if k != "run_id"}
+        if _canonical_sha256(body)[:16] != record.get("run_id"):
+            failures.append(
+                f"ledger record {rid}: run_id does not match the sha256 "
+                "of the record body"
+            )
+    solve = next(r for r in records
+                 if r.get("entry_point") == "equilibria.solve")
+    fp = solve.get("fingerprint") or {}
+    sha = fp.get("sha256", "")
+    if len(sha) != 64 or any(c not in "0123456789abcdef" for c in sha):
+        failures.append("equilibria.solve fingerprint sha256 is not a "
+                        "64-char hex digest")
+    if not solve.get("spans"):
+        failures.append("equilibria.solve ledger record carries no spans")
+    if not (solve.get("metrics") or {}).get("counters"):
+        failures.append("equilibria.solve ledger record carries no metrics")
+    return failures
+
+
+def check_profiler(tmp_dir: Path) -> list:
+    """Validate the Chrome-trace and folded-stack exports of the trace."""
+    from repro.obs import get_trace
+    from repro.obs.prof import write_chrome_trace, write_folded_stacks
+
+    failures = []
+    spans = get_trace()
+    chrome_path = tmp_dir / "trace.json"
+    folded_path = tmp_dir / "stacks.folded"
+    write_chrome_trace(chrome_path, spans)
+    write_folded_stacks(folded_path, spans)
+
+    try:
+        document = json.loads(chrome_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"Chrome trace is not valid JSON: {exc}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append("Chrome trace has no traceEvents")
+        events = []
+    for event in events:
+        if event.get("ph") != "X":
+            failures.append(f"Chrome trace event {event.get('name')!r} is "
+                            "not a complete ('X') event")
+            break
+        if not isinstance(event.get("ts"), (int, float)) \
+                or not isinstance(event.get("dur"), (int, float)):
+            failures.append(f"Chrome trace event {event.get('name')!r} "
+                            "lacks numeric ts/dur")
+            break
+    if events and not any(e.get("name") == "equilibria.solve"
+                          for e in events):
+        failures.append("Chrome trace is missing the equilibria.solve event")
+
+    folded = folded_path.read_text(encoding="utf-8").splitlines()
+    if not folded:
+        failures.append("folded-stack export is empty")
+    for line in folded:
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            failures.append(f"folded-stack line {line!r} is not "
+                            "'frame;frame <count>'")
+            break
+    if folded and not any(line.startswith("equilibria.solve")
+                          for line in folded):
+        failures.append("folded stacks are missing the equilibria.solve root")
+    return failures
+
+
 def main() -> int:
-    run_workload()
-    failures = check()
+    with tempfile.TemporaryDirectory(prefix="repro-obs-check-") as tmp:
+        tmp_dir = Path(tmp)
+        run_workload(tmp_dir / "ledger")
+        failures = check()
+        failures += check_ledger(tmp_dir / "ledger")
+        failures += check_profiler(tmp_dir)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -104,7 +222,8 @@ def main() -> int:
         "observability OK: "
         f"{len(snapshot['counters'])} counters, "
         f"{len(snapshot['gauges'])} gauges, "
-        f"{len(snapshot['histograms'])} histograms recorded"
+        f"{len(snapshot['histograms'])} histograms recorded; "
+        "ledger records, Chrome trace and folded stacks validated"
     )
     return 0
 
