@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check api-docs api-docs-check lint lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -40,9 +40,15 @@ bench-watch:
 fuzz-smoke:
 	$(PYTHON) -m repro.fuzz --count 50 --seed 20060707 --corpus tests/corpus --replay
 
-## smoke-check the observability layer (tracing + metrics + exports)
+## smoke-check the observability layer (tracing + metrics + events +
+## ledger + report exports)
 obs-check:
 	$(PYTHON) tools/check_obs.py
+
+## render the HTML/markdown run report from the committed ledger fixture
+## and fail unless it is valid and self-contained
+report-smoke:
+	$(PYTHON) tools/check_obs.py --report-smoke
 
 ## regenerate docs/api.md from docstrings
 api-docs:
@@ -71,6 +77,6 @@ mypy:
 	fi
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
-## docs freshness, tier-1 tests, hot-path perf smoke, perf watchdog,
-## differential fuzz
-ci: lint mypy obs-check api-docs-check test bench-smoke bench-watch fuzz-smoke
+## report rendering, docs freshness, tier-1 tests, hot-path perf smoke,
+## perf watchdog, differential fuzz
+ci: lint mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch fuzz-smoke

@@ -24,6 +24,7 @@ from typing import Dict
 import pytest
 
 from repro.analysis.tables import Table
+from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 
@@ -65,7 +66,11 @@ def _obs_experiment_timer(request):
     """Record wall-clock seconds per experiment into the session summary."""
     start = perf_counter()
     yield
-    _experiment_seconds[request.node.nodeid] = perf_counter() - start
+    seconds = perf_counter() - start
+    _experiment_seconds[request.node.nodeid] = seconds
+    obs_events.publish(
+        "bench.case", case=request.node.nodeid, wall_clock_s=seconds
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)

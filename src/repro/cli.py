@@ -13,14 +13,18 @@ Usage examples (after ``pip install -e .``)::
     repro-defender lint --strict --baseline
     repro-defender fuzz --count 50 --seed 7 --corpus tests/corpus --replay
     repro-defender watch --file BENCH_KERNELS.json --ratio 1.5
+    repro-defender tail --follow --type solver.iteration
+    repro-defender ledger stats --group-by git_rev
+    repro-defender ledger report -o report.html --markdown report.md
+    repro-defender ledger diff 9f2c1a07 3c881b2e
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
 
 Every subcommand accepts the observability flags ``--quiet``,
-``--verbose``, ``--log-json``, ``--trace`` and ``--ledger`` /
-``--ledger-dir DIR`` (before or after the subcommand); see
-``docs/observability.md``.  All normal output flows
+``--verbose``, ``--log-json``, ``--trace``, ``--ledger`` /
+``--ledger-dir DIR`` and ``--events`` / ``--events-dir DIR`` (before
+or after the subcommand); see ``docs/observability.md``.  All normal output flows
 through one :func:`_emit` helper, so ``--quiet`` silences it and
 ``--log-json`` turns each message into a JSON line without touching the
 default plain-text format.
@@ -48,10 +52,12 @@ from repro.lint import add_lint_arguments as lint_arguments
 from repro.lint import run_from_args as run_lint_from_args
 from repro.matching.blossom import matching_number
 from repro.matching.covers import minimum_edge_cover_size
+from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import prof as obs_prof
+from repro.obs import report as obs_report
 from repro.obs import tracing as obs_tracing
 from repro.obs.watchdog import add_watch_arguments as watch_arguments
 from repro.obs.watchdog import run_watch_from_args
@@ -119,6 +125,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser, default) -> None:
         default=default if default is argparse.SUPPRESS else None,
         metavar="DIR",
         help="ledger directory (implies --ledger)",
+    )
+    group.add_argument(
+        "--events", action="store_true", default=default,
+        help="publish telemetry events to the JSONL sink "
+             "(.repro/events by default; stream with repro-defender tail)",
+    )
+    group.add_argument(
+        "--events-dir",
+        default=default if default is argparse.SUPPRESS else None,
+        metavar="DIR",
+        help="event sink directory (implies --events)",
     )
 
 
@@ -256,6 +273,113 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_parent],
     )
     watch_arguments(p_watch)
+
+    # tail takes no graph — it streams the telemetry event sink.
+    p_tail = sub.add_parser(
+        "tail",
+        help="stream telemetry events from a live or finished run",
+        parents=[obs_parent],
+    )
+    p_tail.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="event sink file (default: <events-dir>/events.jsonl)",
+    )
+    p_tail.add_argument(
+        "--dir", default=None, metavar="DIR", dest="tail_dir",
+        help="event sink directory (default: .repro/events)",
+    )
+    p_tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    p_tail.add_argument(
+        "--type", action="append", default=None, metavar="TYPE",
+        dest="event_types",
+        help="only this event type (repeatable; e.g. solver.iteration)",
+    )
+    p_tail.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="only the newest N events (without --follow)",
+    )
+
+    # ledger takes no graph — it queries the run-provenance ledger.
+    p_ledger = sub.add_parser(
+        "ledger",
+        help="analytics over the run-provenance ledger: stats, queries, "
+             "diffs and HTML reports",
+        parents=[obs_parent],
+    )
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_command",
+                                         required=True)
+
+    def add_ledger_command(name: str, help_text: str):
+        p = ledger_sub.add_parser(name, help=help_text, parents=[obs_parent])
+        p.add_argument(
+            "--dir", default=obs_ledger.DEFAULT_LEDGER_DIR, metavar="DIR",
+            dest="ledger_query_dir", help="ledger directory to read "
+            "(default: .repro/ledger)",
+        )
+        return p
+
+    p_lstats = add_ledger_command(
+        "stats", "aggregate runs: count, error rate, latency percentiles"
+    )
+    p_lstats.add_argument(
+        "--group-by", choices=obs_report.GROUP_KEYS, default="entry_point",
+        help="aggregation dimension (default: entry_point)",
+    )
+    p_lstats.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+
+    p_lquery = add_ledger_command(
+        "query", "filter and list individual ledger records"
+    )
+    p_lquery.add_argument("--entry-point", default=None)
+    p_lquery.add_argument("--status", choices=("ok", "error"), default=None)
+    p_lquery.add_argument(
+        "--fingerprint", default=None, metavar="SHA256",
+        help="full game-fingerprint hash to match",
+    )
+    p_lquery.add_argument(
+        "--since", type=float, default=None, metavar="UNIX_TS",
+        help="runs started at or after this UNIX timestamp",
+    )
+    p_lquery.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="newest N matching runs",
+    )
+    p_lquery.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+
+    p_lreport = add_ledger_command(
+        "report", "render the self-contained HTML run report"
+    )
+    p_lreport.add_argument(
+        "-o", "--output", default="report.html", metavar="FILE",
+        help="HTML output path (default: report.html)",
+    )
+    p_lreport.add_argument(
+        "--markdown", default=None, metavar="FILE",
+        help="also write a markdown summary to FILE",
+    )
+    p_lreport.add_argument(
+        "--bench-file", default="BENCH_KERNELS.json", metavar="PATH",
+        help="benchmark trajectory folded into the report when present",
+    )
+    p_lreport.add_argument(
+        "--title", default="repro-defender run report",
+    )
+
+    p_ldiff = add_ledger_command(
+        "diff", "field-by-field comparison of two recorded runs"
+    )
+    p_ldiff.add_argument("run_id_a", help="first run id (prefix allowed)")
+    p_ldiff.add_argument("run_id_b", help="second run id (prefix allowed)")
+    p_ldiff.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
 
     return parser
 
@@ -525,6 +649,146 @@ def _cmd_profile(
     return code
 
 
+def _render_event(event: dict) -> str:
+    payload = event.get("payload") or {}
+    fields = " ".join(f"{key}={payload[key]}" for key in sorted(payload))
+    return f"{event.get('seq', '?'):>6}  {event.get('type', '?'):16s} {fields}"
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """Stream events from a sink file (live with --follow)."""
+    from pathlib import Path
+
+    if args.file is not None:
+        sink = Path(args.file)
+    else:
+        sink = Path(args.tail_dir or obs_events.DEFAULT_EVENTS_DIR) \
+            / obs_events.SINK_FILENAME
+    if not sink.exists() and not args.follow:
+        _emit(f"tail: no event sink at {sink} (record one with --events "
+              "or REPRO_EVENTS=1)", err=True)
+        return 1
+    if args.follow:
+        try:
+            for event in obs_events.tail_events(
+                sink, types=args.event_types, follow=True
+            ):
+                _emit(_render_event(event))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    events = obs_events.read_events(sink, types=args.event_types)
+    if args.count is not None and args.count >= 0:
+        events = events[len(events) - min(args.count, len(events)):]
+    for event in events:
+        _emit(_render_event(event))
+    _emit(f"({len(events)} events from {sink})")
+    return 0
+
+
+def _cmd_ledger_stats(args: argparse.Namespace) -> int:
+    directory = args.ledger_query_dir
+    records = obs_ledger.read_runs(directory=directory)
+    rows = obs_report.aggregate_runs(records, group_by=args.group_by)
+    if args.fmt == "json":
+        _emit(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = Table([args.group_by, "runs", "errors", "err%", "p50 s", "p95 s"])
+    for row in rows:
+        table.add_row([
+            row["key"], row["count"], row["errors"],
+            f"{row['error_rate'] * 100:.1f}",
+            f"{row['duration_s']['p50']:.4f}",
+            f"{row['duration_s']['p95']:.4f}",
+        ])
+    _emit(table.render(title=f"{len(records)} runs in {directory}"))
+    return 0
+
+
+def _cmd_ledger_query(args: argparse.Namespace) -> int:
+    records = obs_ledger.read_runs(
+        directory=args.ledger_query_dir,
+        entry_point=args.entry_point,
+        status=args.status,
+        fingerprint_sha256=args.fingerprint,
+        since=args.since,
+        limit=args.limit,
+    )
+    if args.fmt == "json":
+        _emit(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    table = Table(["run_id", "entry point", "status", "duration s",
+                   "git rev"])
+    for record in records:
+        table.add_row([
+            record.get("run_id", "?"),
+            record.get("entry_point", "?"),
+            record.get("status", "?"),
+            f"{record.get('duration_s', 0.0):.4f}",
+            (record.get("env") or {}).get("git_rev", "?"),
+        ])
+    _emit(table.render(title=f"{len(records)} matching runs"))
+    return 0
+
+
+def _cmd_ledger_report(args: argparse.Namespace) -> int:
+    summary = obs_report.write_report(
+        args.ledger_query_dir, args.output, output_md=args.markdown,
+        bench_file=args.bench_file, title=args.title,
+    )
+    _emit(f"report over {summary['records']} runs "
+          f"({summary['entry_points']} entry points): "
+          + ", ".join(summary["written"]))
+    return 0
+
+
+def _cmd_ledger_diff(args: argparse.Namespace) -> int:
+    directory = args.ledger_query_dir
+    try:
+        run_a = obs_ledger.find_run(args.run_id_a, directory=directory)
+        run_b = obs_ledger.find_run(args.run_id_b, directory=directory)
+    except ValueError as exc:
+        _emit(f"error: {exc}", err=True)
+        return 2
+    missing = [rid for rid, rec in ((args.run_id_a, run_a),
+                                    (args.run_id_b, run_b)) if rec is None]
+    if missing:
+        _emit("error: no recorded run matching " + ", ".join(missing),
+              err=True)
+        return 2
+    diff = obs_ledger.run_diff(run_a, run_b)
+    if args.fmt == "json":
+        _emit(json.dumps(diff, indent=2, sort_keys=True))
+        return 0
+    _emit(f"run a            : {diff['run_a']} ({diff['entry_points'][0]})")
+    _emit(f"run b            : {diff['run_b']} ({diff['entry_points'][1]})")
+    _emit(f"same fingerprint : "
+          f"{'yes' if diff['same_fingerprint'] else 'no'}")
+    _emit(f"duration delta   : {diff['duration_delta_s']:+.6f} s")
+    for key, change in diff["env_changes"].items():
+        _emit(f"env {key}: {change['a']} -> {change['b']}")
+    for section in ("counters", "gauges", "histogram_means"):
+        deltas = diff["metrics"][section]
+        if not deltas:
+            continue
+        _emit(f"{section}:")
+        for name, delta in deltas.items():
+            _emit(f"  {name}: {delta:+g}")
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    if args.ledger_command == "stats":
+        return _cmd_ledger_stats(args)
+    if args.ledger_command == "query":
+        return _cmd_ledger_query(args)
+    if args.ledger_command == "report":
+        return _cmd_ledger_report(args)
+    if args.ledger_command == "diff":
+        return _cmd_ledger_diff(args)
+    raise GameError(f"unknown ledger command {args.ledger_command!r}")
+
+
 def _dispatch(args: argparse.Namespace, graph: Graph) -> int:
     if args.command == "info":
         return _cmd_info(graph)
@@ -577,6 +841,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     use_ledger = bool(getattr(args, "ledger", False)) or ledger_dir is not None
     if use_ledger:
         obs_ledger.enable_ledger(ledger_dir)
+    events_dir = getattr(args, "events_dir", None)
+    use_events = bool(getattr(args, "events", False)) or events_dir is not None
+    if use_events:
+        obs_events.enable_events(events_dir)
 
     try:
         if args.command == "lint":
@@ -585,6 +853,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = run_fuzz_from_args(args, emit=_emit)
         elif args.command == "watch":
             code = run_watch_from_args(args, emit=_emit)
+        elif args.command == "tail":
+            code = _cmd_tail(args)
+        elif args.command == "ledger":
+            code = _cmd_ledger(args)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)
@@ -598,6 +870,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if use_ledger:
             obs_ledger.disable_ledger()
+        if use_events:
+            obs_events.disable_events()
         if trace or args.command in ("stats", "profile"):
             obs_tracing.enable_tracing(False)
 

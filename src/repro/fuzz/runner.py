@@ -27,6 +27,7 @@ from repro.fuzz.invariants import (
     check_game,
 )
 from repro.fuzz.shrink import shrink_spec
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 
@@ -180,6 +181,11 @@ def run_fuzz(
             spec = random_spec(rng, seed=case_seed)
             metrics.counter("fuzz.games.count").inc()
             violations = check_game(spec.to_game(), tolerance, checks=checks)
+            obs_events.publish(
+                "fuzz.case", mode="batch", index=index,
+                family=spec.family, ok=not violations,
+                violations=len(violations),
+            )
             if violations:
                 metrics.counter("fuzz.violations.count").inc(len(violations))
                 _log.warning(
@@ -218,6 +224,10 @@ def replay_corpus(
         for path, spec in iter_corpus(corpus_dir):
             metrics.counter("fuzz.replayed.count").inc()
             violations = check_game(spec.to_game(), tolerance, checks=checks)
+            obs_events.publish(
+                "fuzz.case", mode="replay", family=spec.family,
+                ok=not violations, violations=len(violations),
+            )
             if violations:
                 metrics.counter("fuzz.violations.count").inc(len(violations))
             results.append(CaseResult(spec, violations, corpus_path=path))

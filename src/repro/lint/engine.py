@@ -86,6 +86,9 @@ class LintConfig:
                 "repro.obs.ledger",
                 "repro.obs.prof",
                 "repro.obs.watchdog",
+                "repro.obs.events",
+                "repro.obs.resources",
+                "repro.obs.report",
             ),
             rng_seeded_entry_prefixes=("repro.simulation.", "repro.fuzz."),
             theory_packages=("repro.core", "repro.equilibria"),

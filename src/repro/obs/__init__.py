@@ -19,7 +19,16 @@ for conventions and examples):
   folded-stack flamegraphs, Chrome ``trace_event`` JSON and self/total
   aggregation tables;
 * :mod:`repro.obs.watchdog` — the perf-regression watchdog comparing
-  benchmark timings against their trailing-median history.
+  benchmark timings against their trailing-median history;
+* :mod:`repro.obs.events` — the live telemetry event bus: typed run
+  events (``solver.iteration``, ``lp.solve``, ...) in a bounded ring
+  buffer with subscribers and an opt-in JSONL sink;
+* :mod:`repro.obs.resources` — the daemon-thread process resource
+  sampler (RSS, CPU, GC, threads) feeding the metrics registry and the
+  ``resources`` block of every ledger record;
+* :mod:`repro.obs.report` — ledger analytics (grouped latency
+  percentiles, error rates, cross-revision deltas) and the
+  self-contained HTML/markdown run reports.
 
 Quickstart::
 
@@ -32,6 +41,17 @@ Quickstart::
     print(get_registry().to_json())
 """
 
+from repro.obs.events import (
+    disable_events,
+    enable_events,
+    events_enabled,
+    publish,
+    read_events,
+    recent,
+    subscribe,
+    tail_events,
+    unsubscribe,
+)
 from repro.obs.ledger import (
     disable_ledger,
     enable_ledger,
@@ -59,6 +79,18 @@ from repro.obs.prof import (
     to_chrome_trace,
     to_folded_stacks,
 )
+from repro.obs.report import (
+    aggregate_runs,
+    render_report_html,
+    render_report_markdown,
+    write_report,
+)
+from repro.obs.resources import (
+    sample_once,
+    sampler_running,
+    start_sampler,
+    stop_sampler,
+)
 from repro.obs.tracing import (
     Span,
     clear_trace,
@@ -80,6 +112,23 @@ __all__ = [
     "ledger_enabled",
     "read_runs",
     "run_diff",
+    "disable_events",
+    "enable_events",
+    "events_enabled",
+    "publish",
+    "read_events",
+    "recent",
+    "subscribe",
+    "tail_events",
+    "unsubscribe",
+    "aggregate_runs",
+    "render_report_html",
+    "render_report_markdown",
+    "write_report",
+    "sample_once",
+    "sampler_running",
+    "start_sampler",
+    "stop_sampler",
     "aggregate",
     "render_aggregate",
     "to_chrome_trace",

@@ -1,0 +1,340 @@
+"""Live telemetry event bus: typed run events, bounded and subscribable.
+
+The ledger records *what a run was* after it finished; this module
+streams *what a run is doing* while it happens.  Instrumented code
+publishes small typed events — per-iteration solver progress
+(``solver.iteration``), LP solves (``lp.solve``), fuzz cases
+(``fuzz.case``), benchmark cases (``bench.case``) and run boundaries
+(``run.start`` / ``run.end``) — into a process-global, thread-safe,
+bounded ring buffer.  Consumers attach three ways:
+
+* :func:`subscribe` — an in-process callback invoked synchronously on
+  every published event (subscriber exceptions are caught, counted in
+  ``events.subscriber_errors.count`` and never break the publisher);
+* :func:`recent` — snapshot the newest buffered events (the live view
+  behind ``repro-defender tail``);
+* the **JSONL sink** — when enabled with a directory, every event is
+  appended to ``events.jsonl`` under it (``.repro/events/`` by default),
+  so ``repro-defender tail --follow`` can stream a run from another
+  process and finished runs replay exactly.
+
+The bus follows the tracer/ledger cost contract: **opt-in and
+near-free when off**.  :func:`publish` is a single boolean check while
+disabled (the default); enable via :func:`enable_events`, the CLI
+``--events`` flag, or ``REPRO_EVENTS=1`` (``REPRO_EVENTS_DIR`` points
+the sink somewhere else).  Event schema::
+
+    {"schema": "repro.obs/event/v1", "seq": 17, "ts": 1754640000.123,
+     "type": "solver.iteration", "payload": {...}}
+
+``seq`` is a process-wide monotone sequence number, so interleaved
+multi-threaded streams have a total order independent of clock ties.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from pathlib import Path
+from time import sleep, time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import repro.obs.metrics as _metrics
+from repro.obs.log import get_logger
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "DEFAULT_EVENTS_DIR",
+    "DEFAULT_CAPACITY",
+    "enable_events",
+    "disable_events",
+    "events_enabled",
+    "events_sink_path",
+    "publish",
+    "subscribe",
+    "unsubscribe",
+    "recent",
+    "clear_events",
+    "read_events",
+    "tail_events",
+]
+
+_log = get_logger("repro.obs.events")
+
+EVENT_SCHEMA = "repro.obs/event/v1"
+DEFAULT_EVENTS_DIR = ".repro/events"
+SINK_FILENAME = "events.jsonl"
+
+#: Ring-buffer capacity: events kept for :func:`recent` (oldest dropped).
+DEFAULT_CAPACITY = 4096
+
+#: The typed event vocabulary.  Publishing an unknown type is allowed
+#: (forward compatibility for downstream subsystems) but counted in
+#: ``events.unknown_type.count`` so drift is visible.
+EVENT_TYPES = frozenset({
+    "run.start",
+    "run.end",
+    "solver.iteration",
+    "lp.solve",
+    "fuzz.case",
+    "bench.case",
+})
+
+
+class _BusState:
+    """Process-global bus: switch, ring buffer, subscribers, sink."""
+
+    __slots__ = ("enabled", "buffer", "subscribers", "sink", "sink_path",
+                 "seq", "next_token", "lock")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.buffer: deque = deque(maxlen=DEFAULT_CAPACITY)
+        self.subscribers: Dict[int, Callable[[Dict[str, Any]], None]] = {}
+        self.sink = None
+        self.sink_path: Optional[Path] = None
+        self.seq = 0
+        self.next_token = 1
+        self.lock = threading.Lock()
+        if os.environ.get("REPRO_EVENTS", "") not in ("", "0", "false", "no"):
+            self.enabled = True
+            self._open_sink(Path(
+                os.environ.get("REPRO_EVENTS_DIR", DEFAULT_EVENTS_DIR)
+            ))
+
+    def _open_sink(self, directory: Optional[Path]) -> None:
+        if directory is None:
+            return
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            self.sink_path = directory / SINK_FILENAME
+            self.sink = open(self.sink_path, "a", encoding="utf-8")
+        except OSError as exc:  # the bus must never break the workload
+            self.sink = None
+            self.sink_path = None
+            _log.warning("events.sink.open_failed", directory=str(directory),
+                         error=type(exc).__name__)
+
+    def _close_sink(self) -> None:
+        if self.sink is not None:
+            try:
+                self.sink.close()
+            except OSError:
+                pass
+        self.sink = None
+        self.sink_path = None
+
+
+_STATE = _BusState()
+
+
+def enable_events(directory: Optional[os.PathLike] = None,
+                  sink: bool = True) -> None:
+    """Turn the bus on, optionally persisting events under ``directory``.
+
+    With ``sink=True`` (the default) every event is appended to
+    ``<directory>/events.jsonl`` (``.repro/events/`` when no directory is
+    given); ``sink=False`` keeps events purely in-memory — the mode the
+    overhead benchmark and in-process subscribers use.
+    """
+    with _STATE.lock:
+        _STATE._close_sink()
+        if sink:
+            root = Path(directory) if directory is not None \
+                else Path(DEFAULT_EVENTS_DIR)
+            _STATE._open_sink(root)
+        _STATE.enabled = True
+
+
+def disable_events() -> None:
+    """Turn the bus off and close the JSONL sink (buffer is kept)."""
+    with _STATE.lock:
+        _STATE.enabled = False
+        _STATE._close_sink()
+
+
+def events_enabled() -> bool:
+    """True while :func:`publish` is recording events."""
+    return _STATE.enabled
+
+
+def events_sink_path() -> Optional[Path]:
+    """The JSONL file events are appended to (None when sink-less)."""
+    return _STATE.sink_path
+
+
+def clear_events() -> None:
+    """Drop all buffered events (subscribers and the sink are kept)."""
+    with _STATE.lock:
+        _STATE.buffer.clear()
+
+
+def publish(event_type: str, **payload: Any) -> Optional[Dict[str, Any]]:
+    """Publish one event; a no-op single boolean check while disabled.
+
+    Returns the event dict when published (None while the bus is off),
+    so instrumentation can assert on what it emitted in tests.
+    """
+    if not _STATE.enabled:
+        return None
+    return _publish(event_type, payload)
+
+
+def _publish(event_type: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    with _STATE.lock:
+        _STATE.seq += 1
+        event = {
+            "schema": EVENT_SCHEMA,
+            "seq": _STATE.seq,
+            "ts": time(),
+            "type": event_type,
+            "payload": payload,
+        }
+        _STATE.buffer.append(event)
+        if _STATE.sink is not None:
+            try:
+                _STATE.sink.write(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                )
+                _STATE.sink.flush()
+            except (OSError, ValueError) as exc:
+                _metrics.counter("events.sink_errors.count").inc()
+                _log.warning("events.sink.write_failed",
+                             error=type(exc).__name__)
+                _STATE._close_sink()
+        callbacks = list(_STATE.subscribers.values())
+    _metrics.counter("events.published.count").inc()
+    if event_type not in EVENT_TYPES:
+        _metrics.counter("events.unknown_type.count").inc()
+    for callback in callbacks:
+        try:
+            callback(event)
+        except Exception as exc:  # a bad subscriber never breaks the run
+            _metrics.counter("events.subscriber_errors.count").inc()
+            _log.warning("events.subscriber.failed",
+                         error=type(exc).__name__)
+    return event
+
+
+def subscribe(callback: Callable[[Dict[str, Any]], None]) -> int:
+    """Attach an in-process callback to every published event.
+
+    The callback runs synchronously on the publisher's thread; exceptions
+    it raises are swallowed (and counted).  Returns a token for
+    :func:`unsubscribe`.
+    """
+    with _STATE.lock, _metrics.timer("events.subscribe.seconds"):
+        token = _STATE.next_token
+        _STATE.next_token += 1
+        _STATE.subscribers[token] = callback
+    return token
+
+
+def unsubscribe(token: int) -> bool:
+    """Detach a subscriber; True when the token was attached."""
+    with _STATE.lock:
+        return _STATE.subscribers.pop(token, None) is not None
+
+
+def recent(count: Optional[int] = None,
+           types: Optional[List[str]] = None) -> List[Dict[str, Any]]:
+    """Snapshot the newest buffered events, oldest first.
+
+    ``count`` caps the result (newest kept); ``types`` filters to the
+    given event types.
+    """
+    with _STATE.lock, _metrics.timer("events.recent.seconds"):
+        events = list(_STATE.buffer)
+    if types is not None:
+        wanted = set(types)
+        events = [e for e in events if e.get("type") in wanted]
+    if count is not None and count >= 0:
+        events = events[len(events) - min(count, len(events)):]
+    return events
+
+
+# --------------------------------------------------------------------------
+# reading a sink back (the `repro-defender tail` engine)
+
+
+def read_events(path: os.PathLike,
+                types: Optional[List[str]] = None) -> List[Dict[str, Any]]:
+    """Parse a JSONL event-sink file, tolerating a torn trailing line.
+
+    Corrupt lines are skipped and counted in
+    ``events.read.corrupt_lines.count`` — the sink is append-only, so a
+    torn tail is expected when tailing a live run.
+    """
+    with _metrics.timer("events.read.seconds"):
+        wanted = set(types) if types is not None else None
+        events: List[Dict[str, Any]] = []
+        try:
+            lines = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return events
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                _metrics.counter("events.read.corrupt_lines.count").inc()
+                continue
+            if not isinstance(event, dict):
+                continue
+            if wanted is not None and event.get("type") not in wanted:
+                continue
+            events.append(event)
+    return events
+
+
+def tail_events(
+    path: os.PathLike,
+    types: Optional[List[str]] = None,
+    follow: bool = False,
+    poll_interval: float = 0.25,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield events from a sink file, optionally following appends.
+
+    Without ``follow`` this yields the current file contents and stops.
+    With it, the file is polled every ``poll_interval`` seconds for new
+    lines until ``stop()`` (when given) returns True — the generator the
+    ``repro-defender tail --follow`` loop drains (Ctrl-C breaks it).
+    """
+    with _metrics.timer("events.tail.setup.seconds"):
+        target = Path(path)
+        wanted = set(types) if types is not None else None
+        offset = 0
+    while True:
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            chunk = ""
+        if chunk:
+            # Only consume whole lines; a torn tail stays for next poll.
+            complete = chunk.rfind("\n") + 1
+            offset += len(chunk[:complete].encode("utf-8"))
+            for line in chunk[:complete].splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    _metrics.counter("events.read.corrupt_lines.count").inc()
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if wanted is not None and event.get("type") not in wanted:
+                    continue
+                yield event
+        if not follow or (stop is not None and stop()):
+            return
+        sleep(poll_interval)

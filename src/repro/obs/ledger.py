@@ -41,12 +41,15 @@ from pathlib import Path
 from time import perf_counter, time
 from typing import Any, Dict, Iterator, List, Optional
 
+import repro.obs.events as _events
 import repro.obs.metrics as _metrics
+import repro.obs.resources as _resources
 import repro.obs.tracing as _tracing
 from repro.obs.log import get_logger
 
 __all__ = [
     "RECORD_SCHEMA",
+    "RECORD_SCHEMA_V1",
     "DEFAULT_LEDGER_DIR",
     "enable_ledger",
     "disable_ledger",
@@ -62,7 +65,10 @@ __all__ = [
 
 _log = get_logger("repro.obs.ledger")
 
-RECORD_SCHEMA = "repro.obs/ledger-record/v1"
+RECORD_SCHEMA = "repro.obs/ledger-record/v2"
+#: Previous record schema, still accepted by the readers (v2 added the
+#: ``resources`` block; every other field is unchanged).
+RECORD_SCHEMA_V1 = "repro.obs/ledger-record/v1"
 DEFAULT_LEDGER_DIR = ".repro/ledger"
 
 
@@ -189,10 +195,16 @@ _NULL_RUN = _NullRunContext()
 
 
 class _RunContext:
-    """Live run recorder: times the block, snapshots telemetry on exit."""
+    """Live run recorder: times the block, snapshots telemetry on exit.
 
-    __slots__ = ("entry_point", "fingerprint", "attributes", "_game",
-                 "_start", "_started_at", "_trace_mark", "_auto_trace")
+    Also the run-boundary publisher for the telemetry bus: a
+    ``run.start`` / ``run.end`` event pair brackets every wrapped run
+    while :mod:`repro.obs.events` is enabled — even for runs the ledger
+    itself is not recording (``record=False``)."""
+
+    __slots__ = ("entry_point", "fingerprint", "attributes", "record_run",
+                 "_game", "_start", "_started_at", "_trace_mark",
+                 "_auto_trace")
 
     def __init__(
         self,
@@ -200,10 +212,12 @@ class _RunContext:
         game,
         fingerprint: Optional[Dict[str, Any]],
         attributes: Dict[str, Any],
+        record_run: bool = True,
     ) -> None:
         self.entry_point = entry_point
         self.fingerprint = fingerprint
         self.attributes = attributes
+        self.record_run = record_run
         self._game = game
         self._start = 0.0
         self._started_at = 0.0
@@ -211,36 +225,46 @@ class _RunContext:
         self._auto_trace = False
 
     def __enter__(self) -> "_RunContext":
-        if self.fingerprint is None and self._game is not None:
-            self.fingerprint = fingerprint_game(self._game)
-        # Runs always carry a span tree: turn tracing on for the duration
-        # when nobody else has.
-        if not _tracing.tracing_enabled():
-            _tracing.enable_tracing(True)
-            self._auto_trace = True
-        self._trace_mark = len(_tracing.get_trace())
+        if self.record_run:
+            if self.fingerprint is None and self._game is not None:
+                self.fingerprint = fingerprint_game(self._game)
+            # Runs always carry a span tree: turn tracing on for the
+            # duration when nobody else has.
+            if not _tracing.tracing_enabled():
+                _tracing.enable_tracing(True)
+                self._auto_trace = True
+            self._trace_mark = len(_tracing.get_trace())
+            _resources.start_sampler()
+        _events.publish("run.start", entry_point=self.entry_point)
         self._started_at = time()
         self._start = perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = perf_counter() - self._start
+        status = "ok" if exc_type is None else "error"
+        _events.publish("run.end", entry_point=self.entry_point,
+                        status=status, duration_s=duration)
+        if not self.record_run:
+            return False
         try:
             spans = [
                 s.to_dict() for s in _tracing.get_trace()[self._trace_mark:]
             ]
             if self._auto_trace:
                 _tracing.enable_tracing(False)
+            resources = _resources.snapshot()
             record: Dict[str, Any] = {
                 "schema": RECORD_SCHEMA,
                 "entry_point": self.entry_point,
                 "started_at": self._started_at,
                 "duration_s": duration,
-                "status": "ok" if exc_type is None else "error",
+                "status": status,
                 "fingerprint": self.fingerprint,
                 "attributes": self.attributes,
                 "env": capture_environment(),
                 "metrics": _metrics.get_registry().snapshot(),
+                "resources": resources,
                 "spans": spans,
             }
             if exc_type is not None:
@@ -256,6 +280,8 @@ class _RunContext:
                 "ledger.append.failed", entry_point=self.entry_point,
                 error=type(inner).__name__,
             )
+        finally:
+            _resources.stop_sampler()
         return False
 
 
@@ -291,11 +317,16 @@ def run(entry_point: str, game=None,
     game-less workloads (fuzz batches, benchmark sessions) pass an
     explicit ``fingerprint`` dict instead.  Extra keyword arguments land
     in the record's ``attributes``.  While the ledger is disabled (the
-    default) this returns a shared no-op context manager.
+    default) this returns a shared no-op context manager — unless the
+    telemetry bus is on, in which case a lightweight context still
+    publishes the ``run.start`` / ``run.end`` event pair without
+    fingerprinting, tracing or appending anything.
     """
-    if not _STATE.enabled:
-        return _NULL_RUN
-    return _RunContext(entry_point, game, fingerprint, attributes)
+    if _STATE.enabled:
+        return _RunContext(entry_point, game, fingerprint, attributes)
+    return _RunContext(entry_point, game, fingerprint, attributes,
+                       record_run=False) \
+        if _events.events_enabled() else _NULL_RUN
 
 
 # --------------------------------------------------------------------------
@@ -315,7 +346,11 @@ def _iter_records(directory: Path) -> Iterator[Dict[str, Any]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn write at the tail of an append-only log
+                # Torn write at the tail of an append-only log: tolerated,
+                # but counted and logged so silent corruption is visible.
+                _metrics.counter("ledger.read.corrupt_lines.count").inc()
+                _log.warning("ledger.read.corrupt_line", file=path.name)
+                continue
             if isinstance(record, dict):
                 yield record
 
@@ -361,11 +396,27 @@ def read_runs(
 
 def find_run(run_id: str,
              directory: Optional[os.PathLike] = None) -> Optional[Dict[str, Any]]:
-    """The record with the given (possibly abbreviated) run id, or None."""
-    for record in read_runs(directory=directory):
-        if str(record.get("run_id", "")).startswith(run_id):
-            return record
-    return None
+    """The record with the given (possibly abbreviated) run id, or None.
+
+    An abbreviation matching more than one distinct run id raises
+    ``ValueError`` listing the candidates — silently returning the first
+    of several matches would diff or report the wrong run.
+    """
+    with _metrics.timer("ledger.find.seconds"):
+        matches: List[Dict[str, Any]] = []
+        seen_ids: List[str] = []
+        for record in read_runs(directory=directory):
+            rid = str(record.get("run_id", ""))
+            if rid.startswith(run_id):
+                if rid not in seen_ids:
+                    matches.append(record)
+                    seen_ids.append(rid)
+        if len(matches) > 1:
+            raise ValueError(
+                f"run id prefix {run_id!r} is ambiguous: matches "
+                + ", ".join(sorted(seen_ids))
+            )
+    return matches[0] if matches else None
 
 
 def _metric_deltas(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, float]:

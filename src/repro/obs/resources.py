@@ -1,0 +1,205 @@
+"""Process resource sampler: RSS, CPU time, GC and thread telemetry.
+
+A daemon-thread sampler that periodically reads cheap process-level
+resource facts and feeds them into the :mod:`repro.obs.metrics`
+registry:
+
+* **RSS** from ``/proc/self/status`` (``VmRSS``), falling back to
+  ``resource.getrusage`` where ``/proc`` does not exist — gauge
+  ``process.rss_bytes`` plus histogram ``process.rss_bytes.samples``
+  (so runs get RSS percentiles, not just a point);
+* **CPU time** from ``os.times()`` — gauges ``process.cpu_user_s`` /
+  ``process.cpu_system_s``;
+* **GC pressure** from ``gc.get_stats()`` — gauge
+  ``process.gc_collections``;
+* **thread count** — gauge ``process.threads``.
+
+:func:`start_sampler` / :func:`stop_sampler` manage one process-global
+daemon thread (idempotent; re-entrant via a depth count, so nested
+ledger runs share a single sampler).  :func:`snapshot` packages the
+current sample plus the peak/percentile view into the ``resources``
+block every ledger record carries (see
+``repro.obs/ledger-record/v2``).  Everything degrades gracefully:
+an unreadable ``/proc`` yields ``None`` RSS, never an exception.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+from typing import Any, Dict, Optional
+
+import repro.obs.metrics as _metrics
+from repro.obs.log import get_logger
+
+__all__ = [
+    "DEFAULT_INTERVAL_S",
+    "rss_bytes",
+    "sample_once",
+    "start_sampler",
+    "stop_sampler",
+    "sampler_running",
+    "snapshot",
+]
+
+_log = get_logger("repro.obs.resources")
+
+#: Seconds between daemon-thread samples.
+DEFAULT_INTERVAL_S = 0.05
+
+_PROC_STATUS = "/proc/self/status"
+
+
+class _SamplerState:
+    """The process-global sampler thread and its bookkeeping."""
+
+    __slots__ = ("thread", "stop_event", "depth", "samples", "peak_rss",
+                 "lock")
+
+    def __init__(self) -> None:
+        self.thread: Optional[threading.Thread] = None
+        self.stop_event = threading.Event()
+        self.depth = 0
+        self.samples = 0
+        self.peak_rss = 0
+        self.lock = threading.Lock()
+
+
+_STATE = _SamplerState()
+
+
+def rss_bytes() -> Optional[int]:
+    """Resident set size in bytes, or None when unavailable.
+
+    Reads ``VmRSS`` from ``/proc/self/status`` on Linux; elsewhere falls
+    back to ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` (a *peak*, and
+    kilobytes on Linux vs bytes on macOS — normalized here).
+    """
+    try:
+        with open(_PROC_STATUS, "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource as _resource
+
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        if peak <= 0:
+            return None
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return peak if os.uname().sysname == "Darwin" else peak * 1024
+    except (ImportError, OSError, AttributeError):
+        return None
+
+
+def sample_once() -> Dict[str, Any]:
+    """Take one resource sample and feed the metrics registry.
+
+    Returns the sample dict (also the building block of
+    :func:`snapshot`); safe to call with the sampler thread stopped.
+    """
+    with _metrics.timer("resources.sample.seconds"):
+        times = os.times()
+        stats = gc.get_stats()
+        sample: Dict[str, Any] = {
+            "rss_bytes": rss_bytes(),
+            "cpu_user_s": times.user,
+            "cpu_system_s": times.system,
+            "gc_collections": sum(s.get("collections", 0) for s in stats),
+            "threads": threading.active_count(),
+        }
+        registry_feed(sample)
+    return sample
+
+
+def registry_feed(sample: Dict[str, Any]) -> None:
+    """Push one sample's fields into the process metrics registry."""
+    rss = sample.get("rss_bytes")
+    if rss is not None:
+        _metrics.gauge("process.rss_bytes").set(float(rss))
+        _metrics.histogram("process.rss_bytes.samples").observe(float(rss))
+        with _STATE.lock:
+            _STATE.samples += 1
+            if rss > _STATE.peak_rss:
+                _STATE.peak_rss = rss
+    _metrics.gauge("process.cpu_user_s").set(sample["cpu_user_s"])
+    _metrics.gauge("process.cpu_system_s").set(sample["cpu_system_s"])
+    _metrics.gauge("process.gc_collections").set(
+        float(sample["gc_collections"])
+    )
+    _metrics.gauge("process.threads").set(float(sample["threads"]))
+
+
+def _sampler_loop(interval: float) -> None:
+    while not _STATE.stop_event.wait(interval):
+        try:
+            sample_once()
+        except Exception as exc:  # sampling must never kill the process
+            _metrics.counter("resources.sample_errors.count").inc()
+            _log.warning("resources.sample.failed",
+                         error=type(exc).__name__)
+
+
+def start_sampler(interval: float = DEFAULT_INTERVAL_S) -> bool:
+    """Start (or join) the daemon sampler thread; True when it started.
+
+    Re-entrant: each call bumps a depth count and only the first actually
+    spawns the thread, so nested ledger runs share one sampler and the
+    matching :func:`stop_sampler` calls unwind it.
+    """
+    with _metrics.timer("resources.start.seconds"):
+        with _STATE.lock:
+            _STATE.depth += 1
+            if _STATE.thread is not None and _STATE.thread.is_alive():
+                return False
+            _STATE.stop_event = threading.Event()
+            _STATE.samples = 0
+            _STATE.peak_rss = 0
+            thread = threading.Thread(
+                target=_sampler_loop, args=(interval,),
+                name="repro-obs-resources", daemon=True,
+            )
+            _STATE.thread = thread
+        sample_once()  # always at least one sample, however short the run
+        thread.start()
+    return True
+
+
+def stop_sampler() -> None:
+    """Unwind one :func:`start_sampler` call; stops the thread at depth 0."""
+    with _STATE.lock:
+        _STATE.depth = max(0, _STATE.depth - 1)
+        if _STATE.depth > 0:
+            return
+        thread = _STATE.thread
+        _STATE.thread = None
+        _STATE.stop_event.set()
+    if thread is not None and thread.is_alive():
+        thread.join(timeout=1.0)
+
+
+def sampler_running() -> bool:
+    """True while the daemon sampler thread is alive."""
+    thread = _STATE.thread
+    return thread is not None and thread.is_alive()
+
+
+def snapshot() -> Dict[str, Any]:
+    """The ``resources`` block for a ledger record.
+
+    One fresh sample (current RSS / CPU / GC / threads) plus the peak
+    RSS and sample count accumulated since the sampler started — still
+    meaningful with the sampler off (``samples`` counts that one).
+    """
+    with _metrics.timer("resources.snapshot.seconds"):
+        sample = sample_once()
+        with _STATE.lock:
+            sample["rss_peak_bytes"] = (
+                _STATE.peak_rss or sample.get("rss_bytes")
+            )
+            sample["samples"] = _STATE.samples
+            sample["sampler_running"] = sampler_running()
+    return sample

@@ -102,6 +102,27 @@ class WatchReport:
     def ok(self) -> bool:
         return not self.regressions
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable verdict (the ``watch --format json`` body)."""
+        return {
+            "schema": "repro.obs/watch-report/v1",
+            "ok": self.ok,
+            "baseline": self.baseline_label,
+            "checked": list(self.checked),
+            "skipped": list(self.skipped),
+            "regressions": [
+                {
+                    "case": r.case,
+                    "current_s": r.current_s,
+                    "baseline_s": r.baseline_s,
+                    "ratio": r.ratio,
+                    "limit_s": r.limit_s,
+                    "samples": r.samples,
+                }
+                for r in self.regressions
+            ],
+        }
+
     def summary(self) -> str:
         lines = [
             f"bench-watch vs {self.baseline_label}: "
@@ -301,22 +322,34 @@ def add_watch_arguments(parser) -> None:
         "--strict", action="store_true",
         help="exit non-zero on regressions (default: report only)",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="verdict format: human text or one JSON document for CI "
+             "annotations (default: text)",
+    )
 
 
 def run_watch_from_args(args, emit=print) -> int:
     """Execute a parsed watchdog invocation; returns a process exit code."""
+    fmt = getattr(args, "fmt", "text")
     path = Path(args.file)
     if not path.exists():
-        emit(f"bench-watch: {path} missing; run tools/bench_smoke.py "
-             "--write first")
+        message = (f"bench-watch: {path} missing; run tools/bench_smoke.py "
+                   "--write first")
+        emit(json.dumps({"schema": "repro.obs/watch-report/v1", "ok": True,
+                         "error": message})
+             if fmt == "json" else message)
         return 0 if not args.strict else 1
     try:
         report = watch_file(path, against=args.against, ratio=args.ratio,
                             window=args.window)
     except (ValueError, json.JSONDecodeError) as exc:
-        emit(f"bench-watch: {exc}")
+        emit(json.dumps({"schema": "repro.obs/watch-report/v1", "ok": False,
+                         "error": str(exc)})
+             if fmt == "json" else f"bench-watch: {exc}")
         return 1
-    emit(report.summary())
+    emit(json.dumps(report.to_dict(), indent=2, sort_keys=True)
+         if fmt == "json" else report.summary())
     if not report.ok and args.strict:
         return 1
     return 0

@@ -35,6 +35,7 @@ from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex
 from repro.kernels.coverage import CoverageOracle, shared_oracle
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 from repro.solvers.lp import LPSolution, minimax_over_strategies
@@ -211,6 +212,12 @@ def double_oracle(
 
             gap = def_payoff - att_payoff
             gap_history.append(gap)
+            obs_events.publish(
+                "solver.iteration", solver="double_oracle",
+                iteration=iteration, value=solution.value, gap=gap,
+                defender_pool=len(defender_pool),
+                attacker_pool=len(attacker_pool),
+            )
             _log.debug(
                 "double_oracle.iteration", i=iteration, value=solution.value,
                 gap=gap, defender_pool=len(defender_pool),
@@ -254,6 +261,13 @@ def double_oracle(
                 _log.info(
                     "double_oracle.converged", iterations=iteration,
                     value=solution.value, gap=gap, exact=exact,
+                )
+                obs_events.publish(
+                    "solver.iteration", solver="double_oracle",
+                    iteration=iteration, value=solution.value, gap=gap,
+                    defender_pool=len(defender_pool),
+                    attacker_pool=len(attacker_pool),
+                    converged=True, certified=exact,
                 )
                 return DoubleOracleResult(
                     solution, iteration, len(defender_pool),

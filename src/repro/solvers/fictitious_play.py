@@ -24,6 +24,7 @@ from repro.core.game import TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex, tuple_sort_key, vertex_sort_key
 from repro.kernels.coverage import shared_oracle
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 
@@ -180,6 +181,11 @@ def _run_fictitious_play(
         upper = response_value
         lower = hit_mass[current_attack] / round_index
         history.append((lower, upper))
+        obs_events.publish(
+            "solver.iteration", solver="fictitious_play",
+            round=round_index, lower=lower, upper=upper,
+            residual=upper - lower,
+        )
         if tolerance is not None and upper - lower <= tolerance:
             break
 

@@ -28,6 +28,7 @@ from scipy.optimize import linprog
 from repro.core.configuration import MixedConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, all_tuples, tuple_vertices
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 
@@ -142,6 +143,10 @@ def _solve_matrix_duel(
             coverage, vertices, strategies, dual_attacker
         )
     _log.debug(
+        "lp.solve", strategies=t_count, vertices=n,
+        value=solution.value, seconds=timing.elapsed,
+    )
+    obs_events.publish(
         "lp.solve", strategies=t_count, vertices=n,
         value=solution.value, seconds=timing.elapsed,
     )

@@ -27,6 +27,7 @@ from scipy.optimize import linprog
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import all_tuples, tuple_vertices
 from repro.graphs.core import Edge, Vertex, vertex_sort_key
+from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import metrics, tracing
 
@@ -139,6 +140,10 @@ def _attacker_vertex_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     last_error: Optional[GameError] = None
     for widen in (1.0, _TOL_WIDEN):
         b_ub = np.full(len(tuples), value + widen * _relaxation(value))
+        obs_events.publish(
+            "solver.iteration", solver="ranges.attacker",
+            probes=2 * n, widen=widen, value=value,
+        )
         try:
             ranges: Dict[Vertex, Tuple[float, float]] = {}
             for i, v in enumerate(vertices):
@@ -197,6 +202,10 @@ def _defender_edge_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
     last_error: Optional[GameError] = None
     for widen in (1.0, _TOL_WIDEN):
         b_ub = np.full(len(vertices), -(value - widen * _relaxation(value)))
+        obs_events.publish(
+            "solver.iteration", solver="ranges.defender",
+            probes=2 * len(membership), widen=widen, value=value,
+        )
         try:
             ranges: Dict[Edge, Tuple[float, float]] = {}
             for e, row in membership.items():

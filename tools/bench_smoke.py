@@ -48,7 +48,12 @@ REFERENCE = {
     "simulation.engine.small": None,  # added with the kernel; no seed datum
     "simulation.fast.medium": None,
     "fuzz.batch.small": None,  # added with repro.fuzz; no seed datum
+    "events.publish.off": None,  # added with the event bus; no seed datum
+    "events.publish.on": None,
 }
+
+#: Publishes per event-bus micro-bench repetition.
+_BUS_PUBLISHES = 50_000
 
 #: Regression gate: fail when current > baseline * (1 + SLACK_REL) + SLACK_ABS.
 SLACK_REL = 0.20
@@ -76,6 +81,26 @@ def _cases():
     from repro.solvers.double_oracle import double_oracle
     from repro.solvers.fictitious_play import fictitious_play
 
+    from repro.obs import events as obs_events
+
+    def publish_off() -> None:
+        # The disabled fast path: one attribute check per publish.  The
+        # watchdog history of this case is the proof that leaving the bus
+        # off keeps instrumented hot loops effectively free.
+        obs_events.disable_events()
+        for index in range(_BUS_PUBLISHES):
+            obs_events.publish("bench.case", case="bus-off", index=index)
+
+    def publish_on() -> None:
+        # Ring buffer + lock, no sink: the marginal cost a live `tail`
+        # subscriber imposes on an instrumented solver loop.
+        obs_events.enable_events(sink=False)
+        try:
+            for index in range(_BUS_PUBLISHES):
+                obs_events.publish("bench.case", case="bus-on", index=index)
+        finally:
+            obs_events.disable_events()
+
     do_a = TupleGame(random_bipartite_graph(15, 25, 0.15, seed=60), 4, nu=1)
     do_b = TupleGame(random_bipartite_graph(25, 40, 0.10, seed=1000), 5, nu=1)
     fp = TupleGame(random_bipartite_graph(10, 15, 0.2, seed=150), 3, nu=1)
@@ -96,6 +121,9 @@ def _cases():
         # Same fixed seed as the `make fuzz-smoke` gate, one fifth of its
         # game count, so the telemetry tracks the per-game cost drift.
         "fuzz.batch.small": lambda: run_fuzz(count=10, seed=20060707),
+        # Telemetry-bus overhead, disabled vs enabled (50k publishes).
+        "events.publish.off": publish_off,
+        "events.publish.on": publish_on,
     }, clear_shared_oracles
 
 

@@ -1,20 +1,25 @@
 """Smoke-check the observability layer end to end.
 
 Runs a small solve cascade, double-oracle run and Monte-Carlo simulation
-with tracing *and the provenance ledger* enabled, then asserts that the
-instrumentation actually fired: a non-empty metrics snapshot with the
-expected solver counters, a JSON export that round-trips, a Prometheus
-export that mentions the LP histogram, a collected span tree, ledger
-records that satisfy the ``repro.obs/ledger-record/v1`` schema (with
-verifiable content-addressed run ids), and profiler exports (Chrome
-``trace_event`` JSON + folded stacks) that match their formats.  Exits
-non-zero on any failure, so CI (the ``ci`` Makefile target) catches
-instrumentation rot the moment a refactor severs a hot path from the
-registry.
+with tracing, the provenance ledger *and the telemetry event bus*
+enabled, then asserts that the instrumentation actually fired: a
+non-empty metrics snapshot with the expected solver counters, a JSON
+export that round-trips, a Prometheus export that mentions the LP
+histogram, a collected span tree, ledger records that satisfy the
+``repro.obs/ledger-record/v2`` schema (content-addressed run ids, a
+``resources`` block from the sampler), an event sink whose
+``solver.iteration`` stream replays the double-oracle gap/pool
+trajectory, and profiler + HTML-report exports that match their formats.
+Exits non-zero on any failure, so CI (the ``ci`` Makefile target)
+catches instrumentation rot the moment a refactor severs a hot path
+from the registry.
 
 Usage::
 
-    python tools/check_obs.py            # or: make obs-check
+    python tools/check_obs.py                # or: make obs-check
+    python tools/check_obs.py --report-smoke # or: make report-smoke
+                                             # (committed ledger fixture
+                                             #  -> validated HTML report)
 """
 
 from __future__ import annotations
@@ -40,19 +45,32 @@ REQUIRED_COUNTERS = (
 )
 
 
-#: Record fields the ledger-record/v1 schema requires on every line.
+#: Record fields the ledger-record/v2 schema requires on every line.
 LEDGER_REQUIRED_KEYS = (
     "schema", "run_id", "entry_point", "started_at", "duration_s",
-    "status", "fingerprint", "attributes", "env", "metrics", "spans",
+    "status", "fingerprint", "attributes", "env", "metrics", "resources",
+    "spans",
+)
+
+#: Fields the resource sampler contributes to every v2 record.
+RESOURCES_REQUIRED_KEYS = (
+    "rss_bytes", "rss_peak_bytes", "cpu_user_s", "cpu_system_s",
+    "gc_collections", "threads", "samples", "sampler_running",
+)
+
+#: The committed multi-revision ledger fixture behind `make report-smoke`.
+FIXTURE_LEDGER_DIR = (
+    Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "ledger"
 )
 
 
-def run_workload(ledger_dir: Path) -> None:
-    """Exercise every instrumented layer once, tracing + ledger on."""
+def run_workload(ledger_dir: Path, events_dir: Path) -> None:
+    """Exercise every instrumented layer once: tracing + ledger + events."""
     from repro.core.game import TupleGame
     from repro.equilibria.solve import solve_game
     from repro.graphs.generators import complete_bipartite_graph
     from repro.obs import clear_trace, enable_tracing, get_registry
+    from repro.obs import events as obs_events
     from repro.obs import ledger as obs_ledger
     from repro.simulation.engine import simulate
     from repro.solvers.double_oracle import double_oracle
@@ -62,6 +80,7 @@ def run_workload(ledger_dir: Path) -> None:
     enable_tracing(True)
     clear_trace()
     obs_ledger.enable_ledger(ledger_dir)
+    obs_events.enable_events(events_dir)
     try:
         game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=3)
         result = solve_game(game)
@@ -69,6 +88,7 @@ def run_workload(ledger_dir: Path) -> None:
         double_oracle(game)
         fictitious_play(game, rounds=30)
     finally:
+        obs_events.disable_events()
         obs_ledger.disable_ledger()
         enable_tracing(False)
 
@@ -141,6 +161,20 @@ def check_ledger(ledger_dir: Path) -> list:
                 f"ledger record {rid}: run_id does not match the sha256 "
                 "of the record body"
             )
+    for record in records:
+        rid = record.get("run_id", "?")
+        resources = record.get("resources") or {}
+        for key in RESOURCES_REQUIRED_KEYS:
+            if key not in resources:
+                failures.append(
+                    f"ledger record {rid}: resources block missing {key!r}"
+                )
+        if resources.get("samples", 0) < 1:
+            failures.append(
+                f"ledger record {rid}: resource sampler took no samples"
+            )
+        if resources.get("rss_bytes", 0) <= 0:
+            failures.append(f"ledger record {rid}: rss_bytes not positive")
     solve = next(r for r in records
                  if r.get("entry_point") == "equilibria.solve")
     fp = solve.get("fingerprint") or {}
@@ -153,6 +187,117 @@ def check_ledger(ledger_dir: Path) -> list:
     if not (solve.get("metrics") or {}).get("counters"):
         failures.append("equilibria.solve ledger record carries no metrics")
     return failures
+
+
+def check_events(events_dir: Path) -> list:
+    """Replay the event sink the way ``repro-defender tail`` does."""
+    from repro.obs.events import EVENT_SCHEMA, EVENT_TYPES, SINK_FILENAME
+    from repro.obs.events import read_events
+
+    failures = []
+    sink = events_dir / SINK_FILENAME
+    if not sink.is_file():
+        return [f"event sink {sink} was never written"]
+    events = read_events(sink)
+    if not events:
+        return ["event sink replayed no events"]
+    last_seq = 0
+    for event in events:
+        if event.get("schema") != EVENT_SCHEMA:
+            failures.append(f"event schema {event.get('schema')!r} != "
+                            f"{EVENT_SCHEMA!r}")
+            break
+        seq = event.get("seq", 0)
+        if not isinstance(seq, int) or seq <= last_seq:
+            failures.append(f"event seq {seq!r} is not strictly increasing")
+            break
+        last_seq = seq
+        if event.get("type") not in EVENT_TYPES:
+            failures.append(f"unknown event type {event.get('type')!r} "
+                            "in the workload stream")
+            break
+    types = {e.get("type") for e in events}
+    for expected in ("run.start", "run.end", "lp.solve", "solver.iteration"):
+        if expected not in types:
+            failures.append(f"workload published no {expected!r} event")
+    do_steps = [
+        e["payload"] for e in read_events(sink, types=["solver.iteration"])
+        if e.get("payload", {}).get("solver") == "double_oracle"
+    ]
+    if not do_steps:
+        failures.append("no double_oracle solver.iteration events to replay")
+    for step in do_steps:
+        if not all(k in step for k in ("iteration", "gap", "defender_pool",
+                                       "attacker_pool")):
+            failures.append("double_oracle iteration event lacks "
+                            "gap/pool fields")
+            break
+    if do_steps and not any(step.get("converged") for step in do_steps):
+        failures.append("double_oracle stream never announced convergence")
+    fp_steps = [
+        e["payload"] for e in read_events(sink, types=["solver.iteration"])
+        if e.get("payload", {}).get("solver") == "fictitious_play"
+    ]
+    if not fp_steps or any("residual" not in s for s in fp_steps):
+        failures.append("fictitious_play residual events missing")
+    return failures
+
+
+def check_report(ledger_dir: Path, tmp_dir: Path,
+                 bench_file=None) -> list:
+    """Render the HTML/markdown report and prove it is self-contained."""
+    from repro.obs.report import write_report
+
+    failures = []
+    html_path = tmp_dir / "report.html"
+    md_path = tmp_dir / "report.md"
+    summary = write_report(ledger_dir, html_path, output_md=md_path,
+                           bench_file=bench_file)
+    if summary["records"] <= 0:
+        failures.append(f"report covered no runs from {ledger_dir}")
+    html = html_path.read_text(encoding="utf-8")
+    if not html.startswith("<!DOCTYPE html>"):
+        failures.append("report HTML does not start with <!DOCTYPE html>")
+    if "</html>" not in html:
+        failures.append("report HTML is truncated (no closing </html>)")
+    if "<svg" not in html:
+        failures.append("report HTML carries no inline SVG sparklines")
+    if "var(--series-1)" not in html:
+        failures.append("report sparklines do not use the palette token")
+    if "prefers-color-scheme: dark" not in html:
+        failures.append("report HTML lacks the dark-mode palette")
+    for marker in ('src="http', "src='http", 'href="http', "href='http",
+                   "<script src", "@import", "url(http"):
+        if marker in html:
+            failures.append(
+                f"report HTML references an external resource ({marker!r}) "
+                "— it must be self-contained"
+            )
+    md = md_path.read_text(encoding="utf-8")
+    if not md.startswith("#"):
+        failures.append("markdown report does not start with a heading")
+    return failures
+
+
+def report_smoke() -> int:
+    """`make report-smoke`: committed fixture ledger -> validated report."""
+    failures = []
+    if not FIXTURE_LEDGER_DIR.is_dir():
+        failures.append(f"fixture ledger {FIXTURE_LEDGER_DIR} is missing")
+    bench = FIXTURE_LEDGER_DIR.parent.parent.parent / "BENCH_KERNELS.json"
+    with tempfile.TemporaryDirectory(prefix="repro-report-smoke-") as tmp:
+        if not failures:
+            failures = check_report(
+                FIXTURE_LEDGER_DIR, Path(tmp),
+                bench_file=bench if bench.is_file() else None,
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("report smoke OK: fixture ledger rendered to self-contained "
+          "HTML + markdown")
+    return 0
 
 
 def check_profiler(tmp_dir: Path) -> list:
@@ -204,13 +349,18 @@ def check_profiler(tmp_dir: Path) -> list:
     return failures
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--report-smoke" in argv:
+        return report_smoke()
     with tempfile.TemporaryDirectory(prefix="repro-obs-check-") as tmp:
         tmp_dir = Path(tmp)
-        run_workload(tmp_dir / "ledger")
+        run_workload(tmp_dir / "ledger", tmp_dir / "events")
         failures = check()
         failures += check_ledger(tmp_dir / "ledger")
+        failures += check_events(tmp_dir / "events")
         failures += check_profiler(tmp_dir)
+        failures += check_report(tmp_dir / "ledger", tmp_dir)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -223,7 +373,8 @@ def main() -> int:
         f"{len(snapshot['counters'])} counters, "
         f"{len(snapshot['gauges'])} gauges, "
         f"{len(snapshot['histograms'])} histograms recorded; "
-        "ledger records, Chrome trace and folded stacks validated"
+        "ledger records, event stream, Chrome trace, folded stacks "
+        "and the HTML report validated"
     )
     return 0
 
