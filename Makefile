@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -58,10 +58,22 @@ api-docs:
 api-docs-check:
 	$(PYTHON) tools/gen_api_docs.py --check
 
-## domain-invariant static analysis (rules in docs/static_analysis.md);
-## fails on any finding not in the committed lint_baseline.json
+## two-phase static analysis over src/repro, tools/ and benchmarks/
+## (rules in docs/static_analysis.md); fails on any finding not in the
+## committed lint_baseline.json
 lint:
 	$(PYTHON) tools/analyze.py --strict --baseline
+
+## fast pre-push loop: whole-project index, findings reported only for
+## files changed vs HEAD (LINT_REF overrides the ref)
+lint-changed:
+	$(PYTHON) tools/analyze.py --strict --baseline --changed $(or $(LINT_REF),HEAD)
+
+## machine-readable findings for code-scanning upload; always writes
+## lint.sarif (per-rule helpUris into docs/static_analysis.md) and
+## keeps the lint exit status
+lint-sarif:
+	$(PYTHON) tools/analyze.py --strict --baseline --format sarif --output lint.sarif
 
 ## re-snapshot the current findings into lint_baseline.json
 lint-baseline:
@@ -79,4 +91,4 @@ mypy:
 ## the full CI gate: static analysis, types, instrumentation smoke test,
 ## report rendering, docs freshness, tier-1 tests, hot-path perf smoke,
 ## perf watchdog, differential fuzz
-ci: lint mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch fuzz-smoke
+ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch fuzz-smoke

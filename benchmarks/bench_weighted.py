@@ -47,7 +47,8 @@ def _build_e12_table():
         heavy_hit = hit_probability(config, HEAVY)
         light_hit = hit_probability(config, LIGHT)
         still_ok, _ = game.verify_best_responses(unweighted, tol=1e-9)
-        if concentration == 1.0:
+        # Exact: `concentration` is the literal loop constant above.
+        if concentration == 1.0:  # repro: noqa[FLT001]
             assert still_ok
             assert abs(heavy_hit - light_hit) < 1e-6
         else:

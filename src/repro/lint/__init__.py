@@ -1,27 +1,42 @@
-"""repro.lint — AST-based domain-invariant static analysis.
+"""repro.lint — two-phase, whole-project static analysis.
 
-A zero-dependency, single-pass analyzer enforcing the invariants the
-type system cannot see (see ``docs/static_analysis.md``):
+A zero-dependency analyzer enforcing the invariants the type system
+cannot see (see ``docs/static_analysis.md``).  Phase 1 builds a project
+index — symbol tables, the import-resolved call graph, lock-context
+summaries (:mod:`repro.lint.callgraph`, :mod:`repro.lint.semantics`);
+phase 2 runs the syntactic rules
 
 * **RNG001** — no unseeded or global-state randomness;
 * **FLT001** — no bare float ``==``/``!=`` (probabilities, payoffs);
 * **THM001** — docstring theorem tags resolve against ``docs/theory.md``;
 * **LAY001** — imports follow the package layering DAG, no cycles;
 * **OBS001** — public solver/engine entry points carry a span/timer;
-* **API001** — every ``__all__`` export appears in ``docs/api.md``.
+* **API001** — every ``__all__`` export appears in ``docs/api.md``;
 
-Suppress a finding with ``# repro: noqa[RULE]`` on the flagged line;
+and the semantic rules against the index
+
+* **LCK001** — lock-associated shared state accessed without its lock;
+* **LCK002** — self-deadlock: a held non-reentrant lock re-acquired;
+* **DET001** — entry points reaching unseeded RNG / wall-clock reads;
+* **EXC001** — instrumentation cleanup an exception can skip;
+* **SCH001** — schema-version literals drifting between files and docs.
+
+Suppress a finding with ``# repro: noqa[RULE]`` on the flagged
+statement; associate state with its guard via ``# repro: lock(<name>)``;
 accept existing debt via the committed ``lint_baseline.json``.  Exposed
-as ``repro-defender lint``, ``tools/analyze.py`` and ``make lint``; the
-run also feeds ``lint.*`` counters into :mod:`repro.obs.metrics` so lint
-health shows up alongside solver telemetry.
+as ``repro-defender lint``, ``tools/analyze.py`` and ``make lint``
+(``--changed[=REF]`` limits the *reported* files to the git diff while
+still indexing the whole project); the run also feeds ``lint.*``
+counters into :mod:`repro.obs.metrics` so lint health shows up alongside
+solver telemetry.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Set
 
 from repro.lint.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -38,6 +53,7 @@ from repro.lint.engine import (
     LintReport,
     ProjectRule,
     Rule,
+    SemanticRule,
     register,
     registered_rules,
 )
@@ -49,6 +65,7 @@ __all__ = [
     "Severity",
     "Rule",
     "ProjectRule",
+    "SemanticRule",
     "register",
     "registered_rules",
     "FileContext",
@@ -65,6 +82,7 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "changed_files",
     "add_lint_arguments",
     "run_from_args",
 ]
@@ -117,9 +135,49 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the rendered report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="only report findings in files changed vs the given git ref "
+             "(default HEAD); the project index still covers everything",
+    )
+    parser.add_argument(
         "--root", default=None,
         help="repository root (default: auto-detected from this package)",
     )
+
+
+def changed_files(root: Path, ref: str = "HEAD") -> Set[str]:
+    """Posix-relative paths changed vs ``ref`` (``git diff --name-only``).
+
+    Untracked files are included so a brand-new module still gets linted
+    under ``--changed``.  Raises ``RuntimeError`` when git is unusable
+    (not a repository, unknown ref) so the caller can fail loudly rather
+    than silently lint nothing.
+    """
+    paths: Set[str] = set()
+    for extra in ([], ["--cached"]):
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", *extra, ref, "--"],
+            cwd=root, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git diff --name-only {ref} failed: "
+                f"{proc.stderr.strip() or 'unknown error'}"
+            )
+        paths.update(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        cwd=root, capture_output=True, text=True,
+    )
+    if untracked.returncode == 0:
+        paths.update(line.strip() for line in untracked.stdout.splitlines()
+                     if line.strip())
+    return paths
 
 
 def _detect_root(explicit: Optional[str]) -> Path:
@@ -141,6 +199,13 @@ def run_from_args(args: argparse.Namespace,
         select = {r.strip().upper() for r in args.select.split(",") if r.strip()}
     config = LintConfig.for_repo(root, [Path(p) for p in args.paths])
     config.select = select
+    ref = getattr(args, "changed", None)
+    if ref:
+        try:
+            config.changed_only = changed_files(root, ref)
+        except RuntimeError as exc:
+            emit(f"error: {exc}")
+            return 2
     baseline_path = root / DEFAULT_BASELINE_NAME
     if getattr(args, "write_baseline", False):
         report = run_lint(config)
@@ -149,12 +214,18 @@ def run_from_args(args: argparse.Namespace,
         return 0
     report = run_lint(config, baseline_path if args.baseline else None)
     if args.fmt == "json":
-        emit(render_json(report))
+        rendered = render_json(report)
     elif args.fmt == "sarif":
         engine = LintEngine(config)
-        emit(render_sarif(report, engine.rules))
+        rendered = render_sarif(report, engine.rules)
     else:
-        emit(render_text(report))
+        rendered = render_text(report)
+    output = getattr(args, "output", None)
+    if output:
+        Path(output).write_text(rendered + "\n", encoding="utf-8")
+        emit(f"wrote {output} ({len(report.findings)} finding(s))")
+    else:
+        emit(rendered)
     if report.parse_errors:
         return 2
     return report.exit_code(strict=getattr(args, "strict", False))

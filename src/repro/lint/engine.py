@@ -1,18 +1,25 @@
-"""Single-pass AST engine for the :mod:`repro.lint` analyzer.
+"""Two-phase analysis engine for the :mod:`repro.lint` analyzer.
 
-The engine walks each file's AST exactly once and dispatches every node
-to the rules that registered interest in its type, so adding rules does
-not add passes.  Two rule kinds exist:
+**Phase 1** parses every file once and builds the project index — symbol
+tables, the import-resolved call graph and per-module lock summaries
+(:mod:`repro.lint.callgraph` / :mod:`repro.lint.semantics`).  **Phase 2**
+walks each file's AST exactly once, dispatching every node to the rules
+that registered interest in its type, then runs the cross-file rules
+against the collected facts and the index.  Three rule kinds exist:
 
 * :class:`Rule` — per-node visitors (``node_types`` + ``visit``);
 * :class:`ProjectRule` — collect per-file facts during the walk
   (``collect``) and emit findings once the whole tree has been seen
   (``finalize``) — this is how import layering or documentation
-  cross-checks see the entire project.
+  cross-checks see the entire project;
+* :class:`SemanticRule` — judge the phase-1 :class:`ProjectIndex`
+  directly (``analyze``) — lock discipline, determinism reachability,
+  schema consistency.
 
 Suppression: append ``# repro: noqa[RULE1,RULE2]`` (or a bare
-``# repro: noqa``) to the flagged line.  Suppressions are per-line and
-per-rule; unknown rule names in a suppression are ignored.
+``# repro: noqa``) to the flagged statement.  A suppression anywhere on
+a multi-line statement covers the whole logical line; suppressions are
+per-rule, and unknown rule names in a suppression are ignored.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +66,19 @@ class LintConfig:
     #: packages whose module docstrings must cite at least one paper
     #: result (see THM001).
     theory_packages: Tuple[str, ...] = ()
+    #: dotted-module prefixes whose ``__all__`` functions are determinism
+    #: entry points: no call path may reach unseeded RNG or wall-clock
+    #: reads (see DET001).
+    det_entry_prefixes: Tuple[str, ...] = ()
+    #: dotted-module prefixes whose nondeterminism is sanctioned
+    #: (telemetry timestamps are not solver output; see DET001).
+    det_exempt_prefixes: Tuple[str, ...] = ()
+    #: documents scanned for schema-version literals alongside the code
+    #: (files, or directories meaning every ``*.md`` inside; see SCH001).
+    schema_docs: Tuple[Path, ...] = ()
+    #: report findings only for these relpaths (None = everything); the
+    #: index is still built project-wide.  See ``lint --changed``.
+    changed_only: Optional[Set[str]] = None
     #: restrict the run to these rule ids (None = all registered rules).
     select: Optional[Set[str]] = None
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
@@ -69,6 +90,7 @@ class LintConfig:
         scan = tuple(Path(p) for p in paths) or (
             root / "src" / "repro",
             root / "tools",
+            root / "benchmarks",
         )
         return cls(
             root=root,
@@ -92,6 +114,15 @@ class LintConfig:
             ),
             rng_seeded_entry_prefixes=("repro.simulation.", "repro.fuzz."),
             theory_packages=("repro.core", "repro.equilibria"),
+            det_entry_prefixes=(
+                "repro.solvers.",
+                "repro.equilibria.",
+                "repro.kernels.",
+                "repro.simulation.",
+                "repro.fuzz.",
+            ),
+            det_exempt_prefixes=("repro.obs.", "repro.lint."),
+            schema_docs=(root / "docs",),
         )
 
 
@@ -195,30 +226,61 @@ class FileContext:
         """line -> suppressed rule ids (None = all rules) from comments.
 
         Built from the token stream so ``#`` characters inside string
-        literals never read as comments.
+        literals never read as comments.  A noqa comment anywhere on a
+        multi-line statement covers every physical line of that logical
+        line — a finding anchored at the ``with`` keyword three lines
+        above the trailing comment is still suppressed.
         """
         if self._suppressions is None:
-            table: Dict[int, Optional[Set[str]]] = {}
-            try:
-                tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
-                comments = [(t.start[0], t.string) for t in tokens
-                            if t.type == tokenize.COMMENT]
-            except (tokenize.TokenError, IndentationError, StopIteration):
-                comments = [(i + 1, line) for i, line in enumerate(self.lines)
-                            if "#" in line]
-            for lineno, text in comments:
-                m = _NOQA_RE.search(text)
-                if not m:
+            self._suppressions = self._build_suppressions()
+        return self._suppressions
+
+    def _build_suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        # (comment-line, text, line-range-it-covers)
+        spans: List[Tuple[str, range]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            logical_start: Optional[int] = None
+            pending: List[str] = []
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    if logical_start is None:
+                        spans.append((tok.string, range(tok.start[0],
+                                                        tok.start[0] + 1)))
+                    else:
+                        pending.append(tok.string)
+                elif tok.type == tokenize.NEWLINE:
+                    end = tok.end[0]
+                    start = logical_start if logical_start is not None else end
+                    for text in pending:
+                        spans.append((text, range(start, end + 1)))
+                    pending, logical_start = [], None
+                elif tok.type in (tokenize.NL, tokenize.INDENT,
+                                  tokenize.DEDENT, tokenize.ENDMARKER):
                     continue
-                rules = m.group("rules")
-                if rules is None:
+                elif logical_start is None:
+                    logical_start = tok.start[0]
+        except (tokenize.TokenError, IndentationError, StopIteration):
+            spans = [(line, range(i + 1, i + 2))
+                     for i, line in enumerate(self.lines) if "#" in line]
+        table: Dict[int, Optional[Set[str]]] = {}
+        for text, lines in spans:
+            m = _NOQA_RE.search(text)
+            if not m:
+                continue
+            rules = m.group("rules")
+            ids: Optional[Set[str]]
+            if rules is None:
+                ids = None
+            else:
+                ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            for lineno in lines:
+                prior = table.get(lineno, set())
+                if ids is None or prior is None:
                     table[lineno] = None
                 else:
-                    ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
-                    prior = table.get(lineno, set())
-                    table[lineno] = None if prior is None else (prior | ids)
-            self._suppressions = table
-        return self._suppressions
+                    table[lineno] = prior | ids
+        return table
 
     def suppressed(self, line: int, rule: str) -> bool:
         """True if ``rule`` is noqa'd on ``line``."""
@@ -280,6 +342,29 @@ class ProjectRule(Rule):
         return iter(())
 
 
+class SemanticRule(Rule):
+    """A rule that judges the phase-1 project index directly.
+
+    ``analyze`` receives the :class:`repro.lint.callgraph.ProjectIndex`
+    built from every scanned file — symbol tables, call graph, lock
+    summaries — and yields findings.  Semantic rules see no per-node
+    dispatch; ``node_types`` stays empty.
+    """
+
+    #: rules documentation anchor, filled per rule for SARIF ``helpUri``.
+    help_anchor: str = ""
+
+    def analyze(self, index, config: LintConfig) -> Iterator[Finding]:
+        """Yield findings from the project index."""
+        return iter(())
+
+    def finding(self, relpath: str, line: int, message: str,
+                source: str = "", col: int = 0) -> Finding:
+        """Build a finding without a FileContext (index-derived)."""
+        return Finding(self.id, self.severity, relpath, line, col,
+                       message, source)
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -296,7 +381,7 @@ def register(cls: Type[Rule]) -> Type[Rule]:
 def registered_rules() -> Dict[str, Type[Rule]]:
     """The registry (id -> rule class), importing the built-in rules."""
     # Imported lazily so `engine` has no import cycle with the rule modules.
-    from repro.lint import project, rules  # noqa: F401  (registration side effect)
+    from repro.lint import project, rules, semrules  # noqa: F401  (registration side effect)
 
     return dict(_REGISTRY)
 
@@ -314,6 +399,8 @@ class LintReport:
     baseline_applied: int = 0
     baseline_stale: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: wall-clock seconds for the full run (parse + index + rules).
+    elapsed_s: float = 0.0
 
     @property
     def error_count(self) -> int:
@@ -378,65 +465,103 @@ class LintEngine:
         except ValueError:
             return path.as_posix()
 
-    # -- the pass ---------------------------------------------------------
+    # -- phase 1: parse + index -------------------------------------------
 
-    def lint_file(self, path: Path) -> Tuple[List[Finding], Optional[str]]:
-        """Lint one file; returns (findings, parse-error-or-None)."""
+    def parse_file(self, path: Path) -> Tuple[Optional[FileContext], Optional[str]]:
+        """Parse one file into a context; (None, error) on syntax error."""
         source = path.read_text(encoding="utf-8")
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return [], f"{self.relpath(path)}: {exc.msg} (line {exc.lineno})"
-        ctx = FileContext(path, self.relpath(path), self.module_name(path),
-                          source, tree, self.config)
+            return None, f"{self.relpath(path)}: {exc.msg} (line {exc.lineno})"
+        return FileContext(path, self.relpath(path), self.module_name(path),
+                           source, tree, self.config), None
+
+    def parse_all(self) -> Tuple[List[FileContext], List[str]]:
+        contexts: List[FileContext] = []
+        errors: List[str] = []
+        for path in self.iter_files():
+            ctx, error = self.parse_file(path)
+            if ctx is not None:
+                contexts.append(ctx)
+            if error:
+                errors.append(error)
+        return contexts, errors
+
+    def build_index(self, contexts: Sequence[FileContext]):
+        """The phase-1 :class:`~repro.lint.callgraph.ProjectIndex`."""
+        from repro.lint.callgraph import ProjectIndex
+
+        return ProjectIndex.build(contexts)
+
+    # -- phase 2: the rule pass -------------------------------------------
+
+    def lint_file(self, path: Path) -> Tuple[List[Finding], Optional[str]]:
+        """Lint one file (per-node rules only; no project index)."""
+        ctx, error = self.parse_file(path)
+        if ctx is None:
+            return [], error
+        return self._lint_context(ctx), None
+
+    def _lint_context(self, ctx: FileContext) -> List[Finding]:
         findings: List[Finding] = []
         for rule in self.rules:
             rule.start_file(ctx)
-        for node in ast.walk(tree):
+        for node in ast.walk(ctx.tree):
             for rule in self._dispatch.get(type(node), ()):
                 findings.extend(rule.visit(node, ctx))
         for rule in self.rules:
             findings.extend(rule.end_file(ctx))
             if isinstance(rule, ProjectRule):
                 rule.collect(ctx)
-        return ([f for f in findings if not ctx.suppressed(f.line, f.rule)],
-                None)
+        return [f for f in findings if not ctx.suppressed(f.line, f.rule)]
 
     def run(self) -> LintReport:
+        started = time.perf_counter()
+        contexts, errors = self.parse_all()
+        semantic = [r for r in self.rules if isinstance(r, SemanticRule)]
+        index = self.build_index(contexts) if semantic else None
+
         findings: List[Finding] = []
-        errors: List[str] = []
-        count = 0
-        for path in self.iter_files():
-            count += 1
-            file_findings, parse_error = self.lint_file(path)
-            if parse_error:
-                errors.append(parse_error)
-            findings.extend(file_findings)
-        project_findings: List[Finding] = []
+        for ctx in contexts:
+            findings.extend(self._lint_context(ctx))
+        late: List[Finding] = []
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
-                project_findings.extend(rule.finalize(self.config))
-        # Project-rule findings still honour per-line suppressions.
-        findings.extend(self._apply_suppressions(project_findings))
-        return LintReport(assign_occurrences(findings), count,
-                          parse_errors=errors)
+                late.extend(rule.finalize(self.config))
+        for rule in semantic:
+            late.extend(rule.analyze(index, self.config))
+        # Project/semantic findings still honour per-line suppressions.
+        by_path = {ctx.relpath: ctx for ctx in contexts}
+        findings.extend(self._apply_suppressions(late, by_path))
+        if self.config.changed_only is not None:
+            changed = self.config.changed_only
+            findings = [f for f in findings if f.path in changed]
+        return LintReport(assign_occurrences(findings), len(contexts),
+                          parse_errors=errors,
+                          elapsed_s=time.perf_counter() - started)
 
-    def _apply_suppressions(self, findings: List[Finding]) -> List[Finding]:
+    def _apply_suppressions(
+        self, findings: List[Finding],
+        contexts: Optional[Mapping[str, FileContext]] = None,
+    ) -> List[Finding]:
         by_path: Dict[str, List[Finding]] = {}
         for f in findings:
             by_path.setdefault(f.path, []).append(f)
         kept: List[Finding] = []
         for rel, group in by_path.items():
-            path = self.config.root / rel
-            if not path.is_file():
-                kept.extend(group)
-                continue
-            source = path.read_text(encoding="utf-8")
-            try:
-                tree = ast.parse(source)
-            except SyntaxError:
-                kept.extend(group)
-                continue
-            ctx = FileContext(path, rel, "", source, tree)
+            ctx = (contexts or {}).get(rel)
+            if ctx is None:
+                path = self.config.root / rel
+                if not path.is_file() or path.suffix != ".py":
+                    kept.extend(group)
+                    continue
+                source = path.read_text(encoding="utf-8")
+                try:
+                    tree = ast.parse(source)
+                except SyntaxError:
+                    kept.extend(group)
+                    continue
+                ctx = FileContext(path, rel, "", source, tree)
             kept.extend(f for f in group if not ctx.suppressed(f.line, f.rule))
         return kept

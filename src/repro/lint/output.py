@@ -14,6 +14,8 @@ from repro.lint.engine import LintReport, Rule
 
 TOOL_NAME = "repro-lint"
 TOOL_URI = "https://example.invalid/repro"  # placeholder informationUri
+#: Per-rule documentation anchors (``docs/static_analysis.md#rng001``).
+HELP_URI_BASE = "docs/static_analysis.md"
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -29,15 +31,17 @@ def render_text(report: LintReport) -> str:
     counts: Dict[str, int] = {}
     for f in report.findings:
         counts[f.rule] = counts.get(f.rule, 0) + 1
+    elapsed = f" in {report.elapsed_s:.2f}s" if report.elapsed_s else ""
     if report.findings:
         by_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
         lines.append("")
         lines.append(
             f"{len(report.findings)} finding(s) in {report.files_scanned} "
-            f"file(s) [{by_rule}]"
+            f"file(s) [{by_rule}]{elapsed}"
         )
     else:
-        lines.append(f"clean: 0 findings in {report.files_scanned} file(s)")
+        lines.append(
+            f"clean: 0 findings in {report.files_scanned} file(s){elapsed}")
     if report.baseline_applied:
         lines.append(f"baseline: {report.baseline_applied} finding(s) suppressed")
     if report.baseline_stale:
@@ -77,6 +81,7 @@ def render_sarif(report: LintReport, rules: Iterable[Rule],
             "defaultConfiguration": {
                 "level": rule.severity.sarif_level,
             },
+            "helpUri": f"{HELP_URI_BASE}#{rule.id.lower()}",
         }
         for rule in rule_list
     ]

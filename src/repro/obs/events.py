@@ -91,13 +91,13 @@ class _BusState:
                  "seq", "next_token", "lock")
 
     def __init__(self) -> None:
-        self.enabled = False
-        self.buffer: deque = deque(maxlen=DEFAULT_CAPACITY)
-        self.subscribers: Dict[int, Callable[[Dict[str, Any]], None]] = {}
-        self.sink = None
-        self.sink_path: Optional[Path] = None
-        self.seq = 0
-        self.next_token = 1
+        self.enabled = False  # repro: lock(lock)
+        self.buffer: deque = deque(maxlen=DEFAULT_CAPACITY)  # repro: lock(lock)
+        self.subscribers: Dict[int, Callable[[Dict[str, Any]], None]] = {}  # repro: lock(lock)
+        self.sink = None  # repro: lock(lock)
+        self.sink_path: Optional[Path] = None  # repro: lock(lock)
+        self.seq = 0  # repro: lock(lock)
+        self.next_token = 1  # repro: lock(lock)
         self.lock = threading.Lock()
         if os.environ.get("REPRO_EVENTS", "") not in ("", "0", "false", "no"):
             self.enabled = True
@@ -158,12 +158,14 @@ def disable_events() -> None:
 
 def events_enabled() -> bool:
     """True while :func:`publish` is recording events."""
-    return _STATE.enabled
+    with _STATE.lock:
+        return _STATE.enabled
 
 
 def events_sink_path() -> Optional[Path]:
     """The JSONL file events are appended to (None when sink-less)."""
-    return _STATE.sink_path
+    with _STATE.lock:
+        return _STATE.sink_path
 
 
 def clear_events() -> None:
@@ -178,7 +180,10 @@ def publish(event_type: str, **payload: Any) -> Optional[Dict[str, Any]]:
     Returns the event dict when published (None while the bus is off),
     so instrumentation can assert on what it emitted in tests.
     """
-    if not _STATE.enabled:
+    # Deliberate benign race: a stale read of the boolean switch costs
+    # one event around enable/disable, and keeps the disabled-path
+    # overhead to a single attribute load.
+    if not _STATE.enabled:  # repro: noqa[LCK001]
         return None
     return _publish(event_type, payload)
 

@@ -78,8 +78,8 @@ class _LedgerState:
     __slots__ = ("enabled", "directory", "lock")
 
     def __init__(self) -> None:
-        self.enabled = False
-        self.directory = Path(
+        self.enabled = False  # repro: lock(lock)
+        self.directory = Path(  # repro: lock(lock)
             os.environ.get("REPRO_LEDGER_DIR", DEFAULT_LEDGER_DIR)
         )
         self.lock = threading.Lock()
@@ -92,24 +92,28 @@ _STATE = _LedgerState()
 
 def enable_ledger(directory: Optional[os.PathLike] = None) -> None:
     """Start recording wrapped runs (optionally into ``directory``)."""
-    if directory is not None:
-        _STATE.directory = Path(directory)
-    _STATE.enabled = True
+    with _STATE.lock:
+        if directory is not None:
+            _STATE.directory = Path(directory)
+        _STATE.enabled = True
 
 
 def disable_ledger() -> None:
     """Stop recording wrapped runs."""
-    _STATE.enabled = False
+    with _STATE.lock:
+        _STATE.enabled = False
 
 
 def ledger_enabled() -> bool:
     """True when wrapped entry points are currently being recorded."""
-    return _STATE.enabled
+    with _STATE.lock:
+        return _STATE.enabled
 
 
 def ledger_directory() -> Path:
     """The directory records are appended under."""
-    return _STATE.directory
+    with _STATE.lock:
+        return _STATE.directory
 
 
 # --------------------------------------------------------------------------
@@ -251,8 +255,6 @@ class _RunContext:
             spans = [
                 s.to_dict() for s in _tracing.get_trace()[self._trace_mark:]
             ]
-            if self._auto_trace:
-                _tracing.enable_tracing(False)
             resources = _resources.snapshot()
             record: Dict[str, Any] = {
                 "schema": RECORD_SCHEMA,
@@ -281,6 +283,11 @@ class _RunContext:
                 error=type(inner).__name__,
             )
         finally:
+            # Cleanup must survive a failed record build: a serialization
+            # error must not leave auto-enabled tracing (or the sampler)
+            # running for the rest of the process.
+            if self._auto_trace:
+                _tracing.enable_tracing(False)
             _resources.stop_sampler()
         return False
 
@@ -288,7 +295,7 @@ class _RunContext:
 def _record_path(entry_point: str) -> Path:
     safe = "".join(c if c.isalnum() or c in "._-" else "_"
                    for c in entry_point)
-    return _STATE.directory / f"{safe}.jsonl"
+    return ledger_directory() / f"{safe}.jsonl"
 
 
 def _append(record: Dict[str, Any]) -> Path:
@@ -322,7 +329,10 @@ def run(entry_point: str, game=None,
     publishes the ``run.start`` / ``run.end`` event pair without
     fingerprinting, tracing or appending anything.
     """
-    if _STATE.enabled:
+    # Deliberate benign race: a stale read of the switch misclassifies
+    # one run around enable/disable and keeps the disabled path to a
+    # single attribute load on every wrapped entry point.
+    if _STATE.enabled:  # repro: noqa[LCK001]
         return _RunContext(entry_point, game, fingerprint, attributes)
     return _RunContext(entry_point, game, fingerprint, attributes,
                        record_run=False) \
@@ -371,7 +381,8 @@ def read_runs(
     keeps only the *newest* matching records.
     """
     with _metrics.timer("ledger.read.seconds"):
-        root = Path(directory) if directory is not None else _STATE.directory
+        root = Path(directory) if directory is not None \
+            else ledger_directory()
         records = []
         if root.is_dir():
             for record in _iter_records(root):

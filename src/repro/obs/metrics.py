@@ -208,10 +208,14 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
+    # The get-or-create fast paths read the dict without the lock on
+    # purpose: a hit never mutates, CPython dict reads are atomic, and a
+    # racy miss just falls through to the locked setdefault.
+
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
         try:
-            return self._counters[name]
+            return self._counters[name]  # repro: noqa[LCK001]
         except KeyError:
             with self._lock:
                 return self._counters.setdefault(name, Counter(name))
@@ -219,7 +223,7 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
         try:
-            return self._gauges[name]
+            return self._gauges[name]  # repro: noqa[LCK001]
         except KeyError:
             with self._lock:
                 return self._gauges.setdefault(name, Gauge(name))
@@ -227,7 +231,7 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""
         try:
-            return self._histograms[name]
+            return self._histograms[name]  # repro: noqa[LCK001]
         except KeyError:
             with self._lock:
                 return self._histograms.setdefault(name, Histogram(name))
@@ -244,21 +248,30 @@ class MetricsRegistry:
             self._histograms.clear()
 
     def __iter__(self) -> Iterator[str]:
-        yield from sorted(self._counters)
-        yield from sorted(self._gauges)
-        yield from sorted(self._histograms)
+        # Snapshot the names under the lock, iterate outside it, so a
+        # loop body that calls get-or-create accessors cannot deadlock.
+        with self._lock:
+            names = (sorted(self._counters) + sorted(self._gauges)
+                     + sorted(self._histograms))
+        return iter(names)
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
 
     def snapshot(self) -> Dict[str, Dict]:
         """Freeze the registry into a plain, JSON-ready nested dict."""
-        counters = {
-            name: c.value for name, c in sorted(self._counters.items())
-        }
-        gauges = {name: g.value for name, g in sorted(self._gauges.items())}
+        with self._lock:
+            counters = {
+                name: c.value for name, c in sorted(self._counters.items())
+            }
+            gauges = {
+                name: g.value for name, g in sorted(self._gauges.items())
+            }
+            histogram_objs = sorted(self._histograms.items())
         histograms = {}
-        for name, h in sorted(self._histograms.items()):
+        for name, h in histogram_objs:
             histograms[name] = {
                 "count": h.count,
                 "total": h.total,

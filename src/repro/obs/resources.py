@@ -181,10 +181,16 @@ def stop_sampler() -> None:
         thread.join(timeout=1.0)
 
 
-def sampler_running() -> bool:
-    """True while the daemon sampler thread is alive."""
+def _sampler_running_locked() -> bool:
+    """``sampler_running`` body; every caller already holds ``_STATE.lock``."""
     thread = _STATE.thread
     return thread is not None and thread.is_alive()
+
+
+def sampler_running() -> bool:
+    """True while the daemon sampler thread is alive."""
+    with _STATE.lock:
+        return _sampler_running_locked()
 
 
 def snapshot() -> Dict[str, Any]:
@@ -201,5 +207,5 @@ def snapshot() -> Dict[str, Any]:
                 _STATE.peak_rss or sample.get("rss_bytes")
             )
             sample["samples"] = _STATE.samples
-            sample["sampler_running"] = sampler_running()
+            sample["sampler_running"] = _sampler_running_locked()
     return sample

@@ -28,7 +28,11 @@ from repro.lint import (
 from repro.lint import main as lint_main
 from repro.lint.project import parse_api_doc, parse_theory_index
 
-ALL_RULES = {"RNG001", "FLT001", "THM001", "LAY001", "OBS001", "API001"}
+#: The six syntactic rules plus the five semantic (project-index) rules.
+ALL_RULES = {
+    "RNG001", "FLT001", "THM001", "LAY001", "OBS001", "API001",
+    "LCK001", "LCK002", "DET001", "EXC001", "SCH001",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +144,64 @@ class TestEngine:
             },
         )
         assert rules_of(report) == ["FLT001"]
+
+    def test_noqa_covers_whole_multiline_statement(self, tmp_path):
+        # The comment sits on the closing line; the finding anchors to the
+        # opening line.  A noqa anywhere on the logical line must cover it.
+        report = run_fixture(
+            tmp_path,
+            {
+                "src/pkg/f.py": (
+                    "def f(p):\n"
+                    "    return (p\n"
+                    "            == 0.5)  # repro: noqa[FLT001]\n"
+                )
+            },
+        )
+        assert report.findings == []
+
+    def test_noqa_on_opening_line_of_multiline_statement(self, tmp_path):
+        report = run_fixture(
+            tmp_path,
+            {
+                "src/pkg/f.py": (
+                    "def f(p):\n"
+                    "    return (p ==  # repro: noqa[FLT001]\n"
+                    "            0.5)\n"
+                )
+            },
+        )
+        assert report.findings == []
+
+    def test_standalone_noqa_comment_covers_only_its_own_line(self, tmp_path):
+        # A comment line between statements is not part of either logical
+        # line: it must not silence the statement below it.
+        report = run_fixture(
+            tmp_path,
+            {
+                "src/pkg/f.py": (
+                    "def f(p):\n"
+                    "    # repro: noqa[FLT001]\n"
+                    "    return p == 0.5\n"
+                )
+            },
+        )
+        assert rules_of(report) == ["FLT001"]
+
+    def test_multiline_noqa_does_not_leak_to_next_statement(self, tmp_path):
+        report = run_fixture(
+            tmp_path,
+            {
+                "src/pkg/f.py": (
+                    "def f(p):\n"
+                    "    a = (p\n"
+                    "         == 0.5)  # repro: noqa[FLT001]\n"
+                    "    return p == 0.25\n"
+                )
+            },
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 4
 
 
 class TestFindings:
@@ -684,7 +746,7 @@ class TestRenderers:
         root = make_repo(tmp_path, {"src/pkg/ok.py": "X = 1\n"})
         config = LintConfig(root=root, paths=(root / "src",))
         text = render_text(LintEngine(config).run())
-        assert text == "clean: 0 findings in 1 file(s)"
+        assert text.startswith("clean: 0 findings in 1 file(s)")
 
     def test_json_roundtrip(self, tmp_path):
         report, _ = self.report(tmp_path)
@@ -820,6 +882,106 @@ class TestCommandLine:
         before = metrics.counter("lint.runs.count").value
         run_lint(LintConfig(root=root, paths=(root / "src",)))
         assert metrics.counter("lint.runs.count").value == before + 1
+
+    def test_lint_run_records_wall_time(self, tmp_path):
+        from repro.lint import run_lint
+        from repro.obs import metrics
+
+        root = make_repo(tmp_path, {"src/pkg/ok.py": "X = 1\n"})
+        before = metrics.histogram("lint.run.seconds").count
+        report = run_lint(LintConfig(root=root, paths=(root / "src",)))
+        assert metrics.histogram("lint.run.seconds").count == before + 1
+        assert report.elapsed_s > 0
+
+    def test_output_file_option(self, tmp_path, capsys):
+        root = violating_repo(tmp_path)
+        target = str(root / "src" / "repro" / "analysis" / "rng_bad.py")
+        out_file = tmp_path / "lint.sarif"
+        code = lint_main(["--root", str(root), "--format", "sarif",
+                          "--output", str(out_file), target])
+        assert code == 1
+        doc = json.loads(out_file.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_sarif_rules_carry_help_uris(self, tmp_path, capsys):
+        root = violating_repo(tmp_path)
+        target = str(root / "src" / "repro" / "analysis" / "rng_bad.py")
+        lint_main(["--root", str(root), "--format", "sarif", target])
+        doc = json.loads(capsys.readouterr().out)
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["helpUri"] == \
+                f"docs/static_analysis.md#{rule['id'].lower()}"
+
+
+# ---------------------------------------------------------------------------
+# --changed mode
+# ---------------------------------------------------------------------------
+
+
+class TestChangedMode:
+    @staticmethod
+    def _git(root, *argv):
+        import subprocess
+
+        env = {
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(root), "PATH": "/usr/bin:/bin:/usr/local/bin",
+        }
+        proc = subprocess.run(["git", *argv], cwd=root,
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def repo(self, tmp_path):
+        """A committed two-violation repo, then one file edited."""
+        root = make_repo(tmp_path, {
+            "src/pkg/a.py": "def f(p):\n    return p == 0.5\n",
+            "src/pkg/b.py": "def g(q):\n    return q == 0.25\n",
+        })
+        self._git(root, "init", "-q")
+        self._git(root, "add", "-A")
+        self._git(root, "commit", "-qm", "seed")
+        (root / "src/pkg/a.py").write_text(
+            "def f(p):\n    return p == 0.75\n", encoding="utf-8")
+        return root
+
+    def test_changed_files_lists_the_edit(self, tmp_path):
+        from repro.lint import changed_files
+
+        root = self.repo(tmp_path)
+        assert changed_files(root) == {"src/pkg/a.py"}
+
+    def test_changed_files_includes_untracked(self, tmp_path):
+        from repro.lint import changed_files
+
+        root = self.repo(tmp_path)
+        make_repo(root, {"src/pkg/new.py": "X = 1\n"})
+        assert "src/pkg/new.py" in changed_files(root)
+
+    def test_changed_only_filters_findings(self, tmp_path):
+        from repro.lint import changed_files
+
+        root = self.repo(tmp_path)
+        config = LintConfig(root=root, paths=(root / "src",),
+                            select={"FLT001"})
+        full = LintEngine(config).run()
+        assert {f.path for f in full.findings} == \
+            {"src/pkg/a.py", "src/pkg/b.py"}
+
+        config.changed_only = changed_files(root)
+        narrowed = LintEngine(config).run()
+        assert {f.path for f in narrowed.findings} == {"src/pkg/a.py"}
+        # The index still covers the whole project.
+        assert narrowed.files_scanned == full.files_scanned
+
+    def test_bad_ref_exits_two(self, tmp_path, capsys):
+        root = self.repo(tmp_path)
+        code = lint_main(["--root", str(root), "--changed", "no-such-ref",
+                          str(root / "src")])
+        assert code == 2
+        assert "git diff" in capsys.readouterr().out
 
 
 # ---------------------------------------------------------------------------

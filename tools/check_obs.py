@@ -128,7 +128,7 @@ def check() -> list:
 
 
 def check_ledger(ledger_dir: Path) -> list:
-    """Validate the live ledger records against ledger-record/v1."""
+    """Validate the live ledger records against ledger-record/v2."""
     from repro.obs.ledger import RECORD_SCHEMA, _canonical_sha256, read_runs
 
     failures = []
