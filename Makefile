@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch cache-smoke fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -34,6 +34,11 @@ bench-smoke-baseline:
 ## --strict to gate on it)
 bench-watch:
 	$(PYTHON) -c "from repro.obs.watchdog import _main; raise SystemExit(_main())" --file BENCH_KERNELS.json
+
+## result-cache lifecycle gate: cold solve -> byte-identical hit ->
+## distinct weighted identities -> gc -> miss, on the committed fixtures
+cache-smoke:
+	$(PYTHON) tools/cache_smoke.py
 
 ## differential fuzz gate: replay the counterexample corpus, then a
 ## fixed-seed fresh batch across every solver path (deterministic, <60s)
@@ -90,5 +95,5 @@ mypy:
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
 ## report rendering, docs freshness, tier-1 tests, hot-path perf smoke,
-## perf watchdog, differential fuzz
-ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch fuzz-smoke
+## perf watchdog, result-cache lifecycle, differential fuzz
+ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch cache-smoke fuzz-smoke

@@ -1,0 +1,280 @@
+"""LRU-over-SQLite store for content-addressed solve results.
+
+One :class:`ResultCache` wraps one SQLite file (default
+``.repro/cache/results.sqlite3``) holding serialized solve payloads
+keyed by :func:`repro.cache.keys.cache_key`.  SQLite gives the three
+properties a persistent cache actually needs for free: atomic writes
+(a crashed process never leaves a torn payload), concurrent readers
+across processes, and indexed eviction scans — all stdlib, no services.
+
+Policy
+------
+* **LRU over ``last_access``**: every hit bumps the entry's
+  ``last_access`` (and ``hits`` tally); when the store exceeds
+  ``max_entries`` or ``max_bytes`` after an insert, the least recently
+  used entries are evicted until it fits.
+* **Age**: :meth:`ResultCache.gc` (and the ``repro-defender cache gc``
+  CLI) drops entries whose ``last_access`` is older than a cutoff.
+* **Schema versioning**: the file carries ``PRAGMA user_version``;
+  :mod:`repro.cache.migrations` upgrades old stores in place and refuses
+  to touch stores newer than this library.
+
+Telemetry
+---------
+Probes run under a ``cache.lookup`` span and count into
+``cache.hits.count`` / ``cache.misses.count``; inserts into
+``cache.stores.count``; every eviction into ``cache.evictions.count``.
+``cache.entries`` / ``cache.bytes`` gauges track the store size.  All of
+it lands in ledger records via the usual metrics snapshot, so a recorded
+run shows exactly how the cache behaved.
+
+Thread safety: one connection guarded by one lock; SQLite-level locking
+covers cross-process use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from time import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import get_logger, metrics, tracing
+
+from repro.cache.keys import cache_key, params_json
+from repro.cache.migrations import apply_migrations
+
+__all__ = ["ResultCache", "DEFAULT_MAX_ENTRIES", "DEFAULT_MAX_BYTES"]
+
+_log = get_logger("repro.cache.store")
+
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ResultCache:
+    """A persistent, content-addressed solve-result cache.
+
+    Parameters
+    ----------
+    path:
+        The SQLite file (parent directories are created).
+    max_entries / max_bytes:
+        LRU eviction thresholds, enforced after every insert.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.path = Path(path)
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One connection shared across threads, serialized by our lock
+        # (sqlite3's own check is per-thread-affinity, stricter than
+        # needed once every access is lock-guarded).
+        self._conn = sqlite3.connect(  # repro: lock(_lock)
+            str(self.path), check_same_thread=False
+        )
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            applied = apply_migrations(self._conn)
+        if applied:
+            _log.info("cache.migrated", path=str(self.path),
+                      steps=",".join(str(v) for v in applied))
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def probe(self, fingerprint: str, solver: str,
+              params: Dict[str, Any]) -> Optional[str]:
+        """The cached payload for ``(fingerprint, solver, params)``, or None.
+
+        A hit bumps the entry's LRU clock and hit tally.
+        """
+        key = cache_key(fingerprint, solver, params_json(params))
+        with tracing.span("cache.lookup", solver=solver), \
+                metrics.timer("cache.lookup.seconds"):
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT payload FROM cache_entries WHERE key = ?",
+                    (key,),
+                ).fetchone()
+                if row is not None:
+                    with self._conn:
+                        self._conn.execute(
+                            "UPDATE cache_entries SET last_access = ?, "
+                            "hits = hits + 1 WHERE key = ?",
+                            (time(), key),
+                        )
+            if row is None:
+                metrics.counter("cache.misses.count").inc()
+                return None
+            metrics.counter("cache.hits.count").inc()
+            return str(row[0])
+
+    def store(self, fingerprint: str, solver: str,
+              params: Dict[str, Any], payload: str) -> str:
+        """Insert (or refresh) one payload; returns its key.
+
+        Enforces the LRU size policy after the insert.
+        """
+        key = cache_key(fingerprint, solver, params_json(params))
+        now = time()
+        size = len(payload.encode("utf-8"))
+        with metrics.timer("cache.store.seconds"):
+            with self._lock:
+                with self._conn:
+                    self._conn.execute(
+                        "INSERT INTO cache_entries (key, fingerprint, "
+                        "solver, params, payload, size_bytes, created_at, "
+                        "last_access, hits) VALUES (?,?,?,?,?,?,?,?,0) "
+                        "ON CONFLICT(key) DO UPDATE SET payload = ?, "
+                        "size_bytes = ?, last_access = ?",
+                        (key, fingerprint, solver, params_json(params),
+                         payload, size, now, now, payload, size, now),
+                    )
+                evicted = self._evict_lru_locked()
+            metrics.counter("cache.stores.count").inc()
+            if evicted:
+                metrics.counter("cache.evictions.count").inc(evicted)
+            self._publish_size_gauges()
+        return key
+
+    def _evict_lru_locked(self) -> int:
+        """Drop least-recently-used entries until the policy holds."""
+        evicted = 0
+        while True:
+            count, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) "
+                "FROM cache_entries"
+            ).fetchone()
+            if count <= self.max_entries and total <= self.max_bytes:
+                return evicted
+            with self._conn:
+                cur = self._conn.execute(
+                    "DELETE FROM cache_entries WHERE key IN ("
+                    "SELECT key FROM cache_entries "
+                    "ORDER BY last_access ASC LIMIT 1)"
+                )
+            if cur.rowcount <= 0:
+                return evicted
+            evicted += cur.rowcount
+
+    # ------------------------------------------------------------------
+    # maintenance / inspection
+    # ------------------------------------------------------------------
+
+    def gc(self, max_age_s: Optional[float] = None,
+           solver: Optional[str] = None) -> int:
+        """Evict entries not accessed within ``max_age_s`` seconds.
+
+        ``max_age_s=None`` only re-enforces the size policy;
+        ``max_age_s=0`` empties the store (optionally one solver's
+        slice).  Returns the number of entries evicted.
+        """
+        with metrics.timer("cache.gc.seconds"):
+            evicted = 0
+            with self._lock:
+                if max_age_s is not None:
+                    cutoff = time() - float(max_age_s)
+                    sql = ("DELETE FROM cache_entries "
+                           "WHERE last_access <= ?")
+                    args: List[Any] = [cutoff]
+                    if solver is not None:
+                        sql += " AND solver = ?"
+                        args.append(solver)
+                    with self._conn:
+                        evicted += self._conn.execute(sql, args).rowcount
+                evicted += self._evict_lru_locked()
+            if evicted:
+                metrics.counter("cache.evictions.count").inc(evicted)
+            self._publish_size_gauges()
+            _log.info("cache.gc", evicted=evicted,
+                      max_age_s=max_age_s, solver=solver or "*")
+        return evicted
+
+    def stats(self) -> Dict[str, Any]:
+        """Store totals and a per-solver breakdown (for the CLI)."""
+        with self._lock:
+            count, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) "
+                "FROM cache_entries"
+            ).fetchone()
+            per_solver = {
+                solver: {"entries": entries, "bytes": nbytes, "hits": hits}
+                for solver, entries, nbytes, hits in self._conn.execute(
+                    "SELECT solver, COUNT(*), COALESCE(SUM(size_bytes),0), "
+                    "COALESCE(SUM(hits),0) FROM cache_entries "
+                    "GROUP BY solver ORDER BY solver"
+                )
+            }
+            version = int(self._conn.execute(
+                "PRAGMA user_version").fetchone()[0])
+        return {
+            "path": str(self.path),
+            "schema_version": version,
+            "entries": int(count),
+            "bytes": int(total),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "solvers": per_solver,
+        }
+
+    def entries(self, key_prefix: Optional[str] = None,
+                solver: Optional[str] = None,
+                limit: int = 50) -> List[Dict[str, Any]]:
+        """Entry metadata (no payloads), newest access first."""
+        sql = ("SELECT key, fingerprint, solver, params, size_bytes, "
+               "created_at, last_access, hits FROM cache_entries")
+        clauses: List[str] = []
+        args: List[Any] = []
+        if key_prefix:
+            clauses.append("key LIKE ?")
+            args.append(key_prefix + "%")
+        if solver:
+            clauses.append("solver = ?")
+            args.append(solver)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY last_access DESC LIMIT ?"
+        args.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        return [
+            {
+                "key": key,
+                "fingerprint": fingerprint,
+                "solver": solver_name,
+                "params": params,
+                "size_bytes": int(size),
+                "created_at": float(created),
+                "last_access": float(accessed),
+                "hits": int(hits),
+            }
+            for key, fingerprint, solver_name, params, size,
+            created, accessed, hits in rows
+        ]
+
+    def _publish_size_gauges(self) -> None:
+        with self._lock:
+            count, total = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(size_bytes), 0) "
+                "FROM cache_entries"
+            ).fetchone()
+        metrics.gauge("cache.entries").set(float(count))
+        metrics.gauge("cache.bytes").set(float(total))
+
+    def close(self) -> None:
+        """Close the underlying connection (the store stays on disk)."""
+        with self._lock:
+            self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"ResultCache(path={str(self.path)!r})"

@@ -17,13 +17,18 @@ Usage examples (after ``pip install -e .``)::
     repro-defender ledger stats --group-by git_rev
     repro-defender ledger report -o report.html --markdown report.md
     repro-defender ledger diff 9f2c1a07 3c881b2e
+    repro-defender solve network.edges -k 3 --cache
+    repro-defender cache stats
+    repro-defender cache lookup --solver equilibria.solve
+    repro-defender cache gc --max-age 86400
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
 
 Every subcommand accepts the observability flags ``--quiet``,
 ``--verbose``, ``--log-json``, ``--trace``, ``--ledger`` /
-``--ledger-dir DIR`` and ``--events`` / ``--events-dir DIR`` (before
+``--ledger-dir DIR``, ``--events`` / ``--events-dir DIR`` and
+``--cache`` / ``--cache-dir DIR`` (before
 or after the subcommand); see ``docs/observability.md``.  All normal output flows
 through one :func:`_emit` helper, so ``--quiet`` silences it and
 ``--log-json`` turns each message into a JSON line without touching the
@@ -37,6 +42,7 @@ import json
 import sys
 from typing import List, Optional
 
+import repro.cache as result_cache
 from repro.analysis.gain import fit_slope_through_origin, gain_curve
 from repro.analysis.tables import Table
 from repro.core.game import GameError, TupleGame
@@ -136,6 +142,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser, default) -> None:
         default=default if default is argparse.SUPPRESS else None,
         metavar="DIR",
         help="event sink directory (implies --events)",
+    )
+    group.add_argument(
+        "--cache", action="store_true", default=default,
+        help="memoize solver results in the content-addressed cache "
+             "(.repro/cache by default)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=default if default is argparse.SUPPRESS else None,
+        metavar="DIR",
+        help="result-cache directory (implies --cache)",
     )
 
 
@@ -379,6 +396,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_ldiff.add_argument("run_id_b", help="second run id (prefix allowed)")
     p_ldiff.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+
+    # cache takes no graph — it inspects the solve-result cache.
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed solve-result "
+             "cache: stats, lookup, gc",
+        parents=[obs_parent],
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_cache_command(name: str, help_text: str):
+        p = cache_sub.add_parser(name, help=help_text, parents=[obs_parent])
+        p.add_argument(
+            "--dir", default=None, metavar="DIR", dest="cache_query_dir",
+            help="cache directory to operate on "
+                 f"(default: {result_cache.DEFAULT_CACHE_DIR})",
+        )
+        return p
+
+    p_cstats = add_cache_command(
+        "stats", "store totals and per-solver entry/hit breakdown"
+    )
+    p_cstats.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+
+    p_clookup = add_cache_command(
+        "lookup", "list cache entries (metadata only), newest access first"
+    )
+    p_clookup.add_argument(
+        "key_prefix", nargs="?", default=None,
+        help="only entries whose key starts with this hex prefix",
+    )
+    p_clookup.add_argument(
+        "--solver", default=None, metavar="NAME",
+        help="only entries for this solver (e.g. equilibria.solve)",
+    )
+    p_clookup.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="newest N entries (default: 20)",
+    )
+    p_clookup.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+
+    p_cgc = add_cache_command(
+        "gc", "evict stale entries and re-enforce the size policy"
+    )
+    p_cgc.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="evict entries not accessed within SECONDS (0 empties the "
+             "store); omitted: only the size policy is enforced",
+    )
+    p_cgc.add_argument(
+        "--solver", default=None, metavar="NAME",
+        help="restrict age-based eviction to this solver's entries",
     )
 
     return parser
@@ -777,6 +851,60 @@ def _cmd_ledger_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    stats = result_cache.open_store(args.cache_query_dir).stats()
+    if args.fmt == "json":
+        _emit(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    _emit(f"store            : {stats['path']} "
+          f"(schema v{stats['schema_version']})")
+    _emit(f"entries          : {stats['entries']} / {stats['max_entries']}")
+    _emit(f"payload bytes    : {stats['bytes']} / {stats['max_bytes']}")
+    if stats["solvers"]:
+        table = Table(["solver", "entries", "bytes", "hits"])
+        for solver in sorted(stats["solvers"]):
+            row = stats["solvers"][solver]
+            table.add_row([solver, row["entries"], row["bytes"],
+                           row["hits"]])
+        _emit(table.render(title="per-solver breakdown"))
+    return 0
+
+
+def _cmd_cache_lookup(args: argparse.Namespace) -> int:
+    entries = result_cache.open_store(args.cache_query_dir).entries(
+        key_prefix=args.key_prefix, solver=args.solver, limit=args.limit,
+    )
+    if args.fmt == "json":
+        _emit(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    table = Table(["key", "solver", "fingerprint", "bytes", "hits"])
+    for entry in entries:
+        table.add_row([
+            entry["key"][:16], entry["solver"],
+            entry["fingerprint"][:16], entry["size_bytes"], entry["hits"],
+        ])
+    _emit(table.render(title=f"{len(entries)} matching cache entries"))
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = result_cache.open_store(args.cache_query_dir)
+    evicted = store.gc(max_age_s=args.max_age, solver=args.solver)
+    remaining = store.stats()["entries"]
+    _emit(f"evicted {evicted} entries ({remaining} remain)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "stats":
+        return _cmd_cache_stats(args)
+    if args.cache_command == "lookup":
+        return _cmd_cache_lookup(args)
+    if args.cache_command == "gc":
+        return _cmd_cache_gc(args)
+    raise GameError(f"unknown cache command {args.cache_command!r}")
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "stats":
         return _cmd_ledger_stats(args)
@@ -845,6 +973,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     use_events = bool(getattr(args, "events", False)) or events_dir is not None
     if use_events:
         obs_events.enable_events(events_dir)
+    cache_dir = getattr(args, "cache_dir", None)
+    # The ``cache`` subcommand *inspects* the store via its own --dir; the
+    # memoization switch stays off for it.
+    use_cache = (
+        bool(getattr(args, "cache", False)) or cache_dir is not None
+    ) and args.command != "cache"
+    if use_cache:
+        result_cache.enable_cache(cache_dir)
 
     try:
         if args.command == "lint":
@@ -857,6 +993,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = _cmd_tail(args)
         elif args.command == "ledger":
             code = _cmd_ledger(args)
+        elif args.command == "cache":
+            code = _cmd_cache(args)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)
@@ -872,6 +1010,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_ledger.disable_ledger()
         if use_events:
             obs_events.disable_events()
+        if use_cache:
+            result_cache.disable_cache()
         if trace or args.command in ("stats", "profile"):
             obs_tracing.enable_tracing(False)
 

@@ -25,6 +25,7 @@ from repro.graphs.core import Graph, tuple_sort_key, vertex_sort_key
 
 __all__ = [
     "game_to_json",
+    "game_from_json",
     "configuration_to_json",
     "configuration_from_json",
     "solve_result_to_json",
@@ -32,36 +33,97 @@ __all__ = [
 
 _FORMAT = "repro.mixed-configuration.v1"
 
+#: ``model`` discriminator value for weighted games.  Plain games carry
+#: no ``model`` key at all — their payload (and therefore their
+#: fingerprint and every committed document hashing it) is byte-for-byte
+#: what it was before the weighted model existed.
+_WEIGHTED_MODEL = "weighted-tuple"
 
-def _game_payload(game: TupleGame) -> Dict[str, Any]:
-    return {
+
+def _game_payload(game: Any) -> Dict[str, Any]:
+    """Canonical payload of a plain or weighted game.
+
+    ``game`` is duck-typed: anything exposing ``graph``/``k``/``nu`` plus
+    a ``weights`` mapping is treated as a
+    :class:`~repro.weighted.game.WeightedTupleGame` (serialize sits below
+    ``repro.weighted`` in the layering DAG, so the class itself cannot be
+    imported here at module scope).  Weighted payloads carry a ``model``
+    discriminator and the weight vector in canonical vertex order with
+    every value pinned through ``float`` — two games differing only in
+    weights therefore serialize (and fingerprint) differently.
+    """
+    payload: Dict[str, Any] = {
         "vertices": game.graph.sorted_vertices(),
         "edges": [list(e) for e in game.graph.sorted_edges()],
         "k": game.k,
         "nu": game.nu,
     }
+    weights = getattr(game, "weights", None)
+    if weights is not None:
+        payload["model"] = _WEIGHTED_MODEL
+        payload["weights"] = [
+            [v, float(weights[v])]
+            for v in sorted(weights, key=vertex_sort_key)
+        ]
+    return payload
 
 
-def game_to_json(game: TupleGame) -> str:
+def game_to_json(game: Any) -> str:
     """Canonical, byte-deterministic JSON dump of a game (graph, k, ν).
 
     Key-sorted and whitespace-free, so two structurally identical games
     always serialize to the same bytes — the provenance ledger
     (:mod:`repro.obs.ledger`) hashes this document as the game
-    fingerprint of a recorded run.
+    fingerprint of a recorded run, and the result cache
+    (:mod:`repro.cache`) keys entries by that hash.  Weighted games
+    (:class:`~repro.weighted.game.WeightedTupleGame`) include their
+    ``model`` discriminator and weight vector, so games differing only
+    in vertex weights never collide.
     """
     return json.dumps(
         _game_payload(game), sort_keys=True, separators=(",", ":")
     )
 
 
-def _game_from_payload(payload: Dict[str, Any]) -> TupleGame:
+def _game_from_payload(payload: Dict[str, Any]) -> Any:
     try:
+        model = payload.get("model", "tuple")
         edges = [tuple(e) for e in payload["edges"]]
         graph = Graph(edges, vertices=payload.get("vertices", ()))
+        if model == _WEIGHTED_MODEL:
+            # Deliberate layering inversion (core -> weighted), deferred
+            # to call time and only paid on weighted documents: the
+            # payload names a class that lives above this module.
+            from repro.weighted.game import WeightedTupleGame
+
+            weights = {v: float(w) for v, w in payload["weights"]}
+            return WeightedTupleGame(
+                graph, int(payload["k"]), weights, nu=int(payload["nu"])
+            )
+        if model != "tuple":
+            raise GameError(f"unknown game model {model!r}")
         return TupleGame(graph, int(payload["k"]), int(payload["nu"]))
     except (KeyError, TypeError, ValueError) as exc:
         raise GameError(f"malformed game payload: {exc}") from exc
+
+
+def game_from_json(text: str) -> Any:
+    """Parse a :func:`game_to_json` document back into a game.
+
+    Reconstructs the right type from the ``model`` discriminator — a
+    weighted document yields a
+    :class:`~repro.weighted.game.WeightedTupleGame` with its weights
+    intact instead of silently downgrading to a plain
+    :class:`~repro.core.game.TupleGame`.  Raises
+    :class:`~repro.core.game.GameError` on malformed documents.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GameError(f"invalid JSON game document: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise GameError("game document is not a JSON object")
+    return _game_from_payload(payload)
 
 
 def configuration_to_json(config: MixedConfiguration) -> str:

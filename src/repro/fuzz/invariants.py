@@ -14,6 +14,9 @@ check                         theorem     cross-checked paths
 ``solve-cascade``             T3.4, T4.5  structural cascade vs LP value; the
                                           k-matching gain law ``k·ν/ρ(G)``
 ``serialize-roundtrip``       —           JSON dump → load → re-verify → re-dump
+``weighted-serialize-roundtrip``  —       weighted dump → load → dump byte
+                                          fixpoint; weights separate sha256
+                                          fingerprints
 ``graph-io-roundtrip``        —           graph JSON + edge-list codecs
 ``kernel-reference``          —           coverage kernel vs brute-force argmax
 ``simulation-agreement``      D2.1        vectorized Monte Carlo vs exact profit
@@ -27,6 +30,7 @@ one broken game never hides the rest.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 from typing import Callable, Dict, List, Optional, Sequence
@@ -34,7 +38,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.characterization import is_mixed_nash
 from repro.core.game import TupleGame
 from repro.core.pure import pure_nash_exists
-from repro.core.serialize import configuration_from_json, configuration_to_json
+from repro.core.serialize import (
+    configuration_from_json,
+    configuration_to_json,
+    game_from_json,
+    game_to_json,
+)
 from repro.core.tuples import all_tuples, tuple_vertices
 from repro.equilibria.solve import NoEquilibriumFoundError, solve_game
 from repro.graphs.core import Graph, tuple_sort_key
@@ -51,6 +60,7 @@ from repro.solvers.double_oracle import double_oracle
 from repro.solvers.fictitious_play import fictitious_play
 from repro.solvers.lp import solve_minimax
 from repro.solvers.ranges import attacker_vertex_ranges
+from repro.weighted.game import WeightedTupleGame
 
 __all__ = ["Violation", "INVARIANTS", "check_game", "DEFAULT_TOLERANCE"]
 
@@ -217,6 +227,70 @@ def check_serialize_roundtrip(game: TupleGame, tol: float) -> List[Violation]:
     return out
 
 
+def _game_sha256(text: str) -> str:
+    """The ledger/cache content fingerprint of a ``game_to_json`` text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def check_weighted_serialize_roundtrip(
+    game: TupleGame, tol: float
+) -> List[Violation]:
+    """Weighted identity: dump → load → dump is a byte fixpoint and the
+    weight vector is part of the content address.
+
+    Lifts the fuzzed game to a :class:`WeightedTupleGame` with weights
+    derived deterministically from the sorted vertex order, then requires
+
+    * the round trip to restore a *weighted* game with equal weights
+      (the historical bug silently downgraded to a plain game);
+    * the re-dump to be byte-identical (canonical serialization);
+    * bumping a single weight to change the sha256 fingerprint
+      (injectivity — distinct weights must never share a cache entry);
+    * the plain game's document to stay free of weight keys (the
+      pre-weighted byte format is a compatibility contract).
+    """
+    vertices = game.graph.sorted_vertices()
+    weights = {v: 1.0 + (i % 5) * 0.25 for i, v in enumerate(vertices)}
+    weighted = WeightedTupleGame(game.graph, game.k, weights, nu=game.nu)
+    text = game_to_json(weighted)
+    restored = game_from_json(text)
+    out: List[Violation] = []
+    if not isinstance(restored, WeightedTupleGame):
+        out.append(Violation(
+            "weighted-serialize-roundtrip",
+            f"weighted game round-tripped as {type(restored).__name__} — "
+            "weights silently dropped",
+        ))
+        return out
+    if restored.weights != weighted.weights:
+        out.append(Violation(
+            "weighted-serialize-roundtrip",
+            "weight vector did not survive the round trip",
+        ))
+    if game_to_json(restored) != text:
+        out.append(Violation(
+            "weighted-serialize-roundtrip",
+            "weighted serialization is not canonical (re-dump differs)",
+        ))
+    bumped = dict(weights)
+    bumped[vertices[0]] = weights[vertices[0]] + 0.5
+    other = WeightedTupleGame(game.graph, game.k, bumped, nu=game.nu)
+    if _game_sha256(text) == _game_sha256(game_to_json(other)):
+        out.append(Violation(
+            "weighted-serialize-roundtrip",
+            "games differing only in one weight share a sha256 "
+            "fingerprint — the content address is weight-blind",
+        ))
+    plain_payload = json.loads(game_to_json(game))
+    if "weights" in plain_payload or "model" in plain_payload:
+        out.append(Violation(
+            "weighted-serialize-roundtrip",
+            "plain game document carries weighted keys — the pre-weighted "
+            "byte format must stay stable",
+        ))
+    return out
+
+
 def check_graph_io_roundtrip(game: TupleGame, tol: float) -> List[Violation]:
     """The graph codecs must be lossless on every generated label shape.
 
@@ -337,6 +411,7 @@ INVARIANTS: Dict[str, Check] = {
     "value-agreement": check_value_agreement,
     "solve-cascade": check_solve_cascade,
     "serialize-roundtrip": check_serialize_roundtrip,
+    "weighted-serialize-roundtrip": check_weighted_serialize_roundtrip,
     "graph-io-roundtrip": check_graph_io_roundtrip,
     "kernel-reference": check_kernel_reference,
     "simulation-agreement": check_simulation_agreement,

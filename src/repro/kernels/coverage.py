@@ -673,6 +673,12 @@ def shared_oracle(graph: Graph, k: int) -> CoverageOracle:
 
 
 def clear_shared_oracles() -> None:
-    """Drop every cached oracle (tests and long-lived services)."""
+    """Drop every cached oracle (tests and long-lived services).
+
+    Resets the ``perf.kernel.cache.size`` gauge under the same lock — a
+    clear that leaves the gauge at the old size would report phantom
+    cached oracles until the next :func:`shared_oracle` miss.
+    """
     with _SHARED_LOCK:
         _SHARED.clear()
+        metrics.gauge("perf.kernel.cache.size").set(0)

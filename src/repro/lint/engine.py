@@ -99,6 +99,7 @@ class LintConfig:
             api_doc=root / "docs" / "api.md",
             layers=dict(DEFAULT_LAYERS),
             obs_required=(
+                "repro.cache.",
                 "repro.kernels.",
                 "repro.solvers.",
                 "repro.simulation.engine",
@@ -121,7 +122,10 @@ class LintConfig:
                 "repro.simulation.",
                 "repro.fuzz.",
             ),
-            det_exempt_prefixes=("repro.obs.", "repro.lint."),
+            # repro.cache: LRU clocks and store timestamps are telemetry,
+            # not solver output — replayed payloads are byte-identical.
+            det_exempt_prefixes=("repro.obs.", "repro.lint.",
+                                 "repro.cache."),
             schema_docs=(root / "docs",),
         )
 
@@ -135,6 +139,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "repro.graphs": 1,
     "repro.matching": 1,
     "repro.core": 2,
+    "repro.cache": 3,
     "repro.kernels": 3,
     "repro.equilibria": 3,
     "repro.solvers": 4,

@@ -282,6 +282,7 @@ _PAIRED_CALLS = {
     "enable_tracing": "enable_tracing",
     "enable_ledger": "disable_ledger",
     "enable_events": "disable_events",
+    "enable_cache": "disable_cache",
 }
 
 

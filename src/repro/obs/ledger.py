@@ -56,6 +56,8 @@ __all__ = [
     "ledger_enabled",
     "ledger_directory",
     "run",
+    "canonical_json",
+    "canonical_sha256",
     "fingerprint_game",
     "capture_environment",
     "read_runs",
@@ -120,18 +122,91 @@ def ledger_directory() -> Path:
 # fingerprints and environment capture
 
 
-def _canonical_sha256(payload: Any) -> str:
-    """sha256 hex digest of the canonical JSON encoding of ``payload``."""
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
-                      default=str)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+def _canonicalize(value: Any) -> Any:
+    """Recursively reduce ``value`` to deterministic JSON-encodable data.
+
+    The previous encoder leaned on ``json.dumps(..., default=str)``,
+    which hashed sets in ``PYTHONHASHSEED``-dependent iteration order and
+    silently stringified anything unknown — two runs of the same record
+    could produce different content addresses.  This canonicalizer is
+    explicit instead:
+
+    * dicts keep their (string) keys — ``sort_keys`` orders them at
+      encode time; non-string keys are rejected;
+    * lists/tuples canonicalize elementwise;
+    * sets/frozensets become lists sorted by their canonical JSON
+      encoding, independent of hash seed;
+    * non-finite floats become tagged objects (``{"__nonfinite__":
+      "nan" | "inf" | "-inf"}``) so the document never carries the
+      non-RFC ``NaN``/``Infinity`` tokens;
+    * any other type raises ``TypeError`` — an unknown type in a record
+      is a bug at the call site, not something to stringify silently.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value:
+            return {"__nonfinite__": "nan"}
+        if value == float("inf"):
+            return {"__nonfinite__": "inf"}
+        if value == float("-inf"):
+            return {"__nonfinite__": "-inf"}
+        return value
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical JSON requires string keys; got {key!r}"
+                )
+        return {key: _canonicalize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        members = [_canonicalize(item) for item in value]
+        return sorted(
+            members,
+            key=lambda m: json.dumps(m, sort_keys=True, separators=(",", ":")),
+        )
+    raise TypeError(
+        f"cannot canonically encode {type(value).__name__!r} value {value!r}"
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON encoding of ``payload`` (see :func:`_canonicalize`).
+
+    Key-sorted, whitespace-free, hash-seed independent; raises
+    ``TypeError`` on values with no canonical encoding.  The result cache
+    (:mod:`repro.cache`) stores this text as the human-readable half of
+    its ``(fingerprint, solver, params)`` key.
+    """
+    return json.dumps(_canonicalize(payload), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def canonical_sha256(payload: Any) -> str:
+    """sha256 hex digest of the canonical JSON encoding of ``payload``.
+
+    Deterministic across processes and hash seeds: see
+    :func:`_canonicalize` for the exact normalization.  Raises
+    ``TypeError`` on values with no canonical encoding.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+#: Backward-compatible alias — tools/check_obs.py and older callers used
+#: the underscored name before the canonicalizer became public API.
+_canonical_sha256 = canonical_sha256
 
 
 def fingerprint_game(game) -> Dict[str, Any]:
-    """Content fingerprint of a :class:`~repro.core.game.TupleGame`.
+    """Content fingerprint of a plain or weighted tuple game.
 
     Hashes the canonical serialization, so two structurally identical
-    games fingerprint identically regardless of construction order.
+    games fingerprint identically regardless of construction order — and
+    two :class:`~repro.weighted.game.WeightedTupleGame` instances that
+    differ only in their vertex weights fingerprint *differently* (the
+    serialization carries the weight vector).
     """
     # Deliberate layering inversion (obs -> core), deferred to call time:
     # the ledger is layer 0 so every solver may import it, and only runs
@@ -139,7 +214,11 @@ def fingerprint_game(game) -> Dict[str, Any]:
     from repro.core.serialize import game_to_json
 
     return {
-        "kind": "tuple-game",
+        "kind": (
+            "weighted-tuple-game"
+            if getattr(game, "weights", None) is not None
+            else "tuple-game"
+        ),
         "sha256": hashlib.sha256(game_to_json(game).encode("utf-8")).hexdigest(),
         "n": game.graph.n,
         "m": game.graph.m,

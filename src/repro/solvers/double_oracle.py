@@ -28,19 +28,26 @@ textbook both-sides-lazy variant.
 
 from __future__ import annotations
 
+import json
 from time import perf_counter
 from typing import Dict, List, Optional, Set
 
+import repro.cache as result_cache
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
-from repro.graphs.core import Vertex
+from repro.graphs.core import Vertex, tuple_sort_key, vertex_sort_key
 from repro.kernels.coverage import CoverageOracle, shared_oracle
 from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 from repro.solvers.lp import LPSolution, minimax_over_strategies
 
-__all__ = ["DoubleOracleResult", "double_oracle"]
+__all__ = [
+    "DoubleOracleResult",
+    "double_oracle",
+    "double_oracle_result_to_json",
+    "double_oracle_result_from_json",
+]
 
 _log = get_logger("repro.solvers.double_oracle")
 
@@ -113,6 +120,85 @@ class DoubleOracleResult:
         )
 
 
+_RESULT_FORMAT = "repro.solvers.double-oracle-result.v1"
+
+
+def double_oracle_result_to_json(result: DoubleOracleResult) -> str:
+    """Canonical, byte-deterministic JSON dump of a double-oracle result.
+
+    Support mixtures are emitted in canonical strategy order and floats
+    round-trip exactly, so the result-cache replay
+    (:func:`double_oracle_result_from_json`) reproduces these bytes.
+    """
+    with metrics.timer("cache.encode.seconds"):
+        payload = {
+            "format": _RESULT_FORMAT,
+            "value": result.solution.value,
+            "defender": [
+                [[list(e) for e in t], p]
+                for t, p in sorted(
+                    result.solution.defender.items(),
+                    key=lambda item: tuple_sort_key(item[0]),
+                )
+            ],
+            "attacker": [
+                [v, p]
+                for v, p in sorted(
+                    result.solution.attacker.items(),
+                    key=lambda item: vertex_sort_key(item[0]),
+                )
+            ],
+            "iterations": result.iterations,
+            "defender_pool_size": result.defender_pool_size,
+            "attacker_pool_size": result.attacker_pool_size,
+            "certified_gap": result.certified_gap,
+            "gap_history": result.gap_history,
+            "exact": result.exact,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def double_oracle_result_from_json(text: str) -> DoubleOracleResult:
+    """Parse a :func:`double_oracle_result_to_json` document.
+
+    Raises :class:`~repro.core.game.GameError` on malformed documents or
+    a format tag this reader does not understand.
+    """
+    with metrics.timer("cache.decode.seconds"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GameError(f"invalid double-oracle document: {exc}") from exc
+        if not isinstance(payload, dict) \
+                or payload.get("format") != _RESULT_FORMAT:
+            raise GameError(
+                f"unrecognized double-oracle format "
+                f"(expected {_RESULT_FORMAT!r})"
+            )
+        try:
+            defender = {
+                tuple(tuple(e) for e in t): float(p)
+                for t, p in payload["defender"]
+            }
+            attacker = {v: float(p) for v, p in payload["attacker"]}
+            solution = LPSolution(
+                float(payload["value"]), defender, attacker
+            )
+            return DoubleOracleResult(
+                solution,
+                int(payload["iterations"]),
+                int(payload["defender_pool_size"]),
+                int(payload["attacker_pool_size"]),
+                float(payload["certified_gap"]),
+                [float(g) for g in payload["gap_history"]],
+                bool(payload["exact"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GameError(
+                f"malformed double-oracle payload: {exc}"
+            ) from exc
+
+
 def _initial_defender_pool(oracle: CoverageOracle) -> List[EdgeTuple]:
     """Seed: a greedy family of tuples that together cover every vertex.
 
@@ -171,23 +257,34 @@ def double_oracle(
     against pathological tolerance settings).
     """
     graph = game.graph
-    oracle = shared_oracle(graph, game.k)
-    vertices = oracle.vertices
-    defender_pool: List[EdgeTuple] = _initial_defender_pool(oracle)
-    defender_seen: Set[EdgeTuple] = set(defender_pool)
-    attacker_pool: List[Vertex] = (
-        [vertices[0]] if lazy_attacker else list(vertices)
+    # Probe before opening the ledger run so the record can carry the
+    # ``cache_hit`` attribute (a no-op miss while caching is disabled).
+    probe = result_cache.lookup(
+        game, "solvers.double_oracle",
+        {"tolerance": tolerance, "max_iterations": max_iterations,
+         "method": method, "lazy_attacker": lazy_attacker},
     )
-    attacker_seen: Set[Vertex] = set(attacker_pool)
-
-    solution = None
-    gap = float("inf")
-    gap_history: List[float] = []
-    oracle_timer = metrics.histogram("double_oracle.oracle.seconds")
     with obs_ledger.run("solvers.double_oracle", game=game, method=method,
-                        lazy_attacker=lazy_attacker), \
+                        lazy_attacker=lazy_attacker, cache_hit=probe.hit), \
             tracing.span("double_oracle.solve", n=graph.n, m=graph.m,
                          k=game.k):
+        if probe.hit:
+            cached = probe.replay(double_oracle_result_from_json)
+            if cached is not None:
+                return cached
+        oracle = shared_oracle(graph, game.k)
+        vertices = oracle.vertices
+        defender_pool: List[EdgeTuple] = _initial_defender_pool(oracle)
+        defender_seen: Set[EdgeTuple] = set(defender_pool)
+        attacker_pool: List[Vertex] = (
+            [vertices[0]] if lazy_attacker else list(vertices)
+        )
+        attacker_seen: Set[Vertex] = set(attacker_pool)
+
+        solution = None
+        gap = float("inf")
+        gap_history: List[float] = []
+        oracle_timer = metrics.histogram("double_oracle.oracle.seconds")
         for iteration in range(1, max_iterations + 1):
             solution = minimax_over_strategies(
                 attacker_pool, defender_pool, tuple_vertices,
@@ -269,10 +366,12 @@ def double_oracle(
                     attacker_pool=len(attacker_pool),
                     converged=True, certified=exact,
                 )
-                return DoubleOracleResult(
+                result = DoubleOracleResult(
                     solution, iteration, len(defender_pool),
                     len(attacker_pool), gap, gap_history, exact,
                 )
+                probe.store(double_oracle_result_to_json(result))
+                return result
 
     raise GameError(
         f"double oracle did not converge within {max_iterations} iterations "

@@ -18,9 +18,11 @@ bounds).
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.game import TupleGame
+import repro.cache as result_cache
+from repro.core.game import GameError, TupleGame
 from repro.core.tuples import EdgeTuple, tuple_vertices
 from repro.graphs.core import Vertex, tuple_sort_key, vertex_sort_key
 from repro.kernels.coverage import shared_oracle
@@ -28,7 +30,12 @@ from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics, tracing
 from repro.obs import ledger as obs_ledger
 
-__all__ = ["FictitiousPlayResult", "fictitious_play"]
+__all__ = [
+    "FictitiousPlayResult",
+    "fictitious_play",
+    "fictitious_play_result_to_json",
+    "fictitious_play_result_from_json",
+]
 
 _log = get_logger("repro.solvers.fictitious_play")
 
@@ -104,6 +111,81 @@ class FictitiousPlayResult:
         )
 
 
+_RESULT_FORMAT = "repro.solvers.fictitious-play-result.v1"
+
+
+def fictitious_play_result_to_json(result: FictitiousPlayResult) -> str:
+    """Canonical, byte-deterministic JSON dump of a fictitious-play run.
+
+    Strategies are emitted in canonical order with exact float
+    round-trip, so cache replay
+    (:func:`fictitious_play_result_from_json`) reproduces these bytes.
+    """
+    with metrics.timer("cache.encode.seconds"):
+        payload = {
+            "format": _RESULT_FORMAT,
+            "rounds": result.rounds,
+            "lower_bound": result.lower_bound,
+            "upper_bound": result.upper_bound,
+            "attacker_strategy": [
+                [v, p]
+                for v, p in sorted(
+                    result.attacker_strategy.items(),
+                    key=lambda item: vertex_sort_key(item[0]),
+                )
+            ],
+            "defender_strategy": [
+                [[list(e) for e in t], p]
+                for t, p in sorted(
+                    result.defender_strategy.items(),
+                    key=lambda item: tuple_sort_key(item[0]),
+                )
+            ],
+            "history": [[lower, upper] for lower, upper in result.history],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fictitious_play_result_from_json(text: str) -> FictitiousPlayResult:
+    """Parse a :func:`fictitious_play_result_to_json` document.
+
+    Raises :class:`~repro.core.game.GameError` on malformed documents or
+    an unknown format tag.
+    """
+    with metrics.timer("cache.decode.seconds"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GameError(
+                f"invalid fictitious-play document: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) \
+                or payload.get("format") != _RESULT_FORMAT:
+            raise GameError(
+                f"unrecognized fictitious-play format "
+                f"(expected {_RESULT_FORMAT!r})"
+            )
+        try:
+            return FictitiousPlayResult(
+                int(payload["rounds"]),
+                float(payload["lower_bound"]),
+                float(payload["upper_bound"]),
+                {v: float(p) for v, p in payload["attacker_strategy"]},
+                {
+                    tuple(tuple(e) for e in t): float(p)
+                    for t, p in payload["defender_strategy"]
+                },
+                [
+                    (float(lower), float(upper))
+                    for lower, upper in payload["history"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GameError(
+                f"malformed fictitious-play payload: {exc}"
+            ) from exc
+
+
 def fictitious_play(
     game: TupleGame,
     rounds: int = 200,
@@ -126,12 +208,22 @@ def fictitious_play(
     """
     graph = game.graph
 
+    # Probe before opening the ledger run so the record can carry the
+    # ``cache_hit`` attribute (a no-op miss while caching is disabled).
+    probe = result_cache.lookup(
+        game, "solvers.fictitious_play",
+        {"rounds": rounds, "method": method, "tolerance": tolerance},
+    )
     with obs_ledger.run("solvers.fictitious_play", game=game,
-                        max_rounds=rounds, method=method), \
+                        max_rounds=rounds, method=method,
+                        cache_hit=probe.hit), \
             tracing.span("fictitious_play.run", n=graph.n, k=game.k,
                          max_rounds=rounds), \
             metrics.timer("fictitious_play.run.seconds"):
-        result = _run_fictitious_play(game, rounds, method, tolerance)
+        result = probe.replay(fictitious_play_result_from_json)
+        if result is None:
+            result = _run_fictitious_play(game, rounds, method, tolerance)
+            probe.store(fictitious_play_result_to_json(result))
     metrics.counter("fictitious_play.runs.count").inc()
     metrics.counter("fictitious_play.rounds.count").inc(result.rounds)
     metrics.gauge("fictitious_play.residual").set(result.gap)

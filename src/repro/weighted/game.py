@@ -29,16 +29,21 @@ proportionally harder.  Experiment E12 measures exactly that.
 
 from __future__ import annotations
 
+import json
+import math
 from typing import Dict, Mapping, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
+import repro.cache as result_cache
 from repro.core.configuration import MixedConfiguration, PureConfiguration
 from repro.core.game import GameError, TupleGame
 from repro.core.profits import all_hit_probabilities, all_vertex_masses
+from repro.core.serialize import configuration_from_json, configuration_to_json
 from repro.core.tuples import all_tuples, tuple_vertices
-from repro.graphs.core import Graph, Vertex
+from repro.graphs.core import Graph, Vertex, tuple_sort_key, vertex_sort_key
+from repro.obs import ledger as obs_ledger
 from repro.solvers.best_response import best_tuple
 from repro.solvers.lp import LPSolution, _prune_and_normalize
 
@@ -47,6 +52,10 @@ __all__ = [
     "weighted_minimax",
     "weighted_lp_equilibrium",
     "weighted_double_oracle",
+    "weighted_lp_result_to_json",
+    "weighted_lp_result_from_json",
+    "weighted_do_result_to_json",
+    "weighted_do_result_from_json",
 ]
 
 _DEFAULT_TUPLE_LIMIT = 200_000
@@ -72,9 +81,10 @@ class WeightedTupleGame:
             if v not in weights:
                 raise GameError(f"vertex {v!r} has no weight")
             value = float(weights[v])
-            if value <= 0.0:
+            if not (value > 0.0 and math.isfinite(value)):
                 raise GameError(
-                    f"vertex weights must be positive; {v!r} has {value!r}"
+                    f"vertex weights must be positive and finite; "
+                    f"{v!r} has {value!r}"
                 )
             w[v] = value
         extra = set(weights) - graph.vertices()
@@ -229,17 +239,141 @@ def weighted_minimax(
     return LPSolution(float(value_d), defender, attacker)
 
 
+_LP_RESULT_FORMAT = "repro.weighted.lp-result.v1"
+_DO_RESULT_FORMAT = "repro.weighted.double-oracle-result.v1"
+
+
+def _lp_solution_payload(solution: LPSolution) -> Dict:
+    return {
+        "value": solution.value,
+        "defender": [
+            [[list(e) for e in t], p]
+            for t, p in sorted(
+                solution.defender.items(),
+                key=lambda item: tuple_sort_key(item[0]),
+            )
+        ],
+        "attacker": [
+            [v, p]
+            for v, p in sorted(
+                solution.attacker.items(),
+                key=lambda item: vertex_sort_key(item[0]),
+            )
+        ],
+    }
+
+
+def _lp_solution_from_payload(payload: Dict) -> LPSolution:
+    return LPSolution(
+        float(payload["value"]),
+        {
+            tuple(tuple(e) for e in t): float(p)
+            for t, p in payload["defender"]
+        },
+        {v: float(p) for v, p in payload["attacker"]},
+    )
+
+
+def weighted_lp_result_to_json(
+    config: MixedConfiguration, solution: LPSolution
+) -> str:
+    """Canonical JSON dump of a :func:`weighted_lp_equilibrium` outcome."""
+    payload = {
+        "format": _LP_RESULT_FORMAT,
+        "configuration": json.loads(configuration_to_json(config)),
+        "solution": _lp_solution_payload(solution),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def weighted_lp_result_from_json(
+    text: str,
+) -> Tuple[MixedConfiguration, LPSolution]:
+    """Parse a :func:`weighted_lp_result_to_json` document (re-validated)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GameError(f"invalid weighted-LP document: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("format") != _LP_RESULT_FORMAT:
+        raise GameError(
+            f"unrecognized weighted-LP format (expected {_LP_RESULT_FORMAT!r})"
+        )
+    try:
+        config = configuration_from_json(
+            json.dumps(payload["configuration"])
+        )
+        solution = _lp_solution_from_payload(payload["solution"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GameError(f"malformed weighted-LP payload: {exc}") from exc
+    return config, solution
+
+
+def weighted_do_result_to_json(
+    config: MixedConfiguration, value: float
+) -> str:
+    """Canonical JSON dump of a :func:`weighted_double_oracle` outcome."""
+    payload = {
+        "format": _DO_RESULT_FORMAT,
+        "configuration": json.loads(configuration_to_json(config)),
+        "value": float(value),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def weighted_do_result_from_json(
+    text: str,
+) -> Tuple[MixedConfiguration, float]:
+    """Parse a :func:`weighted_do_result_to_json` document (re-validated)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GameError(
+            f"invalid weighted double-oracle document: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) \
+            or payload.get("format") != _DO_RESULT_FORMAT:
+        raise GameError(
+            f"unrecognized weighted double-oracle format "
+            f"(expected {_DO_RESULT_FORMAT!r})"
+        )
+    try:
+        config = configuration_from_json(
+            json.dumps(payload["configuration"])
+        )
+        value = float(payload["value"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GameError(
+            f"malformed weighted double-oracle payload: {exc}"
+        ) from exc
+    return config, value
+
+
 def weighted_lp_equilibrium(
     game: WeightedTupleGame, tuple_limit: int = _DEFAULT_TUPLE_LIMIT
 ) -> Tuple[MixedConfiguration, LPSolution]:
     """A mixed NE of the weighted game from the LP optima.
 
     ``solution.value`` is the per-attacker *escape* profit at equilibrium.
+    Cache-aware: with :mod:`repro.cache` enabled, a repeated solve of the
+    same weighted game (same weights — the fingerprint carries them) and
+    ``tuple_limit`` replays the stored result, and the ledger record is
+    stamped with ``cache_hit``.
     """
-    solution = weighted_minimax(game, tuple_limit=tuple_limit)
-    config = MixedConfiguration(
-        game.base, [solution.attacker] * game.nu, solution.defender
+    probe = result_cache.lookup(
+        game, "weighted.lp_equilibrium", {"tuple_limit": tuple_limit}
     )
+    with obs_ledger.run("weighted.lp_equilibrium", game=game,
+                        tuple_limit=tuple_limit, cache_hit=probe.hit):
+        if probe.hit:
+            cached = probe.replay(weighted_lp_result_from_json)
+            if cached is not None:
+                return cached
+        solution = weighted_minimax(game, tuple_limit=tuple_limit)
+        config = MixedConfiguration(
+            game.base, [solution.attacker] * game.nu, solution.defender
+        )
+        probe.store(weighted_lp_result_to_json(config, solution))
     return config, solution
 
 
@@ -257,7 +391,31 @@ def weighted_double_oracle(
     attacker oracle maximizing the escape profit ``w(v)(1 − hit(v))``.
 
     Returns ``(equilibrium configuration, escape value per attacker)``.
+    Cache-aware like :func:`weighted_lp_equilibrium`.
     """
+    probe = result_cache.lookup(
+        game, "weighted.double_oracle",
+        {"tolerance": tolerance, "max_iterations": max_iterations},
+    )
+    with obs_ledger.run("weighted.double_oracle", game=game,
+                        tolerance=tolerance, max_iterations=max_iterations,
+                        cache_hit=probe.hit):
+        if probe.hit:
+            cached = probe.replay(weighted_do_result_from_json)
+            if cached is not None:
+                return cached
+        config, value = _weighted_double_oracle_impl(
+            game, tolerance, max_iterations
+        )
+        probe.store(weighted_do_result_to_json(config, value))
+    return config, value
+
+
+def _weighted_double_oracle_impl(
+    game: WeightedTupleGame,
+    tolerance: float,
+    max_iterations: int,
+) -> Tuple[MixedConfiguration, float]:
     import numpy as np
     from scipy.optimize import linprog
 

@@ -1,0 +1,375 @@
+"""Tests for the content-addressed solve-result cache (repro.cache)."""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+import pytest
+
+import repro.cache as result_cache
+from repro.cache.keys import cache_key, game_sha256, params_json
+from repro.cache.migrations import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    CacheSchemaError,
+    apply_migrations,
+)
+from repro.cache.store import ResultCache
+from repro.core.game import TupleGame
+from repro.core.serialize import configuration_to_json, solve_result_to_json
+from repro.equilibria.solve import solve_game
+from repro.graphs.generators import complete_bipartite_graph, grid_graph
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics
+from repro.solvers.double_oracle import double_oracle
+from repro.solvers.fictitious_play import fictitious_play
+from repro.weighted.game import (
+    WeightedTupleGame,
+    weighted_double_oracle,
+    weighted_lp_equilibrium,
+)
+
+
+@pytest.fixture(autouse=True)
+def _cache_off():
+    """Every test starts and ends with the cache disabled and clean metrics."""
+    result_cache.disable_cache()
+    metrics.get_registry().reset()
+    yield
+    result_cache.disable_cache()
+    metrics.get_registry().reset()
+
+
+@pytest.fixture
+def game():
+    return TupleGame(complete_bipartite_graph(2, 4), k=2, nu=3)
+
+
+def _counter(name):
+    return metrics.get_registry().snapshot()["counters"].get(name, 0)
+
+
+# --------------------------------------------------------------------------
+# key derivation
+
+
+class TestKeys:
+    def test_fingerprint_matches_ledger(self, game):
+        assert game_sha256(game) == obs_ledger.fingerprint_game(game)["sha256"]
+
+    def test_distinct_weights_distinct_fingerprints(self):
+        graph = complete_bipartite_graph(2, 3)
+        base = {v: 1.0 for v in graph.vertices()}
+        other = dict(base)
+        other[graph.sorted_vertices()[0]] = 2.0
+        a = WeightedTupleGame(graph, 2, base)
+        b = WeightedTupleGame(graph, 2, other)
+        assert game_sha256(a) != game_sha256(b)
+
+    def test_params_json_is_canonical(self):
+        assert params_json({"b": 1, "a": 2}) == params_json({"a": 2, "b": 1})
+
+    def test_key_separates_every_component(self):
+        base = cache_key("f", "s", params_json({"x": 1}))
+        assert cache_key("g", "s", params_json({"x": 1})) != base
+        assert cache_key("f", "t", params_json({"x": 1})) != base
+        assert cache_key("f", "s", params_json({"x": 2})) != base
+
+    def test_key_resists_concatenation_ambiguity(self):
+        # Without length prefixes these two triples would hash the
+        # same byte stream.
+        assert cache_key("ab", "c", "{}") != cache_key("a", "bc", "{}")
+
+
+# --------------------------------------------------------------------------
+# migrations
+
+
+class TestMigrations:
+    def test_fresh_store_reaches_current_schema(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            assert store.stats()["schema_version"] == SCHEMA_VERSION
+        finally:
+            store.close()
+
+    def test_migrations_are_idempotent(self, tmp_path):
+        conn = sqlite3.connect(str(tmp_path / "c.sqlite3"))
+        try:
+            assert apply_migrations(conn) == [v for v, _ in MIGRATIONS]
+            assert apply_migrations(conn) == []
+        finally:
+            conn.close()
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        conn = sqlite3.connect(str(path))
+        with conn:
+            for statement in MIGRATIONS[0][1]:
+                conn.execute(statement)
+            conn.execute("PRAGMA user_version = 1")
+            conn.execute(
+                "INSERT INTO cache_entries (key, fingerprint, solver, "
+                "params, payload, size_bytes, created_at, last_access) "
+                "VALUES ('k', 'f', 's', '{}', 'p', 1, 0, 0)"
+            )
+        conn.close()
+        store = ResultCache(path)
+        try:
+            # The v1 row survives and picks up the v2 hits column.
+            assert store.stats()["schema_version"] == SCHEMA_VERSION
+            assert store.stats()["entries"] == 1
+            assert store.entries()[0]["hits"] == 0
+        finally:
+            store.close()
+
+    def test_newer_store_is_refused(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        conn = sqlite3.connect(str(path))
+        with conn:
+            conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(CacheSchemaError):
+            ResultCache(path)
+
+
+# --------------------------------------------------------------------------
+# store CRUD + eviction
+
+
+class TestStore:
+    def test_probe_miss_then_hit(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            assert store.probe("f", "s", {"x": 1}) is None
+            store.store("f", "s", {"x": 1}, "payload")
+            assert store.probe("f", "s", {"x": 1}) == "payload"
+            assert _counter("cache.misses.count") == 1
+            assert _counter("cache.hits.count") == 1
+            assert store.entries()[0]["hits"] == 1
+        finally:
+            store.close()
+
+    def test_store_refresh_overwrites(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            store.store("f", "s", {}, "old")
+            store.store("f", "s", {}, "newer")
+            assert store.probe("f", "s", {}) == "newer"
+            assert store.stats()["entries"] == 1
+        finally:
+            store.close()
+
+    def test_lru_eviction_by_entry_count(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3", max_entries=2)
+        try:
+            store.store("a", "s", {}, "pa")
+            time.sleep(0.002)
+            store.store("b", "s", {}, "pb")
+            time.sleep(0.002)
+            store.probe("a", "s", {})  # bump a's LRU clock past b's
+            time.sleep(0.002)
+            store.store("c", "s", {}, "pc")
+            assert store.probe("b", "s", {}) is None  # b was the LRU
+            assert store.probe("a", "s", {}) == "pa"
+            assert store.probe("c", "s", {}) == "pc"
+            assert _counter("cache.evictions.count") == 1
+        finally:
+            store.close()
+
+    def test_eviction_by_size(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3", max_bytes=100)
+        try:
+            store.store("a", "s", {}, "x" * 80)
+            time.sleep(0.002)
+            store.store("b", "s", {}, "y" * 80)
+            stats = store.stats()
+            assert stats["entries"] == 1
+            assert stats["bytes"] <= 100
+            assert store.probe("b", "s", {}) == "y" * 80
+        finally:
+            store.close()
+
+    def test_gc_by_age_and_solver(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            store.store("a", "alpha", {}, "pa")
+            store.store("b", "beta", {}, "pb")
+            assert store.gc(max_age_s=0.0, solver="alpha") == 1
+            assert store.probe("b", "beta", {}) == "pb"
+            assert store.gc(max_age_s=0.0) == 1
+            assert store.stats()["entries"] == 0
+        finally:
+            store.close()
+
+    def test_stats_per_solver_breakdown(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            store.store("a", "alpha", {}, "pa")
+            store.store("b", "alpha", {"q": 1}, "pb")
+            store.store("c", "beta", {}, "pc")
+            solvers = store.stats()["solvers"]
+            assert solvers["alpha"]["entries"] == 2
+            assert solvers["beta"]["entries"] == 1
+        finally:
+            store.close()
+
+    def test_entries_filters_by_prefix_and_solver(self, tmp_path):
+        store = ResultCache(tmp_path / "c.sqlite3")
+        try:
+            key = store.store("a", "alpha", {}, "pa")
+            store.store("b", "beta", {}, "pb")
+            assert [e["key"] for e in store.entries(key_prefix=key[:12])] \
+                == [key]
+            assert [e["solver"] for e in store.entries(solver="beta")] \
+                == ["beta"]
+        finally:
+            store.close()
+
+
+# --------------------------------------------------------------------------
+# the process-global facade
+
+
+class TestFacade:
+    def test_disabled_lookup_is_shared_noop(self, game):
+        probe = result_cache.lookup(game, "equilibria.solve", {})
+        assert probe is result_cache.lookup(game, "equilibria.solve", {})
+        assert not probe.hit
+        probe.store("ignored")  # must not create any store
+        assert _counter("cache.stores.count") == 0
+        assert _counter("cache.misses.count") == 0
+
+    def test_enable_disable_roundtrip(self, tmp_path):
+        assert not result_cache.cache_enabled()
+        result_cache.enable_cache(tmp_path)
+        assert result_cache.cache_enabled()
+        assert result_cache.cache_directory() == tmp_path
+        result_cache.disable_cache()
+        assert not result_cache.cache_enabled()
+
+    def test_env_opt_in(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        state = result_cache._CacheState()
+        assert state.enabled
+        assert state.directory == tmp_path
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_CACHE", value)
+            assert not result_cache._CacheState().enabled
+
+    def test_replay_demotes_bad_payload_to_miss(self, tmp_path, game):
+        result_cache.enable_cache(tmp_path)
+        solve_game(game)
+        store = result_cache.get_cache()
+        with store._lock:
+            with store._conn:
+                store._conn.execute(
+                    "UPDATE cache_entries SET payload = 'not json'")
+        probe = result_cache.lookup(
+            game, "equilibria.solve",
+            {"seed": 0, "allow_extensions": True})
+        assert probe.hit
+        assert probe.replay(lambda text: (_ for _ in ()).throw(
+            ValueError("boom"))) is None
+        assert not probe.hit
+        assert _counter("cache.errors.count") == 1
+
+
+# --------------------------------------------------------------------------
+# solver integration: byte-identical replay
+
+
+class TestSolverReplay:
+    def test_solve_game_replays_byte_identically(self, tmp_path, game):
+        reference = solve_result_to_json(solve_game(game))
+        result_cache.enable_cache(tmp_path)
+        cold = solve_result_to_json(solve_game(game))
+        hot = solve_result_to_json(solve_game(game))
+        assert cold == reference  # enabled-cold == disabled
+        assert hot == cold
+        assert _counter("cache.hits.count") == 1
+
+    def test_double_oracle_replays_equal_result(self, tmp_path):
+        game = TupleGame(grid_graph(2, 3), k=2, nu=1)
+        cold = double_oracle(game)
+        result_cache.enable_cache(tmp_path)
+        double_oracle(game)
+        hot = double_oracle(game)
+        assert _counter("cache.hits.count") == 1
+        assert hot.value == cold.value
+        assert hot.solution.defender == cold.solution.defender
+        assert hot.solution.attacker == cold.solution.attacker
+        assert hot.iterations == cold.iterations
+        assert hot.gap_history == cold.gap_history
+        assert hot.exact == cold.exact
+
+    def test_fictitious_play_replays_equal_result(self, tmp_path):
+        game = TupleGame(grid_graph(2, 3), k=2, nu=1)
+        cold = fictitious_play(game, rounds=20)
+        result_cache.enable_cache(tmp_path)
+        fictitious_play(game, rounds=20)
+        hot = fictitious_play(game, rounds=20)
+        assert _counter("cache.hits.count") == 1
+        assert hot.rounds == cold.rounds
+        assert hot.lower_bound == cold.lower_bound
+        assert hot.upper_bound == cold.upper_bound
+        assert hot.history == cold.history
+
+    def test_param_change_is_a_different_entry(self, tmp_path, game):
+        result_cache.enable_cache(tmp_path)
+        solve_game(game, seed=0)
+        solve_game(game, seed=1)
+        assert _counter("cache.hits.count") == 0
+        assert result_cache.get_cache().stats()["entries"] == 2
+
+    def test_weighted_games_never_share_entries(self, tmp_path):
+        graph = complete_bipartite_graph(2, 3)
+        base = {v: 1.0 for v in graph.vertices()}
+        other = dict(base)
+        other[graph.sorted_vertices()[0]] = 2.0
+        a = WeightedTupleGame(graph, 2, base)
+        b = WeightedTupleGame(graph, 2, other)
+        result_cache.enable_cache(tmp_path)
+        _, sol_a = weighted_lp_equilibrium(a)
+        _, sol_b = weighted_lp_equilibrium(b)
+        assert _counter("cache.hits.count") == 0
+        assert result_cache.get_cache().stats()["entries"] == 2
+        # Replays restore each game's own value, not the other's.
+        _, sol_a2 = weighted_lp_equilibrium(a)
+        _, sol_b2 = weighted_lp_equilibrium(b)
+        assert _counter("cache.hits.count") == 2
+        assert sol_a2.value == sol_a.value
+        assert sol_b2.value == sol_b.value
+        # The two games' solutions are genuinely different objects
+        # (different supports), so a shared entry would have been caught.
+        assert sol_a.defender != sol_b.defender
+
+    def test_weighted_double_oracle_replays(self, tmp_path):
+        graph = complete_bipartite_graph(2, 3)
+        game = WeightedTupleGame(
+            graph, 2, {v: 1.5 for v in graph.vertices()})
+        cold_config, cold_value = weighted_double_oracle(game)
+        result_cache.enable_cache(tmp_path)
+        weighted_double_oracle(game)
+        hot_config, hot_value = weighted_double_oracle(game)
+        assert _counter("cache.hits.count") == 1
+        assert hot_value == cold_value
+        assert configuration_to_json(hot_config) \
+            == configuration_to_json(cold_config)
+
+    def test_cache_hit_stamped_in_ledger(self, tmp_path, game):
+        obs_ledger.enable_ledger(tmp_path / "ledger")
+        result_cache.enable_cache(tmp_path / "cache")
+        try:
+            solve_game(game)
+            solve_game(game)
+        finally:
+            obs_ledger.disable_ledger()
+        runs = obs_ledger.read_runs(directory=tmp_path / "ledger",
+                                    entry_point="equilibria.solve")
+        stamps = sorted(r["attributes"]["cache_hit"] for r in runs)
+        assert stamps == [False, True]

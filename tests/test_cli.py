@@ -415,3 +415,68 @@ class TestWatch:
             ["watch", "--file", str(tmp_path / "absent.json")]
         ) == 0
         assert "missing" in capsys.readouterr().out
+
+
+class TestCache:
+    @pytest.fixture(autouse=True)
+    def _cache_off(self):
+        import repro.cache as result_cache
+
+        result_cache.disable_cache()
+        yield
+        result_cache.disable_cache()
+
+    @pytest.fixture
+    def populated(self, grid_file, tmp_path, capsys):
+        """A cache directory populated by one --cache-dir solve."""
+        cache_dir = str(tmp_path / "cache")
+        assert main(["solve", grid_file, "-k", "3",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_cache_dir_solve_populates_and_replays(self, grid_file,
+                                                   populated, capsys):
+        from repro.obs import metrics
+
+        metrics.get_registry().reset()
+        assert main(["solve", grid_file, "-k", "3",
+                     "--cache-dir", populated]) == 0
+        snapshot = metrics.get_registry().snapshot()["counters"]
+        assert snapshot.get("cache.hits.count") == 1
+
+    def test_stats_text_and_json(self, populated, capsys):
+        assert main(["cache", "stats", "--dir", populated]) == 0
+        out = capsys.readouterr().out
+        assert "equilibria.solve" in out
+        assert main(["cache", "stats", "--dir", populated,
+                     "--format", "json"]) == 0
+        import json as _json
+
+        stats = _json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["solvers"]["equilibria.solve"]["entries"] == 1
+
+    def test_lookup_lists_entries(self, populated, capsys):
+        assert main(["cache", "lookup", "--dir", populated,
+                     "--solver", "equilibria.solve"]) == 0
+        assert "1 matching" in capsys.readouterr().out
+        assert main(["cache", "lookup", "--dir", populated,
+                     "--solver", "nope"]) == 0
+        assert "0 matching" in capsys.readouterr().out
+
+    def test_gc_empties_store(self, populated, capsys):
+        assert main(["cache", "gc", "--dir", populated,
+                     "--max-age", "0"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", populated,
+                     "--format", "json"]) == 0
+        import json as _json
+
+        assert _json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_subcommand_never_enables_memoization(self, populated):
+        import repro.cache as result_cache
+
+        assert main(["cache", "stats", "--dir", populated]) == 0
+        assert not result_cache.cache_enabled()

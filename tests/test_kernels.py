@@ -206,6 +206,18 @@ class TestSharedCache:
         clear_shared_oracles()
         assert shared_oracle(graph, 2) is not before
 
+    def test_clear_resets_size_gauge(self):
+        # Regression: clear_shared_oracles() used to leave the
+        # perf.kernel.cache.size gauge at its pre-clear value, reporting
+        # phantom cached oracles until the next miss.
+        from repro.obs import metrics
+
+        shared_oracle(path_graph(5), 2)
+        shared_oracle(path_graph(6), 2)
+        assert metrics.gauge("perf.kernel.cache.size").value >= 2
+        clear_shared_oracles()
+        assert metrics.gauge("perf.kernel.cache.size").value == 0
+
 
 class TestCoverageViews:
     def test_coverage_sets_match_tuple_vertices(self):

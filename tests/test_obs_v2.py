@@ -465,3 +465,60 @@ class TestMigration:
             watchdog.load_history_document(path)["schema"]
             == watchdog.SCHEMA_V2
         )
+
+
+class TestCanonicalJson:
+    """The explicit canonicalizer behind run ids and cache keys.
+
+    Regression: the encoder previously leaned on ``json.dumps(...,
+    default=str)``, so sets hashed in ``PYTHONHASHSEED``-dependent
+    iteration order, NaN/Infinity leaked as non-RFC tokens, and unknown
+    types were silently stringified into near-miss identities.
+    """
+
+    def test_key_order_independent(self):
+        assert ledger.canonical_json({"b": 1, "a": 2}) \
+            == ledger.canonical_json({"a": 2, "b": 1})
+
+    def test_sets_sorted_independent_of_insertion(self):
+        forward = ledger.canonical_json({"s": {1, 2, 3, 10}})
+        backward = ledger.canonical_json({"s": frozenset([10, 3, 2, 1])})
+        assert forward == backward
+        assert json.loads(forward)["s"] == sorted(
+            json.loads(forward)["s"],
+            key=lambda m: json.dumps(m, sort_keys=True))
+
+    def test_mixed_type_sets_are_deterministic(self):
+        # Sorted by canonical JSON encoding, not by hash order.
+        a = ledger.canonical_json({"s": {1, "1", 2.5}})
+        b = ledger.canonical_json({"s": {"1", 2.5, 1}})
+        assert a == b
+
+    def test_nonfinite_floats_tagged(self):
+        text = ledger.canonical_json(
+            [float("nan"), float("inf"), float("-inf")])
+        assert "NaN" not in text and "Infinity" not in text
+        assert json.loads(text) == [
+            {"__nonfinite__": "nan"},
+            {"__nonfinite__": "inf"},
+            {"__nonfinite__": "-inf"},
+        ]
+
+    def test_unknown_types_raise(self):
+        with pytest.raises(TypeError):
+            ledger.canonical_json({"x": object()})
+        with pytest.raises(TypeError):
+            ledger.canonical_json({1: "non-string key"})
+
+    def test_tuples_encode_as_lists(self):
+        assert ledger.canonical_json((1, 2)) == ledger.canonical_json([1, 2])
+
+    def test_sha256_matches_canonical_text(self):
+        import hashlib
+
+        payload = {"z": {3, 1}, "a": [1.5, "x"]}
+        expected = hashlib.sha256(
+            ledger.canonical_json(payload).encode("utf-8")).hexdigest()
+        assert ledger.canonical_sha256(payload) == expected
+        # The private alias older tools import still points at it.
+        assert ledger._canonical_sha256(payload) == expected

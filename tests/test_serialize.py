@@ -157,3 +157,63 @@ class TestNonIntegerLabels:
         payload = json.loads(solve_result_to_json(solve_game(game)))
         restored = configuration_from_json(json.dumps(payload))
         assert is_mixed_nash(restored.game, restored)
+
+
+class TestWeightedGameIdentity:
+    """Regression: the weighted model is part of the serialized identity.
+
+    ``_game_payload`` used to serialize only ``(vertices, edges, k, nu)``,
+    so two ``WeightedTupleGame``s differing only in weights produced
+    identical documents (and identical ledger/cache fingerprints), and
+    the round trip silently downgraded a weighted game to a plain
+    ``TupleGame``.  Weighted games now carry a ``model`` discriminator
+    and their weight vector; plain games keep the historical byte format.
+    """
+
+    def _weighted_pair(self):
+        from repro.weighted.game import WeightedTupleGame
+
+        graph = complete_bipartite_graph(2, 3)
+        base = {v: 1.0 + 0.25 * i
+                for i, v in enumerate(graph.sorted_vertices())}
+        other = dict(base)
+        other[graph.sorted_vertices()[0]] += 1.0
+        return (WeightedTupleGame(graph, 2, base),
+                WeightedTupleGame(graph, 2, other))
+
+    def test_roundtrip_preserves_weighted_type(self):
+        from repro.core.serialize import game_from_json, game_to_json
+        from repro.weighted.game import WeightedTupleGame
+
+        game, _ = self._weighted_pair()
+        restored = game_from_json(game_to_json(game))
+        assert isinstance(restored, WeightedTupleGame)
+        assert restored.weights == game.weights
+        assert restored.k == game.k and restored.nu == game.nu
+        # Canonical: re-dump reproduces the document byte for byte.
+        assert game_to_json(restored) == game_to_json(game)
+
+    def test_distinct_weights_distinct_fingerprints(self):
+        import hashlib
+
+        from repro.core.serialize import game_to_json
+        from repro.obs.ledger import fingerprint_game
+
+        a, b = self._weighted_pair()
+        assert game_to_json(a) != game_to_json(b)
+        sha_a = hashlib.sha256(
+            game_to_json(a).encode("utf-8")).hexdigest()
+        assert fingerprint_game(a)["sha256"] == sha_a
+        assert fingerprint_game(a)["sha256"] != fingerprint_game(b)["sha256"]
+        assert fingerprint_game(a)["kind"] == "weighted-tuple-game"
+
+    def test_plain_game_document_unchanged(self):
+        from repro.core.serialize import game_from_json, game_to_json
+        from repro.obs.ledger import fingerprint_game
+
+        game = TupleGame(grid_graph(2, 3), 2, nu=2)
+        payload = json.loads(game_to_json(game))
+        assert "model" not in payload
+        assert "weights" not in payload
+        assert fingerprint_game(game)["kind"] == "tuple-game"
+        assert isinstance(game_from_json(game_to_json(game)), TupleGame)

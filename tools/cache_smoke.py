@@ -1,0 +1,134 @@
+"""End-to-end smoke test for the result cache (``make cache-smoke``).
+
+Replays the full cache lifecycle on the committed fixture games in
+``tests/fixtures/cache/``:
+
+1. solve the plain fixture with the cache **disabled** — the reference
+   bytes the cached path must reproduce exactly;
+2. enable a throwaway store, solve **cold** (miss + store), then solve
+   again and require a **hit** whose serialized result is byte-identical
+   to both the cold run and the cache-disabled reference, with
+   ``cache.hits.count == 1``;
+3. solve the two weighted fixtures (differing only in vertex weights)
+   and require distinct fingerprints *and* distinct cache entries —
+   the regression this PR-line exists to prevent;
+4. ``gc`` the store empty and require the next solve to **miss** again.
+
+Exits non-zero on any failure, so the ``ci`` Makefile target catches a
+cache that returns stale or wrong-identity results the moment it rots.
+
+Usage::
+
+    python tools/cache_smoke.py        # or: make cache-smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # no editable install: use the in-tree sources
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+FIXTURE_DIR = (
+    Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "cache"
+)
+
+
+def _counter(name: str) -> int:
+    from repro.obs import get_registry
+
+    return int(get_registry().snapshot()["counters"].get(name, 0))
+
+
+def run_smoke() -> list:
+    """Return a list of failure messages (empty = healthy)."""
+    import repro.cache as result_cache
+    from repro.cache.keys import game_sha256
+    from repro.core.serialize import game_from_json, solve_result_to_json
+    from repro.equilibria.solve import solve_game
+    from repro.obs import get_registry
+    from repro.weighted.game import weighted_lp_equilibrium
+
+    failures = []
+    game = game_from_json(
+        (FIXTURE_DIR / "tuple_game.json").read_text(encoding="utf-8"))
+    weighted_a = game_from_json(
+        (FIXTURE_DIR / "weighted_game_a.json").read_text(encoding="utf-8"))
+    weighted_b = game_from_json(
+        (FIXTURE_DIR / "weighted_game_b.json").read_text(encoding="utf-8"))
+
+    # Weighted identity: weights are part of the content address.
+    if game_sha256(weighted_a) == game_sha256(weighted_b):
+        failures.append(
+            "weighted fixtures differing only in weights share a "
+            "fingerprint — the content address is weight-blind again")
+
+    get_registry().reset()
+    reference = solve_result_to_json(solve_game(game))
+    if _counter("cache.hits.count") or _counter("cache.misses.count"):
+        failures.append("cache counters fired while the cache was disabled")
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        result_cache.enable_cache(tmp)
+        try:
+            cold = solve_result_to_json(solve_game(game))
+            if cold != reference:
+                failures.append("cold cached solve is not byte-identical "
+                                "to the cache-disabled solve")
+            hot = solve_result_to_json(solve_game(game))
+            if hot != cold:
+                failures.append("cache hit replayed a result that is not "
+                                "byte-identical to the cold solve")
+            if _counter("cache.hits.count") != 1:
+                failures.append(
+                    f"expected exactly 1 cache hit after the replay, got "
+                    f"{_counter('cache.hits.count')}")
+
+            weighted_lp_equilibrium(weighted_a)
+            weighted_lp_equilibrium(weighted_b)
+            store = result_cache.get_cache()
+            entries = store.stats()["entries"]
+            if entries != 3:
+                failures.append(
+                    f"expected 3 cache entries (1 solve + 2 weighted "
+                    f"games), found {entries} — distinct weights must "
+                    "yield distinct entries")
+
+            removed = store.gc(max_age_s=0.0)
+            if store.stats()["entries"] != 0:
+                failures.append(
+                    f"gc(max_age_s=0) left {store.stats()['entries']} "
+                    f"entries (removed {removed})")
+            misses_before = _counter("cache.misses.count")
+            after_gc = solve_result_to_json(solve_game(game))
+            if _counter("cache.misses.count") != misses_before + 1:
+                failures.append("solve after gc did not miss the cache")
+            if after_gc != reference:
+                failures.append("solve after gc is not byte-identical to "
+                                "the reference")
+        finally:
+            result_cache.disable_cache()
+    return failures
+
+
+def main() -> int:
+    if not FIXTURE_DIR.is_dir():
+        print(f"FAIL: fixture directory {FIXTURE_DIR} is missing",
+              file=sys.stderr)
+        return 1
+    failures = run_smoke()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cache smoke OK: cold/hit byte-identical, weighted identities "
+          "distinct, gc returns the store to cold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,17 @@ REQUIRED_COUNTERS = (
     "simulation.trials.count",
     "hopcroft_karp.matchings.count",
     "blossom.matchings.count",
+    # The workload solves the same game twice with the result cache
+    # enabled, so both faces of the cache must have fired.
+    "cache.misses.count",
+    "cache.hits.count",
+)
+
+#: Ledger entry points that must stamp a boolean ``cache_hit`` attribute.
+CACHED_ENTRY_POINTS = (
+    "equilibria.solve",
+    "solvers.double_oracle",
+    "solvers.fictitious_play",
 )
 
 
@@ -64,8 +75,16 @@ FIXTURE_LEDGER_DIR = (
 )
 
 
-def run_workload(ledger_dir: Path, events_dir: Path) -> None:
-    """Exercise every instrumented layer once: tracing + ledger + events."""
+def run_workload(ledger_dir: Path, events_dir: Path,
+                 cache_dir: Path) -> None:
+    """Exercise every instrumented layer once: tracing + ledger + events.
+
+    The result cache is enabled for the whole workload, and the solve
+    cascade runs twice — once cold (populating the store) and once as a
+    replay — so the ledger carries both ``cache_hit`` polarities and the
+    hit/miss counters both fire.
+    """
+    import repro.cache as result_cache
     from repro.core.game import TupleGame
     from repro.equilibria.solve import solve_game
     from repro.graphs.generators import complete_bipartite_graph
@@ -81,13 +100,16 @@ def run_workload(ledger_dir: Path, events_dir: Path) -> None:
     clear_trace()
     obs_ledger.enable_ledger(ledger_dir)
     obs_events.enable_events(events_dir)
+    result_cache.enable_cache(cache_dir)
     try:
         game = TupleGame(complete_bipartite_graph(2, 4), k=2, nu=3)
         result = solve_game(game)
+        solve_game(game)  # replayed from the cache: cache_hit=True
         simulate(game, result.mixed, trials=2_000, seed=0)
         double_oracle(game)
         fictitious_play(game, rounds=30)
     finally:
+        result_cache.disable_cache()
         obs_events.disable_events()
         obs_ledger.disable_ledger()
         enable_tracing(False)
@@ -175,6 +197,27 @@ def check_ledger(ledger_dir: Path) -> list:
             )
         if resources.get("rss_bytes", 0) <= 0:
             failures.append(f"ledger record {rid}: rss_bytes not positive")
+    # Every solver entry point probes the result cache before opening
+    # its ledger run, so the record must stamp a boolean ``cache_hit``
+    # — and the twice-solved workload must show both polarities.
+    cache_hits = []
+    for record in records:
+        if record.get("entry_point") not in CACHED_ENTRY_POINTS:
+            continue
+        rid = record.get("run_id", "?")
+        hit = (record.get("attributes") or {}).get("cache_hit")
+        if not isinstance(hit, bool):
+            failures.append(
+                f"ledger record {rid}: attributes.cache_hit is {hit!r}, "
+                "expected a boolean"
+            )
+            continue
+        cache_hits.append(hit)
+    if True not in cache_hits:
+        failures.append("no ledger record stamped cache_hit=true (the "
+                        "replayed solve should have hit the cache)")
+    if False not in cache_hits:
+        failures.append("no ledger record stamped cache_hit=false")
     solve = next(r for r in records
                  if r.get("entry_point") == "equilibria.solve")
     fp = solve.get("fingerprint") or {}
@@ -355,7 +398,8 @@ def main(argv=None) -> int:
         return report_smoke()
     with tempfile.TemporaryDirectory(prefix="repro-obs-check-") as tmp:
         tmp_dir = Path(tmp)
-        run_workload(tmp_dir / "ledger", tmp_dir / "events")
+        run_workload(tmp_dir / "ledger", tmp_dir / "events",
+                     tmp_dir / "cache")
         failures = check()
         failures += check_ledger(tmp_dir / "ledger")
         failures += check_events(tmp_dir / "events")
