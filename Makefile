@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch cache-smoke fuzz-smoke obs-check report-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch bench-serve bench-serve-baseline cache-smoke fuzz-smoke obs-check report-smoke serve-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -39,6 +39,21 @@ bench-watch:
 ## distinct weighted identities -> gc -> miss, on the committed fixtures
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
+
+## HTTP solve-service gate: ephemeral-port boot, one request per
+## endpoint plus one invalid, then metrics + ledger-record assertions
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
+
+## load-generate against the service and fail on a p95 regression versus
+## the committed BENCH_SERVE.json snapshot
+bench-serve:
+	$(PYTHON) tools/bench_serve.py --check
+
+## re-baseline BENCH_SERVE.json from the current request profiles
+## (appends one history entry keyed by the current git revision)
+bench-serve-baseline:
+	$(PYTHON) tools/bench_serve.py --write
 
 ## differential fuzz gate: replay the counterexample corpus, then a
 ## fixed-seed fresh batch across every solver path (deterministic, <60s)
@@ -95,5 +110,6 @@ mypy:
 
 ## the full CI gate: static analysis, types, instrumentation smoke test,
 ## report rendering, docs freshness, tier-1 tests, hot-path perf smoke,
-## perf watchdog, result-cache lifecycle, differential fuzz
-ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch cache-smoke fuzz-smoke
+## perf watchdog, result-cache lifecycle, solve-service lifecycle,
+## differential fuzz
+ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch cache-smoke serve-smoke fuzz-smoke

@@ -455,6 +455,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict age-based eviction to this solver's entries",
     )
 
+    # serve takes no graph — clients POST canonical game JSON to it.
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP solve service (POST /solve, /double-oracle, "
+             "/fictitious-play, /ranges; GET /healthz, /metrics)",
+        parents=[obs_parent],
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8400,
+        help="bind port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="solver worker threads (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="requests allowed to wait beyond the running ones before "
+             "429s are served (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request solver deadline; exceeding it returns 504 "
+             "(default: %(default)s)",
+    )
+
     return parser
 
 
@@ -760,6 +789,32 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP solve service in the foreground until interrupted."""
+    import asyncio
+
+    from repro.serve import DefenderService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, request_timeout_s=args.timeout,
+    )
+    service = DefenderService(config)
+
+    async def _run() -> None:
+        await service.start()
+        _emit(f"serving on http://{config.host}:{service.port} "
+              f"({config.workers} workers, queue {config.queue_limit}, "
+              f"timeout {config.request_timeout_s:g}s) — Ctrl-C to stop")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        _emit("serve: interrupted, shutting down")
+    return 0
+
+
 def _cmd_ledger_stats(args: argparse.Namespace) -> int:
     directory = args.ledger_query_dir
     records = obs_ledger.read_runs(directory=directory)
@@ -995,6 +1050,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = _cmd_ledger(args)
         elif args.command == "cache":
             code = _cmd_cache(args)
+        elif args.command == "serve":
+            code = _cmd_serve(args)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)

@@ -202,7 +202,17 @@ def _solve_game_impl(
     rho = minimum_edge_cover_size(game.graph)
     if game.k >= rho:
         pure = find_pure_nash(game)
-        assert pure is not None  # guaranteed by k >= rho and k <= m
+        if pure is None:
+            # Theorem 3.1 guarantees a pure NE whenever k >= rho(G) (and
+            # k <= m by construction), so this state is unreachable on a
+            # correct build.  Raise explicitly rather than `assert`: under
+            # `python -O` an assert vanishes and the impossible state
+            # would resurface as an AttributeError deep inside
+            # SolveResult, far from the broken invariant.
+            raise GameError(
+                f"internal invariant violated: k={game.k} >= rho={rho} "
+                "but find_pure_nash returned no equilibrium (Theorem 3.1)"
+            )
         return SolveResult("pure", MixedConfiguration.from_pure(pure), pure, None)
 
     partition = find_partition(game.graph, seed=seed)

@@ -106,6 +106,7 @@ class LintConfig:
                 "repro.simulation.fast",
                 "repro.equilibria.solve",
                 "repro.fuzz.runner",
+                "repro.serve.",
                 "repro.obs.ledger",
                 "repro.obs.prof",
                 "repro.obs.watchdog",
@@ -149,6 +150,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "repro.analysis": 6,
     "repro.lint": 6,
     "repro.fuzz": 6,
+    "repro.serve": 7,
     "repro.cli": 7,
     "repro": 8,
 }

@@ -1,0 +1,46 @@
+"""``repro.serve`` — the solve service over the canonical JSON schema.
+
+A zero-heavy-dependency asyncio HTTP service exposing the equilibrium
+machinery to other processes: ``POST /solve``, ``POST /double-oracle``,
+``POST /fictitious-play`` and ``POST /ranges`` accept the canonical game
+document (:mod:`repro.core.serialize`) plus per-endpoint parameters, and
+``GET /healthz`` / ``GET /metrics`` expose liveness and the Prometheus
+snapshot.  See ``docs/serving.md`` for the wire contract
+(``repro.serve/response/v1`` envelopes, ``repro.serve/error/v1``
+errors) and the backpressure model.
+
+Start it from the CLI::
+
+    repro-defender serve --port 8400 --workers 2
+
+or embed it::
+
+    from repro.serve import ServeConfig, running_service
+
+    with running_service(ServeConfig(port=0)) as (service, base_url):
+        ...  # POST canonical game JSON at f"{base_url}/solve"
+"""
+
+from repro.serve.app import DefenderService, ServeConfig, running_service
+from repro.serve.routes import ENDPOINTS
+from repro.serve.schemas import (
+    ERROR_SCHEMA,
+    RESPONSE_SCHEMA,
+    RequestError,
+    error_payload,
+    parse_request,
+)
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "DefenderService",
+    "ServeConfig",
+    "running_service",
+    "ENDPOINTS",
+    "ERROR_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "RequestError",
+    "error_payload",
+    "parse_request",
+    "WorkerPool",
+]

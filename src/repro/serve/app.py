@@ -1,0 +1,335 @@
+"""The solve service itself: a stdlib-only asyncio HTTP/1.1 server.
+
+No FastAPI, no uvicorn — the container bakes in the scientific stack and
+nothing else, and the wire surface here is small enough that a strict
+little HTTP/1.1 parser (``Content-Length`` bodies, ``Connection:
+close``) is both sufficient and auditable.  The event loop only ever
+parses, validates and serves cache hits; solver work runs on the
+:class:`~repro.serve.workers.WorkerPool` behind an admission limit, with
+a per-request deadline enforced by ``asyncio.wait_for``.
+
+``GET /healthz`` reports liveness plus pool occupancy; ``GET /metrics``
+re-serializes the process-global registry in Prometheus text format —
+the same bytes ``repro-defender stats --format prom`` emits, so one
+scrape config covers CLI batch runs and the service.
+
+:func:`running_service` runs the whole thing on a background thread and
+yields the base URL — the harness used by the tests, the smoke check and
+the load generator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.obs import get_logger, metrics
+from repro.obs.metrics import get_registry
+
+from repro.serve.routes import prepare
+from repro.serve.schemas import RequestError, error_payload
+from repro.serve.workers import WorkerPool
+
+__all__ = ["ServeConfig", "DefenderService", "running_service"]
+
+_log = get_logger("repro.serve.app")
+
+_MAX_HEADER_BYTES = 64 * 1024
+_DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+_STATUS_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ServeConfig:
+    """Tunables for one :class:`DefenderService` instance.
+
+    ``port=0`` binds an ephemeral port (the bound port is reported by
+    :attr:`DefenderService.port` once started) — how the tests and the
+    smoke target avoid colliding on a fixed port.
+    """
+
+    __slots__ = ("host", "port", "workers", "queue_limit",
+                 "request_timeout_s", "max_body_bytes")
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_limit: int = 8,
+        request_timeout_s: float = 60.0,
+        max_body_bytes: int = _DEFAULT_MAX_BODY,
+    ) -> None:
+        if request_timeout_s <= 0:
+            raise RequestError(
+                f"request_timeout_s must be positive; got {request_timeout_s}",
+                status=500, code="bad-config",
+            )
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.request_timeout_s = request_timeout_s
+        self.max_body_bytes = max_body_bytes
+
+
+class _HttpError(Exception):
+    """An HTTP-level defect (before routing): status + message."""
+
+    def __init__(self, status: int, message: str, code: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class DefenderService:
+    """The asyncio HTTP server bound to one worker pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.pool = WorkerPool(self.config.workers, self.config.queue_limit)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        _log.info("serve.started", host=self.config.host, port=self.port,
+                  workers=self.config.workers,
+                  queue_limit=self.config.queue_limit)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.close()
+        _log.info("serve.stopped")
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- HTTP plumbing ----------------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(413, "request head too large",
+                             "head-too-large") from exc
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            raise _HttpError(400, "truncated request", "truncated") from exc
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError(413, "request head too large", "head-too-large")
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, "malformed request line",
+                             "bad-request-line") from exc
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_header = headers.get("content-length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError as exc:
+                raise _HttpError(400, "invalid Content-Length",
+                                 "bad-content-length") from exc
+            if length < 0:
+                raise _HttpError(400, "invalid Content-Length",
+                                 "bad-content-length")
+            if length > self.config.max_body_bytes:
+                raise _HttpError(
+                    413,
+                    f"request body exceeds {self.config.max_body_bytes} bytes",
+                    "body-too-large",
+                )
+            try:
+                body = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError) as exc:
+                raise _HttpError(400, "truncated request body",
+                                 "truncated") from exc
+        return method.upper(), target, body
+
+    @staticmethod
+    def _response_bytes(status: int, payload: Any,
+                        content_type: str = "application/json") -> bytes:
+        if isinstance(payload, (dict, list)):
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = payload
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + body
+
+    # -- routing ----------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> Tuple[int, Any, str]:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /healthz", "bad-method")
+            return 200, {
+                "status": "ok",
+                "inflight": self.pool.inflight,
+                "capacity": self.pool.capacity,
+            }, "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /metrics", "bad-method")
+            return (200, get_registry().to_prometheus(),
+                    "text/plain; version=0.0.4")
+        endpoint = path.lstrip("/")
+        if method != "POST":
+            raise _HttpError(405, f"use POST for /{endpoint}", "bad-method")
+        response = await self._run_endpoint(endpoint, body)
+        return 200, response, "application/json"
+
+    async def _run_endpoint(self, endpoint: str, body: bytes) -> Any:
+        loop = asyncio.get_running_loop()
+        # Validation and the cache probe are cheap; run them on the
+        # loop's default executor so a burst of malformed requests still
+        # cannot occupy a solver worker.
+        prepared = await loop.run_in_executor(None, prepare, endpoint, body)
+        if prepared.response is not None:
+            return prepared.response
+        assert prepared.run is not None
+        future = self.pool.submit(prepared.run)
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future),
+                timeout=self.config.request_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            metrics.counter("serve.timeout.count").inc()
+            # The thread keeps running (threads cannot be killed); its
+            # pool slot is released by the done-callback when it ends.
+            raise RequestError(
+                f"request exceeded {self.config.request_timeout_s:g}s",
+                status=504, code="timeout",
+            ) from None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        metrics.counter("serve.requests.count").inc()
+        status = 500
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                status, payload, content_type = await self._dispatch(
+                    method, target, body,
+                )
+            except RequestError as exc:
+                status = exc.status
+                payload, content_type = error_payload(exc), "application/json"
+                metrics.counter("serve.errors.count").inc()
+                metrics.counter(f"serve.errors.{exc.code}.count").inc()
+            except _HttpError as exc:
+                status = exc.status
+                payload = error_payload(
+                    RequestError(str(exc), status=exc.status, code=exc.code)
+                )
+                content_type = "application/json"
+                metrics.counter("serve.errors.count").inc()
+            except Exception as exc:  # last-resort 500: never drop a reply
+                _log.error("serve.internal_error", error=repr(exc))
+                payload = error_payload(
+                    RequestError("internal error", status=500,
+                                 code="internal")
+                )
+                content_type = "application/json"
+                metrics.counter("serve.errors.count").inc()
+            writer.write(self._response_bytes(status, payload, content_type))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+            metrics.counter(f"serve.responses.{status}.count").inc()
+
+
+@contextlib.contextmanager
+def running_service(
+    config: Optional[ServeConfig] = None,
+) -> Iterator[Tuple[DefenderService, str]]:
+    """Run a service on a daemon thread; yield ``(service, base_url)``.
+
+    The server is fully started (port bound and resolved) before the
+    body runs, and stopped — pool drained — on exit.  This is the
+    harness behind the tests, ``tools/serve_smoke.py`` and
+    ``tools/bench_serve.py``.
+    """
+    service = DefenderService(config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    async def _start() -> None:
+        await service.start()
+        started.set()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(_start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="repro-serve-loop",
+                              daemon=True)
+    with metrics.timer("serve.startup.seconds"):
+        thread.start()
+        if not started.wait(timeout=10.0):
+            raise RuntimeError("service failed to start within 10s")
+    try:
+        yield service, f"http://{service.config.host}:{service.port}"
+    finally:
+        stop = asyncio.run_coroutine_threadsafe(service.stop(), loop)
+        stop.result(timeout=30.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        loop.close()

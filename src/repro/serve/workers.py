@@ -1,0 +1,126 @@
+"""Bounded worker pool with explicit backpressure for the solve service.
+
+Solver work is CPU-bound and unbounded in duration (``C(m, k)`` grows
+fast), so the service never runs it on the event loop.  Requests are
+dispatched to a small thread pool behind a hard admission limit:
+``workers`` threads may run concurrently and at most ``queue_limit``
+further requests may wait.  Admission beyond that is refused *up front*
+with a 429 — a saturated solver box must shed load at the door, not
+accumulate an invisible queue whose tail latency is unbounded.
+
+Per-request timeouts are enforced by the caller (the asyncio app waits
+on the future with a deadline); an abandoned request still runs to
+completion in its thread — Python threads cannot be safely killed — but
+its slot is released by the done-callback either way, so the admission
+accounting stays exact even for timed-out work.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.obs import get_logger, metrics
+
+from repro.serve.schemas import RequestError
+
+__all__ = ["WorkerPool"]
+
+_log = get_logger("repro.serve.workers")
+
+
+class WorkerPool:
+    """A ThreadPoolExecutor with a hard cap on admitted-but-unfinished work.
+
+    ``capacity = workers + queue_limit``: up to ``workers`` requests run
+    while up to ``queue_limit`` wait their turn.  :meth:`submit` raises
+    :class:`~repro.serve.schemas.RequestError` with status 429
+    (``saturated``) past that point and 503 (``shutting-down``) after
+    :meth:`close` — the HTTP layer translates, it never sees a bare
+    queue exception.
+    """
+
+    def __init__(self, workers: int = 2, queue_limit: int = 8) -> None:
+        if workers < 1:
+            raise RequestError(
+                f"worker pool needs workers >= 1; got {workers}",
+                status=500, code="bad-config",
+            )
+        if queue_limit < 0:
+            raise RequestError(
+                f"worker pool needs queue_limit >= 0; got {queue_limit}",
+                status=500, code="bad-config",
+            )
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.capacity = workers + queue_limit
+        self._lock = threading.Lock()
+        self._inflight = 0  # repro: lock(_lock)
+        self._stopped = False  # repro: lock(_lock)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve",
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Admitted and not yet finished (running + queued)."""
+        with self._lock:
+            return self._inflight
+
+    # -- lifecycle --------------------------------------------------------
+
+    def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
+        """Admit ``fn`` for execution, or refuse with a structured error.
+
+        The slot is released by a done-callback on the returned future,
+        so it is freed exactly once whether the caller collects the
+        result, times out, or the work raises.
+        """
+        with self._lock:
+            if self._stopped:
+                raise RequestError(
+                    "service is shutting down",
+                    status=503, code="shutting-down",
+                )
+            if self._inflight >= self.capacity:
+                metrics.counter("serve.saturated.count").inc()
+                raise RequestError(
+                    f"solver pool saturated ({self.workers} workers, "
+                    f"{self.queue_limit} queued); retry later",
+                    status=429, code="saturated",
+                )
+            self._inflight += 1
+            metrics.gauge("serve.inflight").set(self._inflight)
+        try:
+            future = self._executor.submit(fn)
+        except RuntimeError as exc:  # executor shut down under us
+            self._release()
+            raise RequestError(
+                "service is shutting down",
+                status=503, code="shutting-down",
+            ) from exc
+        future.add_done_callback(lambda _f: self._release())
+        return future
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            metrics.gauge("serve.inflight").set(self._inflight)
+
+    def close(self, wait: bool = True) -> None:
+        """Refuse new work and (optionally) wait for admitted work."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        _log.info("serve.pool.closing", inflight=self.inflight)
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -200,13 +200,30 @@ def fictitious_play(
         The instance; only its graph and ``k`` matter (value is
         per-attacker).
     rounds:
-        Maximum iterations.
+        Maximum iterations (at least 1).
     method:
         Coverage-solver method for the defender's best response.
     tolerance:
-        Optional early stop once ``upper − lower ≤ tolerance``.
+        Optional early stop once ``upper − lower ≤ tolerance``; must be
+        positive when given.
+
+    Raises
+    ------
+    GameError
+        On degenerate parameters (``rounds < 1``, ``tolerance <= 0``).
     """
     graph = game.graph
+    # Parameter validation happens before the cache probe: invalid
+    # parameters must never mint a cache key (or a ledger record claiming
+    # a run happened), and ``rounds=0`` would otherwise surface as a bare
+    # ``ValueError: max() arg is an empty sequence`` from the history
+    # reduction (and a zero division building the empirical strategies).
+    if rounds < 1:
+        raise GameError(f"fictitious play needs rounds >= 1; got {rounds}")
+    if tolerance is not None and tolerance <= 0:
+        raise GameError(
+            f"fictitious play needs a positive tolerance; got {tolerance}"
+        )
 
     # Probe before opening the ledger run so the record can carry the
     # ``cache_hit`` attribute (a no-op miss while caching is disabled).

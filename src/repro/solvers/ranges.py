@@ -26,7 +26,7 @@ from scipy.optimize import linprog
 
 from repro.core.game import GameError, TupleGame
 from repro.core.tuples import all_tuples, tuple_vertices
-from repro.graphs.core import Edge, Vertex, vertex_sort_key
+from repro.graphs.core import Edge, Vertex, edge_sort_key, vertex_sort_key
 from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import metrics, tracing
@@ -53,26 +53,44 @@ def _relaxation(value: float) -> float:
 
 
 class StrategyRanges:
-    """Per-coordinate [min, max] probabilities over an optimal polytope."""
+    """Per-coordinate [min, max] probabilities over an optimal polytope.
 
-    __slots__ = ("value", "ranges")
+    ``sort_key`` is the canonical key function for the coordinate keys —
+    :func:`~repro.graphs.core.vertex_sort_key` for attacker (vertex)
+    ranges, :func:`~repro.graphs.core.edge_sort_key` for defender (edge)
+    ranges.  When omitted it is inferred from the key shape (edges are
+    2-tuples; vertices are ints or strings), so :meth:`required` /
+    :meth:`usable` always report in the same canonical order as
+    :meth:`~repro.graphs.core.Graph.sorted_edges` and the serializers —
+    sorting edges with the vertex key would drop mixed-label graphs into
+    the ``(type_name, repr)`` fallback and diverge.
+    """
 
-    def __init__(self, value: float, ranges: Dict) -> None:
+    __slots__ = ("value", "ranges", "sort_key")
+
+    def __init__(self, value: float, ranges: Dict, sort_key=None) -> None:
         self.value = value
         self.ranges = ranges
+        if sort_key is None:
+            sort_key = (
+                edge_sort_key
+                if any(isinstance(key, tuple) for key in ranges)
+                else vertex_sort_key
+            )
+        self.sort_key = sort_key
 
     def required(self, tol: float = 1e-7) -> List:
         """Coordinates positive in *every* optimal strategy (min > 0)."""
         return sorted(
             (key for key, (low, _) in self.ranges.items() if low > tol),
-            key=vertex_sort_key,
+            key=self.sort_key,
         )
 
     def usable(self, tol: float = 1e-7) -> List:
         """Coordinates positive in *some* optimal strategy (max > 0)."""
         return sorted(
             (key for key, (_, high) in self.ranges.items() if high > tol),
-            key=vertex_sort_key,
+            key=self.sort_key,
         )
 
     def __repr__(self) -> str:
@@ -152,7 +170,7 @@ def _attacker_vertex_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
                 low = _probe(c, a_ub, b_ub, a_eq, b_eq, bounds)
                 high = -_probe(-c, a_ub, b_ub, a_eq, b_eq, bounds)
                 ranges[v] = (max(0.0, low), min(1.0, high))
-            return StrategyRanges(value, ranges)
+            return StrategyRanges(value, ranges, sort_key=vertex_sort_key)
         except _ProbeInfeasible as exc:
             # v* carries solver error; an over-tight relaxation can empty
             # the optimality polytope.  Retry once, widened.
@@ -212,7 +230,7 @@ def _defender_edge_ranges(game, tuple_limit, solve_minimax) -> StrategyRanges:
                 low = _probe(row, a_ub, b_ub, a_eq, b_eq, bounds)
                 high = -_probe(-row, a_ub, b_ub, a_eq, b_eq, bounds)
                 ranges[e] = (max(0.0, low), min(1.0, high))
-            return StrategyRanges(value, ranges)
+            return StrategyRanges(value, ranges, sort_key=edge_sort_key)
         except _ProbeInfeasible as exc:
             last_error = exc
             metrics.counter("ranges.probe.retry.count").inc()

@@ -77,3 +77,51 @@ class TestMechanics:
     def test_repr(self):
         game = TupleGame(path_graph(4), 1, nu=1)
         assert "value≈" in repr(fictitious_play(game, rounds=20))
+
+
+class TestDegenerateParameters:
+    """Regression: rounds=0 used to surface as a bare ValueError from
+    ``max()`` over the empty history (and a zero division building the
+    empirical strategies) instead of a GameError — and the invalid call
+    still minted a cache key."""
+
+    def test_zero_rounds_raises_game_error(self):
+        from repro.core.game import GameError
+
+        game = TupleGame(path_graph(4), 1, nu=1)
+        with pytest.raises(GameError, match="rounds >= 1"):
+            fictitious_play(game, rounds=0)
+
+    def test_negative_rounds_raises_game_error(self):
+        from repro.core.game import GameError
+
+        game = TupleGame(path_graph(4), 1, nu=1)
+        with pytest.raises(GameError, match="rounds >= 1"):
+            fictitious_play(game, rounds=-3)
+
+    @pytest.mark.parametrize("tolerance", [0.0, -1e-6, -5.0])
+    def test_non_positive_tolerance_raises_game_error(self, tolerance):
+        from repro.core.game import GameError
+
+        game = TupleGame(path_graph(4), 1, nu=1)
+        with pytest.raises(GameError, match="positive tolerance"):
+            fictitious_play(game, rounds=10, tolerance=tolerance)
+
+    def test_invalid_params_never_mint_a_cache_key(self, tmp_path):
+        import repro.cache as result_cache
+        from repro.core.game import GameError
+
+        game = TupleGame(path_graph(4), 1, nu=1)
+        result_cache.enable_cache(tmp_path)
+        try:
+            with pytest.raises(GameError):
+                fictitious_play(game, rounds=0)
+            assert result_cache.open_store(tmp_path).stats()["entries"] == 0
+        finally:
+            result_cache.disable_cache()
+
+    def test_single_round_is_valid(self):
+        game = TupleGame(path_graph(4), 1, nu=1)
+        result = fictitious_play(game, rounds=1)
+        assert result.rounds == 1
+        assert len(result.history) == 1

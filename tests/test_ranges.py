@@ -166,3 +166,60 @@ class TestPerturbedValueRobustness:
         attacker_vertex_ranges(game)
         defender_edge_ranges(game)
         assert metrics.counter("ranges.probe.retry.count").value == before
+
+
+class TestCanonicalOrdering:
+    """Regression: required()/usable() must report edge keys in the
+    library's canonical edge order (edge_sort_key), not the vertex key's
+    (type_name, repr) fallback that mixed-label tuples drop into."""
+
+    def test_edge_keys_sort_like_sorted_edges(self):
+        from repro.graphs.core import edge_sort_key
+        from repro.solvers.ranges import StrategyRanges
+
+        # Canonical edge order: (1, 2) < (1, "a") < ("a", "b").  The old
+        # vertex_sort_key fallback compared reprs, where "(1, 'a')" sorts
+        # *before* "(1, 2)" ("'" < "2" in ASCII).
+        ranges = StrategyRanges(0.5, {
+            ("a", "b"): (0.4, 0.9),
+            (1, "a"): (0.3, 0.8),
+            (1, 2): (0.2, 0.7),
+        })
+        canonical = [(1, 2), (1, "a"), ("a", "b")]
+        assert sorted(ranges.ranges, key=edge_sort_key) == canonical
+        assert ranges.usable() == canonical
+        assert ranges.required() == canonical
+
+    def test_vertex_keys_keep_vertex_order(self):
+        from repro.graphs.core import vertex_sort_key
+        from repro.solvers.ranges import StrategyRanges
+
+        ranges = StrategyRanges(0.5, {"b": (0.1, 0.9), 3: (0.1, 0.9),
+                                      1: (0.1, 0.9), "a": (0.1, 0.9)})
+        assert ranges.usable() == sorted([1, 3, "a", "b"],
+                                         key=vertex_sort_key)
+
+    def test_mixed_label_defender_ranges_end_to_end(self):
+        """defender_edge_ranges on an int+str graph reports usable edges
+        in Graph.sorted_edges order."""
+        from repro.graphs.core import Graph, edge_sort_key
+
+        graph = Graph([(2, 1), ("a", 1), ("b", "a")])
+        game = TupleGame(graph, 1, nu=1)
+        defender = defender_edge_ranges(game)
+        usable = defender.usable()
+        assert usable == sorted(usable, key=edge_sort_key)
+        required = defender.required()
+        assert required == sorted(required, key=edge_sort_key)
+        # The probed coordinate set is exactly the edge set, in order.
+        assert sorted(defender.ranges, key=edge_sort_key) \
+            == graph.sorted_edges()
+
+    def test_mixed_label_attacker_ranges_end_to_end(self):
+        from repro.graphs.core import Graph, vertex_sort_key
+
+        graph = Graph([(2, 1), ("a", 1), ("b", "a")])
+        game = TupleGame(graph, 1, nu=1)
+        attacker = attacker_vertex_ranges(game)
+        usable = attacker.usable()
+        assert usable == sorted(usable, key=vertex_sort_key)

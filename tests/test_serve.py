@@ -1,0 +1,397 @@
+"""Tests for :mod:`repro.serve` — the HTTP solve service.
+
+The happy paths ride a shared module-scoped service; the failure-mode
+tests (saturation, timeout, shutdown) spin up dedicated services with
+deliberately tiny pools and monkeypatched slow runners so the races are
+deterministic.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.cache as result_cache
+from repro.obs import events as obs_events
+from repro.obs import ledger as obs_ledger
+from repro.serve import (
+    ENDPOINTS,
+    ERROR_SCHEMA,
+    RESPONSE_SCHEMA,
+    RequestError,
+    ServeConfig,
+    WorkerPool,
+    running_service,
+)
+from repro.serve.routes import EndpointSpec
+
+PATH_GAME = {
+    "vertices": [1, 2, 3, 4],
+    "edges": [[1, 2], [2, 3], [3, 4]],
+    "k": 2,
+    "nu": 1,
+}
+
+#: C5 with k=1: k < rho=3 and no IS/VC partition, so the paper's
+#: machinery (extensions disabled) finds no equilibrium.
+CYCLE5_GAME = {
+    "vertices": [0, 1, 2, 3, 4],
+    "edges": [[0, 1], [1, 2], [2, 3], [3, 4], [0, 4]],
+    "k": 1,
+    "nu": 1,
+}
+
+
+def post_raw(base, path, body: bytes, timeout=30.0):
+    """POST raw bytes; return (status, parsed JSON body)."""
+    request = urllib.request.Request(
+        base + path, data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(base, path, document, timeout=30.0):
+    return post_raw(base, path, json.dumps(document).encode(), timeout)
+
+
+def get(base, path, timeout=30.0):
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+            return resp.status, resp.read().decode(), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), exc.headers
+
+
+@pytest.fixture(scope="module")
+def service():
+    with running_service(ServeConfig(workers=2, queue_limit=4)) as pair:
+        yield pair
+
+
+class TestEndpoints:
+    def test_solve(self, service):
+        _svc, base = service
+        status, body = post(base, "/solve", {"game": PATH_GAME})
+        assert status == 200
+        assert body["schema"] == RESPONSE_SCHEMA
+        assert body["endpoint"] == "solve"
+        assert body["cache_hit"] is False
+        assert body["result"]["solve"]["kind"] == "pure"
+
+    def test_solve_with_params(self, service):
+        _svc, base = service
+        status, body = post(base, "/solve", {
+            "game": PATH_GAME,
+            "params": {"seed": 3, "allow_extensions": False},
+        })
+        assert status == 200
+        assert body["result"]["solve"]["kind"] == "pure"
+
+    def test_double_oracle(self, service):
+        _svc, base = service
+        status, body = post(base, "/double-oracle", {
+            "game": PATH_GAME, "params": {"max_iterations": 50},
+        })
+        assert status == 200
+        assert body["result"]["certified_gap"] <= 1e-6
+        assert body["result"]["value"] == pytest.approx(1.0)
+
+    def test_fictitious_play(self, service):
+        _svc, base = service
+        status, body = post(base, "/fictitious-play", {
+            "game": PATH_GAME, "params": {"rounds": 30},
+        })
+        assert status == 200
+        assert body["result"]["rounds"] == 30
+        assert body["result"]["lower_bound"] <= body["result"]["upper_bound"]
+
+    def test_ranges_both_sides(self, service):
+        _svc, base = service
+        status, body = post(base, "/ranges", {"game": PATH_GAME})
+        assert status == 200
+        result = body["result"]
+        assert set(result) == {"attacker", "defender"}
+        # P4 with k=2 is fully covered: both cover edges are mandatory.
+        assert result["defender"]["required"] == [[1, 2], [3, 4]]
+        edge_keys = [key for key, _low, _high in result["defender"]["ranges"]]
+        assert edge_keys == [[1, 2], [2, 3], [3, 4]]
+
+    def test_ranges_single_side(self, service):
+        _svc, base = service
+        status, body = post(base, "/ranges", {
+            "game": PATH_GAME, "params": {"side": "attacker"},
+        })
+        assert status == 200
+        assert set(body["result"]) == {"attacker"}
+
+
+class TestValidationErrors:
+    def test_malformed_json(self, service):
+        _svc, base = service
+        status, body = post_raw(base, "/solve", b"{not json")
+        assert status == 400
+        assert body["schema"] == ERROR_SCHEMA
+        assert body["error"]["code"] == "invalid-json"
+
+    def test_non_object_body(self, service):
+        _svc, base = service
+        status, body = post_raw(base, "/solve", b"[1, 2, 3]")
+        assert status == 400
+        assert body["error"]["code"] == "invalid-request"
+
+    def test_missing_game(self, service):
+        _svc, base = service
+        status, body = post(base, "/solve", {"params": {}})
+        assert status == 400
+        assert body["error"]["code"] == "invalid-request"
+
+    def test_schema_invalid_game(self, service):
+        _svc, base = service
+        bad = dict(PATH_GAME, edges=[[1, 9]])  # 9 is not a vertex
+        status, body = post(base, "/solve", {"game": bad})
+        assert status == 400
+        assert body["error"]["code"] == "invalid-game"
+
+    def test_unknown_param(self, service):
+        _svc, base = service
+        status, body = post(base, "/solve", {
+            "game": PATH_GAME, "params": {"bogus": 1},
+        })
+        assert status == 400
+        assert body["error"]["code"] == "invalid-params"
+        assert "bogus" in body["error"]["message"]
+
+    def test_param_type_error(self, service):
+        _svc, base = service
+        status, body = post(base, "/fictitious-play", {
+            "game": PATH_GAME, "params": {"rounds": "many"},
+        })
+        assert status == 400
+        assert body["error"]["code"] == "invalid-params"
+
+    def test_degenerate_rounds_rejected_at_the_door(self, service):
+        _svc, base = service
+        status, body = post(base, "/fictitious-play", {
+            "game": PATH_GAME, "params": {"rounds": 0},
+        })
+        assert status == 400
+        assert body["error"]["code"] == "invalid-params"
+
+    def test_no_equilibrium_is_422(self, service):
+        _svc, base = service
+        status, body = post(base, "/solve", {
+            "game": CYCLE5_GAME, "params": {"allow_extensions": False},
+        })
+        assert status == 422
+        assert body["error"]["code"] == "no-equilibrium"
+        assert "partition" in body["error"]["message"]
+
+    def test_unknown_endpoint_404(self, service):
+        _svc, base = service
+        status, body = post(base, "/does-not-exist", {"game": PATH_GAME})
+        assert status == 404
+        assert body["error"]["code"] == "not-found"
+
+    def test_wrong_method_405(self, service):
+        _svc, base = service
+        status, text, _headers = get(base, "/solve")
+        assert status == 405
+        assert json.loads(text)["error"]["code"] == "bad-method"
+
+    def test_body_too_large_413(self):
+        config = ServeConfig(workers=1, queue_limit=0, max_body_bytes=64)
+        with running_service(config) as (_svc, base):
+            status, body = post(base, "/solve", {"game": PATH_GAME})
+            assert status == 413
+            assert body["error"]["code"] == "body-too-large"
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, service):
+        svc, base = service
+        status, text, headers = get(base, "/healthz")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload["status"] == "ok"
+        assert payload["capacity"] == svc.pool.capacity
+        assert payload["inflight"] >= 0
+
+    def test_metrics_prometheus(self, service):
+        _svc, base = service
+        post(base, "/solve", {"game": PATH_GAME})
+        status, text, headers = get(base, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "repro_serve_requests_count" in text
+        assert "# TYPE" in text
+
+
+class TestObservability:
+    def test_request_writes_ledger_record(self, tmp_path, service):
+        _svc, base = service
+        obs_ledger.enable_ledger(tmp_path)
+        try:
+            status, _body = post(base, "/solve", {"game": PATH_GAME})
+            assert status == 200
+        finally:
+            obs_ledger.disable_ledger()
+        entry_points = [r["entry_point"] for r in obs_ledger.read_runs(
+            directory=tmp_path)]
+        assert "serve.solve" in entry_points
+        # The library solver's own record nests inside the request's.
+        assert "equilibria.solve" in entry_points
+
+    def test_request_publishes_run_events(self, tmp_path, service):
+        _svc, base = service
+        obs_events.enable_events(tmp_path)
+        try:
+            status, _body = post(base, "/fictitious-play", {
+                "game": PATH_GAME, "params": {"rounds": 5},
+            })
+            assert status == 200
+        finally:
+            obs_events.disable_events()
+        events = obs_events.read_events(tmp_path / obs_events.SINK_FILENAME)
+        starts = [e for e in events if e["type"] == "run.start"
+                  and e["payload"]["entry_point"] == "serve.fictitious-play"]
+        ends = [e for e in events if e["type"] == "run.end"
+                and e["payload"]["entry_point"] == "serve.fictitious-play"]
+        assert len(starts) == 1 and len(ends) == 1
+
+    def test_cache_hit_served_inline(self, tmp_path, service):
+        _svc, base = service
+        result_cache.enable_cache(tmp_path)
+        try:
+            status1, body1 = post(base, "/solve", {"game": PATH_GAME})
+            status2, body2 = post(base, "/solve", {"game": PATH_GAME})
+        finally:
+            result_cache.disable_cache()
+        assert status1 == status2 == 200
+        assert body1["cache_hit"] is False
+        assert body2["cache_hit"] is True
+        assert body1["result"] == body2["result"]
+
+    def test_cache_key_respects_params(self, tmp_path, service):
+        _svc, base = service
+        result_cache.enable_cache(tmp_path)
+        try:
+            _s, body1 = post(base, "/fictitious-play", {
+                "game": PATH_GAME, "params": {"rounds": 5},
+            })
+            _s, body2 = post(base, "/fictitious-play", {
+                "game": PATH_GAME, "params": {"rounds": 6},
+            })
+        finally:
+            result_cache.disable_cache()
+        assert body1["cache_hit"] is False
+        assert body2["cache_hit"] is False  # different params, different key
+
+
+def _slow_spec(release: threading.Event) -> EndpointSpec:
+    def runner(_game, _params):
+        release.wait(timeout=30.0)
+        return {"slept": True}
+    return EndpointSpec("solve", runner)
+
+
+class TestBackpressure:
+    def test_saturation_returns_429(self, monkeypatch):
+        release = threading.Event()
+        monkeypatch.setitem(ENDPOINTS, "solve", _slow_spec(release))
+        config = ServeConfig(workers=1, queue_limit=0)
+        with running_service(config) as (svc, base):
+            results = []
+            first = threading.Thread(
+                target=lambda: results.append(
+                    post(base, "/solve", {"game": PATH_GAME})
+                ),
+            )
+            first.start()
+            try:
+                deadline = time.monotonic() + 10.0
+                while svc.pool.inflight < 1:
+                    assert time.monotonic() < deadline, "worker never started"
+                    time.sleep(0.01)
+                status, body = post(base, "/solve", {"game": PATH_GAME})
+                assert status == 429
+                assert body["error"]["code"] == "saturated"
+            finally:
+                release.set()
+                first.join(timeout=30.0)
+            assert results and results[0][0] == 200
+
+    def test_request_timeout_returns_504(self, monkeypatch):
+        release = threading.Event()
+        monkeypatch.setitem(ENDPOINTS, "solve", _slow_spec(release))
+        config = ServeConfig(workers=1, queue_limit=0,
+                             request_timeout_s=0.2)
+        try:
+            with running_service(config) as (_svc, base):
+                status, body = post(base, "/solve", {"game": PATH_GAME})
+                assert status == 504
+                assert body["error"]["code"] == "timeout"
+        finally:
+            release.set()  # let the abandoned worker thread finish
+
+
+class TestWorkerPool:
+    def test_admission_accounting(self):
+        release = threading.Event()
+        pool = WorkerPool(workers=1, queue_limit=1)
+        try:
+            futures = [pool.submit(lambda: release.wait(timeout=30.0))
+                       for _ in range(2)]
+            assert pool.inflight == 2
+            with pytest.raises(RequestError) as excinfo:
+                pool.submit(lambda: None)
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "saturated"
+            release.set()
+            for future in futures:
+                future.result(timeout=30.0)
+            deadline = time.monotonic() + 10.0
+            while pool.inflight and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.inflight == 0
+            # Slots freed: admission works again.
+            pool.submit(lambda: None).result(timeout=30.0)
+        finally:
+            release.set()
+            pool.close()
+
+    def test_closed_pool_returns_503(self):
+        pool = WorkerPool(workers=1, queue_limit=0)
+        pool.close()
+        with pytest.raises(RequestError) as excinfo:
+            pool.submit(lambda: None)
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "shutting-down"
+
+    def test_slot_released_on_worker_error(self):
+        pool = WorkerPool(workers=1, queue_limit=0)
+        try:
+            def boom():
+                raise RuntimeError("worker exploded")
+            future = pool.submit(boom)
+            with pytest.raises(RuntimeError):
+                future.result(timeout=30.0)
+            deadline = time.monotonic() + 10.0
+            while pool.inflight and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.inflight == 0
+        finally:
+            pool.close()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(RequestError):
+            WorkerPool(workers=0)
+        with pytest.raises(RequestError):
+            WorkerPool(workers=1, queue_limit=-1)

@@ -109,3 +109,29 @@ class TestSolveResult:
         b = solve_game(game)
         assert a.mixed.tp_support() == b.mixed.tp_support()
         assert a.mixed.vp_support_union() == b.mixed.vp_support_union()
+
+
+class TestPureBranchInvariant:
+    """Regression: the pure branch guarded its Theorem 3.1 invariant with
+    a bare ``assert``, which vanishes under ``python -O`` and let the
+    impossible state resurface as an AttributeError inside SolveResult."""
+
+    def test_impossible_pure_miss_raises_game_error(self, monkeypatch):
+        import repro.equilibria.solve as solve_mod
+        from repro.core.game import GameError, TupleGame
+        from repro.graphs.generators import path_graph
+
+        game = TupleGame(path_graph(4), 2, nu=1)  # k >= rho: pure regime
+        monkeypatch.setattr(solve_mod, "find_pure_nash", lambda g: None)
+        with pytest.raises(GameError, match="invariant"):
+            solve_mod.solve_game(game)
+
+    def test_pure_branch_still_solves(self):
+        from repro.core.game import TupleGame
+        from repro.graphs.generators import path_graph
+
+        game = TupleGame(path_graph(4), 2, nu=3)
+        result = solve_game(game)
+        assert result.kind == "pure"
+        assert result.pure is not None
+        assert result.defender_gain == 3
