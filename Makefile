@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch bench-serve bench-serve-baseline cache-smoke fuzz-smoke obs-check report-smoke serve-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
+.PHONY: test bench bench-smoke bench-smoke-baseline bench-watch bench-serve bench-serve-baseline cache-smoke fuzz-smoke obs-check report-smoke serve-smoke slo-smoke api-docs api-docs-check lint lint-changed lint-sarif lint-baseline mypy ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -42,8 +42,15 @@ cache-smoke:
 
 ## HTTP solve-service gate: ephemeral-port boot, one request per
 ## endpoint plus one invalid, then metrics + ledger-record assertions
+## and the end-to-end trace-correlation check (headers = ledger =
+## events = access log)
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py
+
+## SLO exit-code gate: `slo check` must pass the committed healthy
+## access-log fixture and fail the breaching one
+slo-smoke:
+	$(PYTHON) tools/slo_smoke.py
 
 ## load-generate against the service and fail on a p95 regression versus
 ## the committed BENCH_SERVE.json snapshot
@@ -112,4 +119,4 @@ mypy:
 ## report rendering, docs freshness, tier-1 tests, hot-path perf smoke,
 ## perf watchdog, result-cache lifecycle, solve-service lifecycle,
 ## differential fuzz
-ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch cache-smoke serve-smoke fuzz-smoke
+ci: lint lint-sarif mypy obs-check report-smoke api-docs-check test bench-smoke bench-watch cache-smoke serve-smoke slo-smoke fuzz-smoke

@@ -21,13 +21,17 @@ Usage examples (after ``pip install -e .``)::
     repro-defender cache stats
     repro-defender cache lookup --solver equilibria.solve
     repro-defender cache gc --max-age 86400
+    repro-defender serve --port 8400 --access-log --slo-config slo.json
+    repro-defender slo check --config slo.json --access-path .repro/access
+    repro-defender slo report --config slo.json --format json
 
 Graphs are edge-list files (``u v`` per line, ``#`` comments) or ``.json``
 documents — see :mod:`repro.graphs.io`.
 
 Every subcommand accepts the observability flags ``--quiet``,
 ``--verbose``, ``--log-json``, ``--trace``, ``--ledger`` /
-``--ledger-dir DIR``, ``--events`` / ``--events-dir DIR`` and
+``--ledger-dir DIR``, ``--events`` / ``--events-dir DIR``,
+``--access-log`` / ``--access-log-dir DIR`` and
 ``--cache`` / ``--cache-dir DIR`` (before
 or after the subcommand); see ``docs/observability.md``.  All normal output flows
 through one :func:`_emit` helper, so ``--quiet`` silences it and
@@ -58,6 +62,7 @@ from repro.lint import add_lint_arguments as lint_arguments
 from repro.lint import run_from_args as run_lint_from_args
 from repro.matching.blossom import matching_number
 from repro.matching.covers import minimum_edge_cover_size
+from repro.obs import access as obs_access
 from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
 from repro.obs import log as obs_log
@@ -142,6 +147,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser, default) -> None:
         default=default if default is argparse.SUPPRESS else None,
         metavar="DIR",
         help="event sink directory (implies --events)",
+    )
+    group.add_argument(
+        "--access-log", action="store_true", default=default,
+        help="append one structured JSONL line per served request "
+             "(.repro/access by default; only the serve command writes)",
+    )
+    group.add_argument(
+        "--access-log-dir",
+        default=default if default is argparse.SUPPRESS else None,
+        metavar="DIR",
+        help="access-log directory (implies --access-log)",
     )
     group.add_argument(
         "--cache", action="store_true", default=default,
@@ -388,6 +404,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_lreport.add_argument(
         "--title", default="repro-defender run report",
     )
+    p_lreport.add_argument(
+        "--slo-config", default=None, metavar="FILE",
+        help="SLO objectives JSON folded into an SLO panel (built-in "
+             "availability + latency objectives when only --access-path "
+             "is given)",
+    )
+    p_lreport.add_argument(
+        "--access-path", default=None, metavar="PATH", dest="access_path",
+        help="access log (file or directory) the SLO panel is computed "
+             "from (default: .repro/access when --slo-config is given)",
+    )
 
     p_ldiff = add_ledger_command(
         "diff", "field-by-field comparison of two recorded runs"
@@ -459,7 +486,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve",
         help="run the HTTP solve service (POST /solve, /double-oracle, "
-             "/fictitious-play, /ranges; GET /healthz, /metrics)",
+             "/fictitious-play, /ranges; GET /healthz, /metrics, /slo, "
+             "/debug/events)",
         parents=[obs_parent],
     )
     p_serve.add_argument(
@@ -482,6 +510,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0, metavar="SECONDS",
         help="per-request solver deadline; exceeding it returns 504 "
              "(default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--slo-config", default=None, metavar="FILE",
+        help="SLO objectives JSON (repro.obs/slo-config/v1) evaluated "
+             "live behind GET /slo (default: built-in availability + "
+             "latency objectives)",
+    )
+
+    # slo takes no graph — it evaluates objectives over an access log.
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate service-level objectives over a recorded access "
+             "log: burn rates, error budgets, breaches",
+        parents=[obs_parent],
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+
+    def add_slo_command(name: str, help_text: str):
+        p = slo_sub.add_parser(name, help=help_text, parents=[obs_parent])
+        p.add_argument(
+            "--config", default=None, metavar="FILE",
+            help="SLO objectives JSON (repro.obs/slo-config/v1); "
+                 "omitted: the built-in defaults",
+        )
+        p.add_argument(
+            "--access-path", default=obs_access.DEFAULT_ACCESS_DIR,
+            metavar="PATH", dest="access_path",
+            help="access log to evaluate: a JSONL file or a directory "
+                 "containing access.jsonl (default: %(default)s)",
+        )
+        p.add_argument(
+            "--now", type=float, default=None, metavar="UNIX_TS",
+            help="anchor the sliding windows at this timestamp "
+                 "(default: the newest access record)",
+        )
+        return p
+
+    add_slo_command(
+        "check",
+        "exit non-zero when any objective is in breach (the CI gate)",
+    )
+    p_slo_report = add_slo_command(
+        "report", "per-objective burn rates, budgets and p95 latencies"
+    )
+    p_slo_report.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
     )
 
     return parser
@@ -793,13 +867,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP solve service in the foreground until interrupted."""
     import asyncio
 
+    from repro.obs import slo as obs_slo
     from repro.serve import DefenderService, ServeConfig
 
+    objectives = None
+    if args.slo_config is not None:
+        try:
+            objectives = obs_slo.load_slo_config(args.slo_config)
+        except ValueError as exc:
+            _emit(f"error: {exc}", err=True)
+            return 2
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit, request_timeout_s=args.timeout,
     )
-    service = DefenderService(config)
+    service = DefenderService(config, slo_objectives=objectives)
 
     async def _run() -> None:
         await service.start()
@@ -861,9 +943,25 @@ def _cmd_ledger_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_ledger_report(args: argparse.Namespace) -> int:
+    slo_report = None
+    if args.slo_config is not None or args.access_path is not None:
+        from repro.obs import slo as obs_slo
+
+        try:
+            objectives = (obs_slo.load_slo_config(args.slo_config)
+                          if args.slo_config is not None
+                          else obs_slo.default_objectives())
+        except ValueError as exc:
+            _emit(f"error: {exc}", err=True)
+            return 2
+        access = args.access_path or obs_access.DEFAULT_ACCESS_DIR
+        slo_report = obs_slo.evaluate_slos(
+            objectives, obs_access.read_access(access)
+        )
     summary = obs_report.write_report(
         args.ledger_query_dir, args.output, output_md=args.markdown,
         bench_file=args.bench_file, title=args.title,
+        slo_report=slo_report,
     )
     _emit(f"report over {summary['records']} runs "
           f"({summary['entry_points']} entry points): "
@@ -960,6 +1058,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise GameError(f"unknown cache command {args.cache_command!r}")
 
 
+def _render_slo_table(report: dict) -> str:
+    table = Table(["objective", "endpoint", "window s", "requests", "err%",
+                   "burn", "p95 s", "target p95", "status"])
+    for result in report["results"]:
+        targets = result["objective"]
+        burn = result.get("burn_rate")
+        target_p95 = targets.get("latency_p95_s")
+        table.add_row([
+            result["name"], result["endpoint"],
+            f"{result['window_s']:g}", result["requests"],
+            f"{result['error_rate'] * 100:.2f}",
+            "-" if burn is None else f"{burn:.2f}",
+            f"{result['latency_p95_s']:.4f}",
+            "-" if target_p95 is None else f"{target_p95:g}",
+            "BREACH" if result["breached"] else "ok",
+        ])
+    return table.render(title="SLO status")
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate SLO objectives over an access log (check|report)."""
+    from repro.obs import slo as obs_slo
+
+    if args.config is not None:
+        try:
+            objectives = obs_slo.load_slo_config(args.config)
+        except ValueError as exc:
+            _emit(f"error: {exc}", err=True)
+            return 2
+    else:
+        objectives = obs_slo.default_objectives()
+    records = obs_access.read_access(args.access_path)
+    report = obs_slo.evaluate_slos(objectives, records, now=args.now)
+    if args.slo_command == "report":
+        if args.fmt == "json":
+            _emit(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            _emit(_render_slo_table(report))
+            _emit(f"({len(records)} access records from {args.access_path})")
+        return 0
+    if args.slo_command == "check":
+        _emit(_render_slo_table(report))
+        breaches = report["breaches"]
+        if breaches:
+            _emit(f"SLO breach: {', '.join(breaches)}", err=True)
+            return 1
+        _emit("all objectives within budget")
+        return 0
+    raise GameError(f"unknown slo command {args.slo_command!r}")
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     if args.ledger_command == "stats":
         return _cmd_ledger_stats(args)
@@ -1028,6 +1177,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     use_events = bool(getattr(args, "events", False)) or events_dir is not None
     if use_events:
         obs_events.enable_events(events_dir)
+    access_dir = getattr(args, "access_log_dir", None)
+    use_access = (
+        bool(getattr(args, "access_log", False)) or access_dir is not None
+    )
+    if use_access:
+        obs_access.enable_access_log(access_dir)
     cache_dir = getattr(args, "cache_dir", None)
     # The ``cache`` subcommand *inspects* the store via its own --dir; the
     # memoization switch stays off for it.
@@ -1052,6 +1207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = _cmd_cache(args)
         elif args.command == "serve":
             code = _cmd_serve(args)
+        elif args.command == "slo":
+            code = _cmd_slo(args)
         else:
             graph = load_graph(args.graph)
             code = _dispatch(args, graph)
@@ -1067,6 +1224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_ledger.disable_ledger()
         if use_events:
             obs_events.disable_events()
+        if use_access:
+            obs_access.disable_access_log()
         if use_cache:
             result_cache.disable_cache()
         if trace or args.command in ("stats", "profile"):

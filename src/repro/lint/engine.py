@@ -113,6 +113,8 @@ class LintConfig:
                 "repro.obs.events",
                 "repro.obs.resources",
                 "repro.obs.report",
+                "repro.obs.access",
+                "repro.obs.slo",
             ),
             rng_seeded_entry_prefixes=("repro.simulation.", "repro.fuzz."),
             theory_packages=("repro.core", "repro.equilibria"),

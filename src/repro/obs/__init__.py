@@ -11,7 +11,9 @@ for conventions and examples):
   and simulation engine feeds it;
 * :mod:`repro.obs.tracing` — nested spans (``span("lp.solve", ...)`` /
   ``@traced``) that show where the wall-clock of a solve goes; opt-in
-  and near-free when disabled;
+  and near-free when disabled; carries the per-request W3C trace
+  context (``trace_id``/``span_id``, ``traceparent`` parsing) that
+  correlates spans, ledger records, events and access-log lines;
 * :mod:`repro.obs.ledger` — the run-provenance ledger: a durable
   append-only JSONL record (fingerprint, environment, metrics, span
   tree, outcome) of every wrapped entry-point run;
@@ -28,7 +30,14 @@ for conventions and examples):
   ``resources`` block of every ledger record;
 * :mod:`repro.obs.report` — ledger analytics (grouped latency
   percentiles, error rates, cross-revision deltas) and the
-  self-contained HTML/markdown run reports.
+  self-contained HTML/markdown run reports;
+* :mod:`repro.obs.access` — the per-request structured access log of
+  the solve service (``repro.obs/access/v1`` JSONL lines; opt-in and
+  near-free when off);
+* :mod:`repro.obs.slo` — declarative service-level objectives: latency
+  p95 targets and error-rate budgets evaluated over sliding windows,
+  with burn rates, ``slo.breach`` events and the ``repro-defender slo``
+  CLI.
 
 Quickstart::
 
@@ -41,6 +50,14 @@ Quickstart::
     print(get_registry().to_json())
 """
 
+from repro.obs.access import (
+    access_log_enabled,
+    access_log_path,
+    disable_access_log,
+    enable_access_log,
+    log_request,
+    read_access,
+)
 from repro.obs.events import (
     disable_events,
     enable_events,
@@ -91,13 +108,26 @@ from repro.obs.resources import (
     start_sampler,
     stop_sampler,
 )
+from repro.obs.slo import (
+    SloEngine,
+    SloObjective,
+    default_objectives,
+    evaluate_slos,
+    load_slo_config,
+)
 from repro.obs.tracing import (
     Span,
+    TraceContext,
     clear_trace,
+    current_trace,
+    current_trace_id,
     enable_tracing,
+    format_traceparent,
     get_trace,
+    parse_traceparent,
     render_trace,
     span,
+    start_trace,
     traced,
     tracing_enabled,
 )
@@ -147,11 +177,28 @@ __all__ = [
     "render_snapshot",
     "timer",
     "Span",
+    "TraceContext",
     "clear_trace",
+    "current_trace",
+    "current_trace_id",
     "enable_tracing",
+    "format_traceparent",
     "get_trace",
+    "parse_traceparent",
     "render_trace",
     "span",
+    "start_trace",
     "traced",
     "tracing_enabled",
+    "access_log_enabled",
+    "access_log_path",
+    "disable_access_log",
+    "enable_access_log",
+    "log_request",
+    "read_access",
+    "SloEngine",
+    "SloObjective",
+    "default_objectives",
+    "evaluate_slos",
+    "load_slo_config",
 ]

@@ -81,6 +81,8 @@ EVENT_TYPES = frozenset({
     "lp.solve",
     "fuzz.case",
     "bench.case",
+    "serve.request",
+    "slo.breach",
 })
 
 

@@ -13,6 +13,9 @@ for how long and with what outcome:
 * an **environment capture** (python, platform, CPU count, git revision);
 * the full **metrics snapshot** and the **span tree** collected during
   the run;
+* the **trace id** correlating the record with the run's spans, events
+  and (for served requests) the access-log line and ``X-Request-Id``
+  response header (see :mod:`repro.obs.tracing`);
 * the **outcome**: ``ok`` or ``error`` with the exception type/message.
 
 The ledger is **opt-in and near-free when off** (the default): wrapped
@@ -50,6 +53,7 @@ from repro.obs.log import get_logger
 __all__ = [
     "RECORD_SCHEMA",
     "RECORD_SCHEMA_V1",
+    "RECORD_SCHEMA_V2",
     "DEFAULT_LEDGER_DIR",
     "enable_ledger",
     "disable_ledger",
@@ -67,9 +71,11 @@ __all__ = [
 
 _log = get_logger("repro.obs.ledger")
 
-RECORD_SCHEMA = "repro.obs/ledger-record/v2"
-#: Previous record schema, still accepted by the readers (v2 added the
-#: ``resources`` block; every other field is unchanged).
+RECORD_SCHEMA = "repro.obs/ledger-record/v3"
+#: Previous record schemas, still accepted by the readers (v2 added the
+#: ``resources`` block; v3 added the ``trace_id`` correlation field —
+#: every other field is unchanged).
+RECORD_SCHEMA_V2 = "repro.obs/ledger-record/v2"
 RECORD_SCHEMA_V1 = "repro.obs/ledger-record/v1"
 DEFAULT_LEDGER_DIR = ".repro/ledger"
 
@@ -287,7 +293,7 @@ class _RunContext:
 
     __slots__ = ("entry_point", "fingerprint", "attributes", "record_run",
                  "_game", "_start", "_started_at", "_trace_mark",
-                 "_auto_trace")
+                 "_auto_trace", "_trace_id")
 
     def __init__(
         self,
@@ -306,6 +312,7 @@ class _RunContext:
         self._started_at = 0.0
         self._trace_mark = 0
         self._auto_trace = False
+        self._trace_id: Optional[str] = None
 
     def __enter__(self) -> "_RunContext":
         if self.record_run:
@@ -316,9 +323,16 @@ class _RunContext:
             if not _tracing.tracing_enabled():
                 _tracing.enable_tracing(True)
                 self._auto_trace = True
+            # Correlation: recorded runs always carry a trace id — the
+            # request's when one is active (the serve layer starts a
+            # trace per HTTP request), a freshly minted one otherwise.
+            self._trace_id = _tracing.current_trace_id(create=True)
             self._trace_mark = len(_tracing.get_trace())
             _resources.start_sampler()
-        _events.publish("run.start", entry_point=self.entry_point)
+        else:
+            self._trace_id = _tracing.current_trace_id()
+        _events.publish("run.start", entry_point=self.entry_point,
+                        trace_id=self._trace_id)
         self._started_at = time()
         self._start = perf_counter()
         return self
@@ -327,7 +341,8 @@ class _RunContext:
         duration = perf_counter() - self._start
         status = "ok" if exc_type is None else "error"
         _events.publish("run.end", entry_point=self.entry_point,
-                        status=status, duration_s=duration)
+                        status=status, duration_s=duration,
+                        trace_id=self._trace_id)
         if not self.record_run:
             return False
         try:
@@ -341,6 +356,7 @@ class _RunContext:
                 "started_at": self._started_at,
                 "duration_s": duration,
                 "status": status,
+                "trace_id": self._trace_id,
                 "fingerprint": self.fingerprint,
                 "attributes": self.attributes,
                 "env": capture_environment(),

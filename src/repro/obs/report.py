@@ -17,8 +17,9 @@ wrapped run; this module turns those records into answers:
   resources) and its markdown twin;
 * :func:`write_report` — the one-call face behind
   ``repro-defender ledger report``: read a ledger directory, fold in the
-  watchdog trajectory from ``BENCH_KERNELS.json`` when present, write
-  both renderings.
+  watchdog trajectory from ``BENCH_KERNELS.json`` when present, fold in
+  an SLO report (``repro.obs/slo-report/v1``, see :mod:`repro.obs.slo`)
+  when given one, write both renderings.
 
 Everything here is read-only over the ledger files and pure stdlib.
 """
@@ -391,17 +392,58 @@ def _watchdog_section(watchdog_doc: Optional[Dict[str, Any]]) -> str:
     )
 
 
+def _slo_section_html(slo_report: Optional[Dict[str, Any]]) -> str:
+    results = (slo_report or {}).get("results") or []
+    if not results:
+        return ("<p class='sub'>No SLO report — pass an access log and "
+                "objectives (<code>--slo-config</code>) to evaluate "
+                "budgets.</p>")
+    rows = []
+    for res in results:
+        breached = bool(res.get("breached"))
+        status = (
+            '<span class="status regressed">&#9650; breach</span>'
+            if breached else '<span class="status ok">&#10003; ok</span>'
+        )
+        burn = res.get("burn_rate")
+        target = (res.get("objective") or {}).get("latency_p95_s")
+        rows.append(
+            f"<tr><td>{html.escape(str(res.get('name', '?')))}</td>"
+            f"<td>{html.escape(str(res.get('endpoint', '*')))}</td>"
+            f'<td class="num">{int(res.get("requests", 0))}</td>'
+            f'<td class="num">{float(res.get("error_rate", 0.0)) * 100:.2f}%'
+            "</td>"
+            f'<td class="num">'
+            f'{"-" if burn is None else f"{float(burn):.2f}x"}</td>'
+            f'<td class="num">{_fmt_s(float(res.get("latency_p95_s", 0.0)))}'
+            "</td>"
+            f'<td class="num">'
+            f'{"-" if target is None else _fmt_s(float(target))}</td>'
+            f"<td>{status}</td></tr>"
+        )
+    return (
+        "<table><thead><tr><th>objective</th><th>endpoint</th>"
+        '<th class="num">requests</th><th class="num">error rate</th>'
+        '<th class="num">burn rate</th><th class="num">p95</th>'
+        '<th class="num">target p95</th><th>status</th></tr></thead>'
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
 def render_report_html(
     records: Sequence[Dict[str, Any]],
     watchdog_doc: Optional[Dict[str, Any]] = None,
     title: str = "repro-defender run report",
+    slo_report: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Render ledger records as one self-contained HTML document.
 
     No external resources: styles are inline CSS custom properties
     (light and dark), charts are inline SVG sparklines.  ``watchdog_doc``
     is a parsed ``BENCH_KERNELS.json`` (schema v2) folded into a
-    benchmark-history section when given.
+    benchmark-history section when given; ``slo_report`` is an evaluated
+    ``repro.obs/slo-report/v1`` document (:func:`repro.obs.slo
+    .evaluate_slos`) rendered as a service-level-objective panel.
     """
     with _metrics.timer("report.render_html.seconds"):
         rows = aggregate_runs(records, group_by="entry_point")
@@ -455,6 +497,8 @@ across {len(rows)} entry point{"s" if len(rows) != 1 else ""} and
 </div>
 <h2>Latency by entry point</h2>
 {_latency_table(rows, trends)}
+<h2>Service-level objectives</h2>
+{_slo_section_html(slo_report)}
 <h2>Convergence trends</h2>
 {_convergence_section(trends)}
 <h2>Cross-revision duration deltas</h2>
@@ -475,6 +519,7 @@ def render_report_markdown(
     records: Sequence[Dict[str, Any]],
     watchdog_doc: Optional[Dict[str, Any]] = None,
     title: str = "repro-defender run report",
+    slo_report: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The markdown twin of :func:`render_report_html` (tables, no SVG)."""
     with _metrics.timer("report.render_md.seconds"):
@@ -499,6 +544,26 @@ def render_report_markdown(
                 f"| {_fmt_s(row['duration_s']['p50'])} "
                 f"| {_fmt_s(row['duration_s']['p95'])} |"
             )
+        results = (slo_report or {}).get("results") or []
+        if results:
+            lines += [
+                "",
+                "## Service-level objectives",
+                "",
+                "| objective | endpoint | requests | error rate "
+                "| burn rate | p95 | status |",
+                "|---|---|---:|---:|---:|---:|---|",
+            ]
+            for res in results:
+                burn = res.get("burn_rate")
+                lines.append(
+                    f"| {res.get('name', '?')} | {res.get('endpoint', '*')} "
+                    f"| {int(res.get('requests', 0))} "
+                    f"| {float(res.get('error_rate', 0.0)) * 100:.2f}% "
+                    f"| {'-' if burn is None else f'{float(burn):.2f}x'} "
+                    f"| {_fmt_s(float(res.get('latency_p95_s', 0.0)))} "
+                    f"| {'BREACH' if res.get('breached') else 'ok'} |"
+                )
         deltas = rev_deltas(records)
         if deltas:
             lines += [
@@ -528,12 +593,15 @@ def write_report(
     output_md: Optional[os.PathLike] = None,
     bench_file: Optional[os.PathLike] = None,
     title: str = "repro-defender run report",
+    slo_report: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Read a ledger directory and write the HTML (+ markdown) report.
 
     ``bench_file`` points at a ``BENCH_KERNELS.json`` trajectory; when it
-    exists its watchdog history is folded in.  Returns a small summary
-    dict (record/entry-point counts and the paths written).
+    exists its watchdog history is folded in.  ``slo_report`` is an
+    evaluated ``repro.obs/slo-report/v1`` document rendered as the SLO
+    panel.  Returns a small summary dict (record/entry-point counts and
+    the paths written).
     """
     with _metrics.timer("report.write.seconds"):
         records = read_runs(directory=ledger_dir)
@@ -547,7 +615,8 @@ def write_report(
                 _log.warning("report.bench_file.unreadable",
                              path=str(bench_file),
                              error=type(exc).__name__)
-        html_text = render_report_html(records, watchdog_doc, title=title)
+        html_text = render_report_html(records, watchdog_doc, title=title,
+                                       slo_report=slo_report)
         html_path = Path(output_html)
         html_path.parent.mkdir(parents=True, exist_ok=True)
         html_path.write_text(html_text, encoding="utf-8")
@@ -556,7 +625,8 @@ def write_report(
             md_path = Path(output_md)
             md_path.parent.mkdir(parents=True, exist_ok=True)
             md_path.write_text(
-                render_report_markdown(records, watchdog_doc, title=title),
+                render_report_markdown(records, watchdog_doc, title=title,
+                                       slo_report=slo_report),
                 encoding="utf-8",
             )
             written.append(str(md_path))

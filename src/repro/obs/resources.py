@@ -19,7 +19,7 @@ daemon thread (idempotent; re-entrant via a depth count, so nested
 ledger runs share a single sampler).  :func:`snapshot` packages the
 current sample plus the peak/percentile view into the ``resources``
 block every ledger record carries (see
-``repro.obs/ledger-record/v2``).  Everything degrades gracefully:
+``repro.obs/ledger-record/v3``).  Everything degrades gracefully:
 an unreadable ``/proc`` yields ``None`` RSS, never an exception.
 """
 

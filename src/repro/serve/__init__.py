@@ -4,10 +4,15 @@ A zero-heavy-dependency asyncio HTTP service exposing the equilibrium
 machinery to other processes: ``POST /solve``, ``POST /double-oracle``,
 ``POST /fictitious-play`` and ``POST /ranges`` accept the canonical game
 document (:mod:`repro.core.serialize`) plus per-endpoint parameters, and
-``GET /healthz`` / ``GET /metrics`` expose liveness and the Prometheus
-snapshot.  See ``docs/serving.md`` for the wire contract
-(``repro.serve/response/v1`` envelopes, ``repro.serve/error/v1``
-errors) and the backpressure model.
+``GET /healthz`` / ``GET /metrics`` / ``GET /slo`` /
+``GET /debug/events`` expose liveness, the Prometheus snapshot, the
+live SLO burn-rate report and the newest telemetry events.  Every
+response carries ``X-Request-Id`` and a W3C ``traceparent`` echo — the
+trace id that also stamps the request's ledger record, run events,
+span tree and access-log line.  See ``docs/serving.md`` for the wire
+contract (``repro.serve/response/v1`` envelopes,
+``repro.serve/error/v1`` errors), the correlation model and
+backpressure.
 
 Start it from the CLI::
 

@@ -8,10 +8,19 @@ parses, validates and serves cache hits; solver work runs on the
 :class:`~repro.serve.workers.WorkerPool` behind an admission limit, with
 a per-request deadline enforced by ``asyncio.wait_for``.
 
-``GET /healthz`` reports liveness plus pool occupancy; ``GET /metrics``
-re-serializes the process-global registry in Prometheus text format —
-the same bytes ``repro-defender stats --format prom`` emits, so one
-scrape config covers CLI batch runs and the service.
+``GET /healthz`` reports liveness plus pool occupancy (workers, queue
+depth, uptime); ``GET /metrics`` re-serializes the process-global
+registry in Prometheus text format — the same bytes ``repro-defender
+stats --format prom`` emits, so one scrape config covers CLI batch runs
+and the service.  ``GET /slo`` renders the live SLO engine's burn-rate
+report and ``GET /debug/events?n=`` the newest telemetry-bus events.
+
+Every request runs under its own trace context
+(:mod:`repro.obs.tracing`): an inbound W3C ``traceparent`` is honored
+(else a trace id is minted), the response echoes ``X-Request-Id`` and
+``traceparent``, and the same trace id lands in the ledger record, the
+``run.start``/``run.end`` events, the span tree and the access-log line
+(:mod:`repro.obs.access`) for that request.
 
 :func:`running_service` runs the whole thing on a background thread and
 yields the base URL — the harness used by the tests, the smoke check and
@@ -22,12 +31,20 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import json
 import threading
-from typing import Any, Dict, Iterator, Optional, Tuple
+from email.utils import formatdate
+from time import perf_counter, time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import parse_qs
 
+from repro.obs import access as obs_access
+from repro.obs import events as obs_events
 from repro.obs import get_logger, metrics
+from repro.obs import tracing
 from repro.obs.metrics import get_registry
+from repro.obs.slo import SloEngine, SloObjective
 
 from repro.serve.routes import prepare
 from repro.serve.schemas import RequestError, error_payload
@@ -92,12 +109,20 @@ class _HttpError(Exception):
 
 
 class DefenderService:
-    """The asyncio HTTP server bound to one worker pool."""
+    """The asyncio HTTP server bound to one worker pool.
 
-    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+    ``slo_objectives`` customizes the live :class:`SloEngine` behind
+    ``GET /slo`` (the built-in availability + latency defaults
+    otherwise — see :func:`repro.obs.slo.default_objectives`).
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 slo_objectives: Optional[List[SloObjective]] = None) -> None:
         self.config = config or ServeConfig()
         self.pool = WorkerPool(self.config.workers, self.config.queue_limit)
+        self.slo = SloEngine(slo_objectives)
         self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at: Optional[float] = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -112,6 +137,7 @@ class DefenderService:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
         )
+        self._started_at = time()
         _log.info("serve.started", host=self.config.host, port=self.port,
                   workers=self.config.workers,
                   queue_limit=self.config.queue_limit)
@@ -140,7 +166,7 @@ class DefenderService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except asyncio.LimitOverrunError as exc:
@@ -185,11 +211,22 @@ class DefenderService:
             except (asyncio.IncompleteReadError, ConnectionError) as exc:
                 raise _HttpError(400, "truncated request body",
                                  "truncated") from exc
-        return method.upper(), target, body
+        return method.upper(), target, headers, body
 
     @staticmethod
-    def _response_bytes(status: int, payload: Any,
-                        content_type: str = "application/json") -> bytes:
+    def _response_bytes(
+        status: int,
+        payload: Any,
+        content_type: str = "application/json",
+        trace: Optional[tracing.TraceContext] = None,
+    ) -> bytes:
+        """Serialize one response, stamping the correlation headers.
+
+        Every response carries ``Date``; when a trace context is given
+        (always, for requests that got as far as a response) it also
+        carries ``X-Request-Id`` (the trace id — what a client quotes in
+        a bug report) and the outbound W3C ``traceparent`` echo.
+        """
         if isinstance(payload, (dict, list)):
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
         elif isinstance(payload, str):
@@ -197,45 +234,94 @@ class DefenderService:
         else:
             body = payload
         reason = _STATUS_REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Date: {formatdate(usegmt=True)}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        if trace is not None:
+            lines.append(f"X-Request-Id: {trace.trace_id}")
+            lines.append(f"traceparent: {trace.traceparent()}")
+        lines.append("Connection: close")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         return head.encode("latin-1") + body
 
     # -- routing ----------------------------------------------------------
 
     async def _dispatch(self, method: str, target: str,
                         body: bytes) -> Tuple[int, Any, str]:
-        path = target.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = target.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "use GET for /healthz", "bad-method")
+            uptime = 0.0 if self._started_at is None \
+                else max(0.0, time() - self._started_at)
             return 200, {
                 "status": "ok",
                 "inflight": self.pool.inflight,
                 "capacity": self.pool.capacity,
+                "workers": self.pool.workers,
+                "queue_limit": self.pool.queue_limit,
+                "queue_depth": self.pool.queue_depth,
+                "uptime_s": uptime,
             }, "application/json"
         if path == "/metrics":
             if method != "GET":
                 raise _HttpError(405, "use GET for /metrics", "bad-method")
             return (200, get_registry().to_prometheus(),
                     "text/plain; version=0.0.4")
+        if path == "/slo":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /slo", "bad-method")
+            return 200, self.slo.status_document(), "application/json"
+        if path == "/debug/events":
+            if method != "GET":
+                raise _HttpError(405, "use GET for /debug/events",
+                                 "bad-method")
+            return (200, self._debug_events(query), "application/json")
         endpoint = path.lstrip("/")
         if method != "POST":
             raise _HttpError(405, f"use POST for /{endpoint}", "bad-method")
         response = await self._run_endpoint(endpoint, body)
         return 200, response, "application/json"
 
+    @staticmethod
+    def _debug_events(query: str) -> Dict[str, Any]:
+        """The ``GET /debug/events?n=`` body: newest buffered events.
+
+        The event bus must be enabled (``--events``) for the buffer to
+        fill; with it off this returns an empty list, not an error — the
+        endpoint is a debugging porthole, not a health signal.
+        """
+        count = 100
+        params = parse_qs(query, keep_blank_values=True)
+        if "n" in params:
+            raw = params["n"][-1]
+            try:
+                count = int(raw)
+            except ValueError:
+                raise _HttpError(400, f"query param n must be an integer; "
+                                      f"got {raw!r}", "bad-query") from None
+            if count < 0:
+                raise _HttpError(400, "query param n must be >= 0",
+                                 "bad-query")
+        events = obs_events.recent(count)
+        return {"schema": obs_events.EVENT_SCHEMA, "count": len(events),
+                "events": events}
+
     async def _run_endpoint(self, endpoint: str, body: bytes) -> Any:
         loop = asyncio.get_running_loop()
         # Validation and the cache probe are cheap; run them on the
         # loop's default executor so a burst of malformed requests still
-        # cannot occupy a solver worker.
-        prepared = await loop.run_in_executor(None, prepare, endpoint, body)
+        # cannot occupy a solver worker.  run_in_executor does not carry
+        # contextvars across the hop by itself, so the request's trace
+        # context is propagated explicitly (WorkerPool.submit does the
+        # same for solver work).
+        context = contextvars.copy_context()
+        prepared = await loop.run_in_executor(
+            None, context.run, prepare, endpoint, body)
         if prepared.response is not None:
             return prepared.response
         assert prepared.run is not None
@@ -256,35 +342,59 @@ class DefenderService:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        started = perf_counter()
         metrics.counter("serve.requests.count").inc()
         status = 500
+        method = ""
+        endpoint = ""
+        error_code: Optional[str] = None
+        trace: Optional[tracing.TraceContext] = None
+        payload: Any = None
         try:
             try:
-                method, target, body = await self._read_request(reader)
+                method, target, headers, body = await self._read_request(
+                    reader)
+                # Path form for the access log / SLO engine: "/solve",
+                # trailing slash normalized away, bare "/" preserved.
+                endpoint = "/" + target.split("?", 1)[0].strip("/")
+                # One trace per request: continue the client's when it
+                # sent a valid traceparent, mint one otherwise.  Every
+                # span, ledger record, event and access line below here
+                # carries this context's trace_id (the executor hops
+                # copy the contextvars context).
+                trace = tracing.start_trace(headers.get("traceparent"))
                 status, payload, content_type = await self._dispatch(
                     method, target, body,
                 )
             except RequestError as exc:
-                status = exc.status
+                status, error_code = exc.status, exc.code
                 payload, content_type = error_payload(exc), "application/json"
                 metrics.counter("serve.errors.count").inc()
                 metrics.counter(f"serve.errors.{exc.code}.count").inc()
             except _HttpError as exc:
-                status = exc.status
+                status, error_code = exc.status, exc.code
                 payload = error_payload(
                     RequestError(str(exc), status=exc.status, code=exc.code)
                 )
                 content_type = "application/json"
                 metrics.counter("serve.errors.count").inc()
+                metrics.counter(f"serve.errors.{exc.code}.count").inc()
             except Exception as exc:  # last-resort 500: never drop a reply
                 _log.error("serve.internal_error", error=repr(exc))
+                error_code = "internal"
                 payload = error_payload(
                     RequestError("internal error", status=500,
                                  code="internal")
                 )
                 content_type = "application/json"
                 metrics.counter("serve.errors.count").inc()
-            writer.write(self._response_bytes(status, payload, content_type))
+                metrics.counter("serve.errors.internal.count").inc()
+            if trace is None:
+                # The request died before its head parsed (truncated,
+                # oversized); the error response still gets a request id.
+                trace = tracing.start_trace(None)
+            writer.write(self._response_bytes(status, payload, content_type,
+                                              trace=trace))
             await writer.drain()
         except ConnectionError:
             pass
@@ -293,6 +403,47 @@ class DefenderService:
                 writer.close()
                 await writer.wait_closed()
             metrics.counter(f"serve.responses.{status}.count").inc()
+            cache_hit = payload.get("cache_hit") \
+                if isinstance(payload, dict) else None
+            self._finish_request(
+                trace=trace, method=method, endpoint=endpoint, status=status,
+                error_code=error_code,
+                latency_s=perf_counter() - started,
+                cache_hit=cache_hit if isinstance(cache_hit, bool) else None,
+            )
+
+    def _finish_request(
+        self,
+        trace: Optional[tracing.TraceContext],
+        method: str,
+        endpoint: str,
+        status: int,
+        error_code: Optional[str],
+        latency_s: float,
+        cache_hit: Optional[bool] = None,
+    ) -> None:
+        """Request epilogue: histogram, SLO feed, access line, event.
+
+        Runs for every connection — including ones that died before a
+        response could be written — so the operational record is
+        complete.  The access line and ``serve.request`` event are
+        single-boolean no-ops while their sinks are off (the obs cost
+        contract); the SLO engine's in-memory append is always on.
+        """
+        metrics.histogram("serve.request.seconds").observe(latency_s)
+        trace_id = None if trace is None else trace.trace_id
+        self.slo.observe(endpoint=endpoint or "/", status=status,
+                         latency_s=latency_s)
+        obs_access.log_request(
+            trace_id=trace_id, method=method, endpoint=endpoint or "/",
+            status=status, error_code=error_code, latency_s=latency_s,
+            cache_hit=cache_hit, inflight=self.pool.inflight,
+        )
+        obs_events.publish(
+            "serve.request", trace_id=trace_id, method=method,
+            endpoint=endpoint or "/", status=status, error_code=error_code,
+            latency_s=latency_s,
+        )
 
 
 @contextlib.contextmanager

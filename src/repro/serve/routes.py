@@ -229,7 +229,8 @@ def prepare(endpoint: str, body: bytes) -> PreparedRequest:
                 with obs_ledger.run(f"serve.{endpoint}", game=game,
                                     cache_hit=True, **params):
                     payload = json.loads(probe.payload)
-                _log.info("serve.cache_hit", endpoint=endpoint)
+                _log.info("serve.cache_hit", endpoint=endpoint,
+                          trace_id=tracing.current_trace_id())
                 return PreparedRequest(
                     endpoint,
                     response=_envelope(endpoint, payload, cache_hit=True),

@@ -48,6 +48,12 @@ class RequestError(GameError):
     a short stable identifier clients can dispatch on (``invalid-json``,
     ``invalid-game``, ``invalid-params``, ``no-equilibrium``,
     ``game-error``, ``timeout``, ``saturated``, ``shutting-down``).
+    HTTP-level defects reuse the same envelope with their own codes
+    (``bad-method``, ``bad-query``, ``bad-request-line``,
+    ``bad-content-length``, ``head-too-large``, ``body-too-large``,
+    ``truncated``, ``not-found``, ``internal``) — the ``error_code``
+    field of the access log (``repro.obs/access/v1``) carries whichever
+    code the response did.
     """
 
     def __init__(self, message: str, status: int = 400,

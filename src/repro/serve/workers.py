@@ -17,6 +17,7 @@ accounting stays exact even for timed-out work.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
@@ -70,6 +71,13 @@ class WorkerPool:
         with self._lock:
             return self._inflight
 
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a worker (inflight beyond the
+        thread count) — the number a saturating service sees grow first."""
+        with self._lock:
+            return max(0, self._inflight - self.workers)
+
     # -- lifecycle --------------------------------------------------------
 
     def submit(self, fn: Callable[[], Any]) -> "Future[Any]":
@@ -78,6 +86,11 @@ class WorkerPool:
         The slot is released by a done-callback on the returned future,
         so it is freed exactly once whether the caller collects the
         result, times out, or the work raises.
+
+        ``fn`` runs under a copy of the submitter's ``contextvars``
+        context, so the request's trace context
+        (:mod:`repro.obs.tracing`) follows the work onto the worker
+        thread — the hop that makes one trace id span the whole request.
         """
         with self._lock:
             if self._stopped:
@@ -94,8 +107,9 @@ class WorkerPool:
                 )
             self._inflight += 1
             metrics.gauge("serve.inflight").set(self._inflight)
+        context = contextvars.copy_context()
         try:
-            future = self._executor.submit(fn)
+            future = self._executor.submit(context.run, fn)
         except RuntimeError as exc:  # executor shut down under us
             self._release()
             raise RequestError(

@@ -7,6 +7,7 @@ deterministic.
 """
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -15,8 +16,10 @@ import urllib.request
 import pytest
 
 import repro.cache as result_cache
+from repro.obs import access as obs_access
 from repro.obs import events as obs_events
 from repro.obs import ledger as obs_ledger
+from repro.obs import metrics
 from repro.serve import (
     ENDPOINTS,
     ERROR_SCHEMA,
@@ -45,17 +48,23 @@ CYCLE5_GAME = {
 }
 
 
-def post_raw(base, path, body: bytes, timeout=30.0):
-    """POST raw bytes; return (status, parsed JSON body)."""
+def post_full(base, path, body: bytes, headers=None, timeout=30.0):
+    """POST raw bytes; return (status, parsed JSON body, response headers)."""
     request = urllib.request.Request(
         base + path, data=body,
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read())
+            return resp.status, json.loads(resp.read()), resp.headers
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+def post_raw(base, path, body: bytes, timeout=30.0):
+    """POST raw bytes; return (status, parsed JSON body)."""
+    status, document, _headers = post_full(base, path, body, timeout=timeout)
+    return status, document
 
 
 def post(base, path, document, timeout=30.0):
@@ -223,6 +232,52 @@ class TestOperationalEndpoints:
         assert payload["status"] == "ok"
         assert payload["capacity"] == svc.pool.capacity
         assert payload["inflight"] >= 0
+        assert payload["workers"] == svc.pool.workers
+        assert payload["queue_limit"] == svc.pool.queue_limit
+        assert payload["queue_depth"] >= 0
+        assert isinstance(payload["uptime_s"], float)
+        assert payload["uptime_s"] >= 0.0
+
+    def test_slo_endpoint(self, service):
+        _svc, base = service
+        post(base, "/solve", {"game": PATH_GAME})
+        status, text, _headers = get(base, "/slo")
+        assert status == 200
+        payload = json.loads(text)
+        assert payload["schema"] == "repro.obs/slo-report/v1"
+        assert {r["name"] for r in payload["results"]} == {
+            "availability", "latency"}
+
+    def test_slo_rejects_post(self, service):
+        _svc, base = service
+        status, body = post(base, "/slo", {"game": PATH_GAME})
+        assert status == 405
+        assert body["error"]["code"] == "bad-method"
+
+    def test_debug_events_buffer(self, service):
+        _svc, base = service
+        obs_events.enable_events(sink=False)
+        try:
+            post(base, "/solve", {"game": PATH_GAME})
+            _wait_for(lambda: any(
+                e["type"] == "serve.request"
+                for e in obs_events.recent()), "serve.request event buffered")
+            status, text, _headers = get(base, "/debug/events")
+            payload = json.loads(text)
+            assert status == 200
+            assert payload["schema"] == obs_events.EVENT_SCHEMA
+            assert payload["count"] == len(payload["events"]) > 0
+            status, text, _headers = get(base, "/debug/events?n=1")
+            assert json.loads(text)["count"] <= 1
+        finally:
+            obs_events.disable_events()
+
+    def test_debug_events_bad_query(self, service):
+        _svc, base = service
+        for query in ("?n=x", "?n=-1"):
+            status, text, _headers = get(base, f"/debug/events{query}")
+            assert status == 400
+            assert json.loads(text)["error"]["code"] == "bad-query"
 
     def test_metrics_prometheus(self, service):
         _svc, base = service
@@ -293,6 +348,214 @@ class TestObservability:
             result_cache.disable_cache()
         assert body1["cache_hit"] is False
         assert body2["cache_hit"] is False  # different params, different key
+
+
+def _wait_for(condition, label, timeout=10.0):
+    """Poll until ``condition()`` — the request epilogue (counters,
+    access lines, events) runs after the response bytes are written, so
+    client-side completion does not imply the sinks are stamped yet."""
+    deadline = time.monotonic() + timeout
+    while not condition():
+        assert time.monotonic() < deadline, f"timed out waiting: {label}"
+        time.sleep(0.01)
+
+
+VALID_TRACEPARENT = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+
+def _assert_correlation_headers(headers):
+    """Every response carries the correlation header triple."""
+    trace_id = headers["X-Request-Id"]
+    assert len(trace_id) == 32
+    int(trace_id, 16)
+    traceparent = headers["traceparent"]
+    prefix, span_id, flags = (
+        traceparent[:36], traceparent[36:52], traceparent[52:])
+    assert prefix == f"00-{trace_id}-"
+    assert len(span_id) == 16
+    int(span_id, 16)
+    assert flags == "-01"
+    assert headers["Date"].endswith("GMT")
+    return trace_id
+
+
+class TestCorrelationHeaders:
+    def test_success_response_headers(self, service):
+        _svc, base = service
+        status, _body, headers = post_full(
+            base, "/solve", json.dumps({"game": PATH_GAME}).encode())
+        assert status == 200
+        _assert_correlation_headers(headers)
+
+    def test_error_response_headers(self, service):
+        _svc, base = service
+        status, _body, headers = post_full(base, "/nope", b"{}")
+        assert status == 404
+        _assert_correlation_headers(headers)
+
+    def test_fresh_trace_per_request(self, service):
+        _svc, base = service
+        body = json.dumps({"game": PATH_GAME}).encode()
+        _s, _b, first = post_full(base, "/solve", body)
+        _s, _b, second = post_full(base, "/solve", body)
+        assert first["X-Request-Id"] != second["X-Request-Id"]
+
+    def test_inbound_traceparent_honored(self, service):
+        _svc, base = service
+        status, _body, headers = post_full(
+            base, "/solve", json.dumps({"game": PATH_GAME}).encode(),
+            headers={"traceparent": VALID_TRACEPARENT})
+        assert status == 200
+        trace_id = _assert_correlation_headers(headers)
+        assert trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+        # This hop's span id, not an echo of the client's parent id.
+        assert headers["traceparent"] != VALID_TRACEPARENT
+
+    def test_malformed_traceparent_mints_fresh(self, service):
+        _svc, base = service
+        for bogus in ("garbage", f"00-{'0' * 32}-{'0' * 16}-01"):
+            status, _body, headers = post_full(
+                base, "/solve", json.dumps({"game": PATH_GAME}).encode(),
+                headers={"traceparent": bogus})
+            assert status == 200
+            trace_id = _assert_correlation_headers(headers)
+            assert trace_id != "0" * 32
+
+
+class TestEndToEndCorrelation:
+    def test_one_trace_id_across_every_sink(self, tmp_path, service):
+        """The acceptance loop: response header == ledger record ==
+        run events == access line == span tree, for one request."""
+        _svc, base = service
+        obs_ledger.enable_ledger(tmp_path / "ledger")
+        obs_events.enable_events(tmp_path / "events")
+        obs_access.enable_access_log(tmp_path / "access")
+        try:
+            status, _body, headers = post_full(
+                base, "/solve", json.dumps({"game": PATH_GAME}).encode(),
+                headers={"traceparent": VALID_TRACEPARENT})
+            assert status == 200
+            trace_id = headers["X-Request-Id"]
+            assert trace_id == "4bf92f3577b34da6a3ce929d0e0e4736"
+            _wait_for(lambda: obs_access.read_access(tmp_path / "access"),
+                      "access line written")
+        finally:
+            obs_access.disable_access_log()
+            obs_events.disable_events()
+            obs_ledger.disable_ledger()
+
+        records = [r for r in obs_ledger.read_runs(
+            directory=tmp_path / "ledger")
+            if r["entry_point"] == "serve.solve"]
+        assert [r["trace_id"] for r in records] == [trace_id]
+        # The span tree in the record carries the same identity.
+        assert records[0]["spans"]
+        assert all(s["trace_id"] == trace_id for s in records[0]["spans"])
+
+        events = obs_events.read_events(
+            tmp_path / "events" / obs_events.SINK_FILENAME)
+        run_events = [e for e in events if e["type"] in
+                      ("run.start", "run.end")
+                      and e["payload"]["entry_point"] == "serve.solve"]
+        assert len(run_events) == 2
+        assert all(e["payload"]["trace_id"] == trace_id for e in run_events)
+
+        (line,) = obs_access.read_access(tmp_path / "access")
+        assert line["trace_id"] == trace_id
+        assert line["endpoint"] == "/solve"
+        assert line["method"] == "POST"
+        assert line["status"] == 200
+        assert line["error_code"] is None
+
+    def test_request_latency_histogram(self, service):
+        _svc, base = service
+        histogram = metrics.histogram("serve.request.seconds")
+        before = histogram.count
+        post(base, "/solve", {"game": PATH_GAME})
+        _wait_for(lambda: histogram.count >= before + 1,
+                  "serve.request.seconds observed")
+
+
+class TestHttpErrorCounters:
+    """Regression: responses raised as ``_HttpError`` (HTTP-level
+    defects) used to skip the per-code ``serve.errors.<code>.count``
+    counters that ``RequestError`` responses always bumped."""
+
+    def test_bad_method_bumps_per_code_counter(self, service):
+        _svc, base = service
+        per_code = metrics.counter("serve.errors.bad-method.count")
+        total = metrics.counter("serve.errors.count")
+        before_code, before_total = per_code.value, total.value
+        status, _text, _headers = get(base, "/solve")
+        assert status == 405
+        _wait_for(lambda: per_code.value >= before_code + 1,
+                  "bad-method per-code counter")
+        assert total.value >= before_total + 1
+
+    def test_body_too_large_bumps_per_code_counter(self):
+        per_code = metrics.counter("serve.errors.body-too-large.count")
+        before = per_code.value
+        config = ServeConfig(workers=1, queue_limit=0, max_body_bytes=64)
+        with running_service(config) as (_svc, base):
+            status, body = post(base, "/solve", {"game": PATH_GAME})
+            assert status == 413
+            assert body["error"]["code"] == "body-too-large"
+            _wait_for(lambda: per_code.value >= before + 1,
+                      "body-too-large per-code counter")
+
+
+class TestReadRequestDefects:
+    """Defects caught inside ``_read_request`` (before routing) still
+    produce a correlated error response, bump their per-code counter and
+    leave an access-log line."""
+
+    def test_truncated_body(self, tmp_path, service):
+        svc, base = service
+        per_code = metrics.counter("serve.errors.truncated.count")
+        before = per_code.value
+        obs_access.enable_access_log(tmp_path)
+        try:
+            with socket.create_connection(
+                    (svc.config.host, svc.port), timeout=10.0) as sock:
+                sock.sendall(b"POST /solve HTTP/1.1\r\n"
+                             b"Content-Length: 999\r\n\r\nshort")
+                sock.shutdown(socket.SHUT_WR)
+                response = b""
+                while chunk := sock.recv(65536):
+                    response += chunk
+            assert response.startswith(b"HTTP/1.1 400 ")
+            assert b"X-Request-Id: " in response
+            assert b'"truncated"' in response
+            _wait_for(lambda: obs_access.read_access(tmp_path),
+                      "truncated access line")
+        finally:
+            obs_access.disable_access_log()
+        assert per_code.value >= before + 1
+        (line,) = obs_access.read_access(tmp_path)
+        assert line["status"] == 400
+        assert line["error_code"] == "truncated"
+        assert line["trace_id"] is not None
+
+    def test_oversized_body(self, tmp_path):
+        per_code = metrics.counter("serve.errors.body-too-large.count")
+        before = per_code.value
+        config = ServeConfig(workers=1, queue_limit=0, max_body_bytes=64)
+        obs_access.enable_access_log(tmp_path)
+        try:
+            with running_service(config) as (_svc, base):
+                status, _body, headers = post_full(
+                    base, "/solve", json.dumps({"game": PATH_GAME}).encode())
+                assert status == 413
+                trace_id = _assert_correlation_headers(headers)
+                _wait_for(lambda: obs_access.read_access(tmp_path),
+                          "oversized access line")
+        finally:
+            obs_access.disable_access_log()
+        assert per_code.value >= before + 1
+        (line,) = obs_access.read_access(tmp_path)
+        assert line["status"] == 413
+        assert line["error_code"] == "body-too-large"
+        assert line["trace_id"] == trace_id
 
 
 def _slow_spec(release: threading.Event) -> EndpointSpec:

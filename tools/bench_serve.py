@@ -10,6 +10,9 @@ profiles end to end — TCP connect to parsed response body:
   cache: validate → probe → inline reply, no worker slot;
 * ``serve.reject.invalid`` — a schema-invalid request: the cost of
   shedding garbage at the door;
+* ``serve.solve.correlated`` — the cache-hit request with a client
+  ``traceparent`` header: parse + adopt + echo of the inbound trace
+  context on the cheapest path, where correlation overhead would show;
 * ``serve.mixed.concurrent`` — 8 client threads hammering ``/solve`` +
   ``/fictitious-play``, for sustained throughput.
 
@@ -70,9 +73,10 @@ def _git_rev() -> str:
         return "unknown"
 
 
-def _post(base: str, path: str, body: bytes) -> int:
+def _post(base: str, path: str, body: bytes, headers=None) -> int:
     request = urllib.request.Request(
-        base + path, data=body, headers={"Content-Type": "application/json"},
+        base + path, data=body,
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     try:
         with urllib.request.urlopen(request, timeout=60.0) as resp:
@@ -104,12 +108,12 @@ def _profile(latencies, wall_clock_s: float) -> dict:
 
 
 def _timed_sequence(base: str, path: str, body: bytes, count: int,
-                    expect_status: int = 200):
+                    expect_status: int = 200, headers=None):
     latencies = []
     start = time.perf_counter()
     for _ in range(count):
         t0 = time.perf_counter()
-        status = _post(base, path, body)
+        status = _post(base, path, body, headers=headers)
         latencies.append(time.perf_counter() - t0)
         if status != expect_status:
             raise RuntimeError(
@@ -148,9 +152,18 @@ def run_cases() -> dict:
             _post(base, "/solve", solve_body)  # prime the store
             latencies, wall = _timed_sequence(
                 base, "/solve", solve_body, _SEQUENTIAL_REQUESTS)
+            cases["serve.solve.cache_hit"] = _profile(latencies, wall)
+            # Same primed path with an inbound traceparent: the delta
+            # against cache_hit is the cost of parsing, adopting and
+            # echoing a client-supplied trace context.
+            traceparent = ("00-4bf92f3577b34da6a3ce929d0e0e4736"
+                           "-00f067aa0ba902b7-01")
+            latencies, wall = _timed_sequence(
+                base, "/solve", solve_body, _SEQUENTIAL_REQUESTS,
+                headers={"traceparent": traceparent})
+            cases["serve.solve.correlated"] = _profile(latencies, wall)
         finally:
             result_cache.disable_cache()
-        cases["serve.solve.cache_hit"] = _profile(latencies, wall)
 
         latencies, wall = _timed_sequence(
             base, "/solve", invalid_body, _SEQUENTIAL_REQUESTS,

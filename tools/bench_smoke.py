@@ -52,10 +52,15 @@ REFERENCE = {
     "fuzz.batch.small": None,  # added with repro.fuzz; no seed datum
     "events.publish.off": None,  # added with the event bus; no seed datum
     "events.publish.on": None,
+    "trace_context.off": None,  # added with request correlation; no seed datum
+    "access_log.off": None,
 }
 
 #: Publishes per event-bus micro-bench repetition.
 _BUS_PUBLISHES = 50_000
+
+#: Disabled-path calls per correlation micro-bench repetition.
+_CORRELATION_CALLS = 50_000
 
 #: Regression gate: fail when current > baseline * (1 + SLACK_REL) + SLACK_ABS.
 SLACK_REL = 0.20
@@ -85,6 +90,8 @@ def _cases():
 
     import repro.cache as result_cache
     from repro.obs import events as obs_events
+    from repro.obs import access as obs_access
+    from repro.obs import tracing as obs_tracing
 
     def publish_off() -> None:
         # The disabled fast path: one attribute check per publish.  The
@@ -103,6 +110,26 @@ def _cases():
                 obs_events.publish("bench.case", case="bus-on", index=index)
         finally:
             obs_events.disable_events()
+
+    def trace_context_off() -> None:
+        # Disabled tracing with the contextvars-backed trace context:
+        # span() must stay a single boolean check even now that the
+        # span stack lives on a per-context object.  The history of
+        # this case guards the correlation layer's off-cost.
+        obs_tracing.enable_tracing(False)
+        for _ in range(_CORRELATION_CALLS):
+            with obs_tracing.span("bench.case"):
+                pass
+
+    def access_log_off() -> None:
+        # The disabled access log: log_request() falls through on one
+        # attribute load, so a service run without --access-log pays
+        # nothing per request for the sink.
+        obs_access.disable_access_log()
+        for index in range(_CORRELATION_CALLS):
+            obs_access.log_request(
+                None, "POST", "/solve", 200, None, 0.0, inflight=index
+            )
 
     do_a = TupleGame(random_bipartite_graph(15, 25, 0.15, seed=60), 4, nu=1)
     do_b = TupleGame(random_bipartite_graph(25, 40, 0.10, seed=1000), 5, nu=1)
@@ -147,6 +174,9 @@ def _cases():
         # Telemetry-bus overhead, disabled vs enabled (50k publishes).
         "events.publish.off": publish_off,
         "events.publish.on": publish_on,
+        # Correlation-layer off-cost (50k disabled calls each).
+        "trace_context.off": trace_context_off,
+        "access_log.off": access_log_off,
     }, clear_shared_oracles
 
 

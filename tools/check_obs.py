@@ -6,8 +6,8 @@ enabled, then asserts that the instrumentation actually fired: a
 non-empty metrics snapshot with the expected solver counters, a JSON
 export that round-trips, a Prometheus export that mentions the LP
 histogram, a collected span tree, ledger records that satisfy the
-``repro.obs/ledger-record/v2`` schema (content-addressed run ids, a
-``resources`` block from the sampler), an event sink whose
+``repro.obs/ledger-record/v3`` schema (content-addressed run ids, a
+``trace_id``, a ``resources`` block from the sampler), an event sink whose
 ``solver.iteration`` stream replays the double-oracle gap/pool
 trajectory, and profiler + HTML-report exports that match their formats.
 Exits non-zero on any failure, so CI (the ``ci`` Makefile target)
@@ -56,14 +56,14 @@ CACHED_ENTRY_POINTS = (
 )
 
 
-#: Record fields the ledger-record/v2 schema requires on every line.
+#: Record fields the ledger-record/v3 schema requires on every line.
 LEDGER_REQUIRED_KEYS = (
     "schema", "run_id", "entry_point", "started_at", "duration_s",
-    "status", "fingerprint", "attributes", "env", "metrics", "resources",
-    "spans",
+    "status", "trace_id", "fingerprint", "attributes", "env", "metrics",
+    "resources", "spans",
 )
 
-#: Fields the resource sampler contributes to every v2 record.
+#: Fields the resource sampler contributes to every v3 record.
 RESOURCES_REQUIRED_KEYS = (
     "rss_bytes", "rss_peak_bytes", "cpu_user_s", "cpu_system_s",
     "gc_collections", "threads", "samples", "sampler_running",
@@ -150,7 +150,7 @@ def check() -> list:
 
 
 def check_ledger(ledger_dir: Path) -> list:
-    """Validate the live ledger records against ledger-record/v2."""
+    """Validate the live ledger records against ledger-record/v3."""
     from repro.obs.ledger import RECORD_SCHEMA, _canonical_sha256, read_runs
 
     failures = []

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""SLO exit-code gate (``make slo-smoke``).
+
+Runs ``repro-defender slo check`` twice against the committed access-log
+fixtures under ``tests/fixtures/slo/`` and asserts the contract CI
+relies on:
+
+* healthy traffic (``access_ok.jsonl``) exits 0;
+* breaching traffic (``access_breach.jsonl`` — 5xx burn above budget
+  and a blown p95) exits non-zero and names the breached objectives on
+  stderr;
+* ``slo report --format json`` over the breach fixture emits a valid
+  ``repro.obs/slo-report/v1`` document listing the same breaches.
+
+The fixtures carry fixed timestamps and ``evaluate_slos`` anchors its
+windows at the newest record, so the verdicts are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "slo"
+CONFIG = FIXTURE_DIR / "slo.json"
+ACCESS_OK = FIXTURE_DIR / "access_ok.jsonl"
+ACCESS_BREACH = FIXTURE_DIR / "access_breach.jsonl"
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        raise AssertionError(label)
+    print(f"  ok: {label}")
+
+
+def run_cli(argv):
+    """Run the CLI in-process, capturing stdout/stderr and exit code."""
+    import contextlib
+    import io
+
+    from repro.cli import main
+
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+def main() -> int:
+    for path in (CONFIG, ACCESS_OK, ACCESS_BREACH):
+        check(path.is_file(), f"fixture {path.name} is committed")
+
+    code, out, err = run_cli([
+        "slo", "check", "--config", str(CONFIG),
+        "--access-path", str(ACCESS_OK),
+    ])
+    check(code == 0, "healthy fixture: slo check exits 0")
+    check("all objectives within budget" in out,
+          "healthy fixture: verdict line printed")
+
+    code, out, err = run_cli([
+        "slo", "check", "--config", str(CONFIG),
+        "--access-path", str(ACCESS_BREACH),
+    ])
+    check(code != 0, "breach fixture: slo check exits non-zero")
+    check("SLO breach:" in err and "availability" in err
+          and "solve-latency" in err,
+          "breach fixture: breached objectives named on stderr")
+
+    code, out, err = run_cli([
+        "slo", "report", "--format", "json", "--config", str(CONFIG),
+        "--access-path", str(ACCESS_BREACH),
+    ])
+    check(code == 0, "slo report exits 0 even in breach")
+    document = json.loads(out)
+    check(document["schema"] == "repro.obs/slo-report/v1",
+          "report document carries the slo-report schema")
+    check(sorted(document["breaches"]) == ["availability", "solve-latency"],
+          "report lists both breached objectives")
+
+    print("slo-smoke OK: exit codes, breach naming and the report "
+          "document all verified against the committed fixtures")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except AssertionError as exc:
+        print(f"slo-smoke FAILED: {exc}", file=sys.stderr)
+        raise SystemExit(1)
